@@ -1,0 +1,65 @@
+// Command gsgrow mines (closed) repetitive gapped subsequences from a
+// sequence database file, implementing the GSgrow and CloGSgrow algorithms
+// of Ding, Lo, Han, Khoo (ICDE 2009).
+//
+// Usage:
+//
+//	gsgrow -input db.txt -format tokens -minsup 10 -closed
+//
+// Formats: tokens (default; one sequence per line, whitespace-separated
+// events, optional "label:" prefix), chars (one char = one event), spmf.
+// With -stats the tool only prints database statistics. -support mines
+// nothing and instead reports the repetitive support of one pattern given
+// as comma-separated events. -density applies the paper's case-study
+// post-processing (density filter, maximality, rank by length).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	var (
+		input = flag.String("input", "", "input database file ('-' for stdin)")
+		cfg   cli.MineConfig
+	)
+	flag.StringVar(&cfg.Format, "format", "tokens", "input format: tokens, chars, spmf")
+	flag.IntVar(&cfg.MinSup, "minsup", 2, "repetitive support threshold")
+	flag.BoolVar(&cfg.Closed, "closed", false, "mine closed patterns (CloGSgrow) instead of all (GSgrow)")
+	flag.IntVar(&cfg.MaxLen, "maxlen", 0, "maximum pattern length (0 = unbounded)")
+	flag.IntVar(&cfg.MaxPatterns, "maxpatterns", 0, "stop after this many patterns (0 = unbounded)")
+	flag.BoolVar(&cfg.Instances, "instances", false, "print each pattern's support set")
+	flag.BoolVar(&cfg.Stats, "stats", false, "print database statistics and exit")
+	flag.StringVar(&cfg.Support, "support", "", "report the support of one comma-separated pattern and exit")
+	flag.Float64Var(&cfg.Density, "density", 0, "post-process with the case-study pipeline at this density threshold")
+	flag.IntVar(&cfg.Top, "top", 0, "print only the first N patterns (0 = all)")
+	flag.IntVar(&cfg.TopK, "topk", 0, "mine the K highest-support patterns instead of using -minsup")
+	flag.IntVar(&cfg.Workers, "workers", 1, "parallel mining fan-out")
+	flag.Parse()
+
+	if err := run(*input, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "gsgrow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input string, cfg cli.MineConfig) error {
+	if input == "" {
+		return fmt.Errorf("missing -input")
+	}
+	var in io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	return cli.Mine(cfg, in, os.Stdout)
+}

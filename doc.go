@@ -1,0 +1,28 @@
+// Package repro is a Go implementation of repetitive gapped subsequence
+// mining, reproducing Ding, Lo, Han, Khoo: "Efficient Mining of Closed
+// Repetitive Gapped Subsequences from a Sequence Database" (ICDE 2009).
+//
+// Given a database of event sequences, the miner finds every pattern
+// (gapped subsequence) whose repetitive support — the maximum number of
+// pairwise non-overlapping occurrences, counted across AND within
+// sequences — reaches a user threshold, or only the closed such patterns
+// (those with no super-pattern of equal support). The algorithms are the
+// paper's GSgrow and CloGSgrow, built on instance growth over an inverted
+// event index, with closure checking and landmark border pruning for the
+// closed variant.
+//
+// Quick start:
+//
+//	db := repro.NewDatabase()
+//	db.Add("S1", []string{"A", "A", "B", "C", "D", "A", "B", "B"})
+//	db.Add("S2", []string{"A", "B", "C", "D"})
+//	res, err := db.MineClosed(repro.Options{MinSupport: 2})
+//	if err != nil { ... }
+//	for _, p := range res.Patterns {
+//		fmt.Println(p.Events, p.Support)
+//	}
+//
+// The subpackages under internal implement the substrate (sequence
+// database, inverted index, generators, baselines, brute-force oracles,
+// experiment harness); this package is the stable public surface.
+package repro

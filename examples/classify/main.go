@@ -1,0 +1,92 @@
+// Classify: the paper's proposed future work (Section V) — using frequent
+// repetitive patterns as classification features, with per-sequence
+// repetitive support as feature values. Two trace populations are
+// generated ("healthy" runs and "retrying" runs with repeated
+// request/retry loops); pattern features are extracted once over training
+// and probe traces together, ranked by discriminativeness on the training
+// labels, and the held-out probes are classified. Run:
+//
+//	go run ./examples/classify
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/features"
+	"repro/internal/seq"
+)
+
+func makeTrace(r *rand.Rand, retrying bool) []string {
+	var out []string
+	out = append(out, "open", "auth")
+	ops := 3 + r.Intn(3)
+	for i := 0; i < ops; i++ {
+		out = append(out, "request")
+		if retrying && r.Float64() < 0.8 {
+			// Retry loop: the same request is retried a couple of times.
+			for j := 0; j < 1+r.Intn(2); j++ {
+				out = append(out, "timeout", "request")
+			}
+		}
+		out = append(out, "response")
+	}
+	out = append(out, "close")
+	return out
+}
+
+func main() {
+	r := rand.New(rand.NewSource(41))
+	db := seq.NewDB()
+	var healthy, retrying, probes []int
+	var probeIsRetry []bool
+	for i := 0; i < 20; i++ {
+		healthy = append(healthy, db.Add(fmt.Sprintf("healthy%d", i), makeTrace(r, false)))
+	}
+	for i := 0; i < 20; i++ {
+		retrying = append(retrying, db.Add(fmt.Sprintf("retrying%d", i), makeTrace(r, true)))
+	}
+	for i := 0; i < 10; i++ {
+		isRetry := i%2 == 1
+		probes = append(probes, db.Add(fmt.Sprintf("probe%d", i), makeTrace(r, isRetry)))
+		probeIsRetry = append(probeIsRetry, isRetry)
+	}
+
+	// Extract closed-pattern features once: Values[p][s] is the number of
+	// non-overlapping occurrences of pattern p inside sequence s.
+	m, err := features.Extract(db, 40, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted %d closed-pattern features over %d traces\n\n", m.NumPatterns(), db.NumSequences())
+
+	// Rank features by how well they separate the two training groups.
+	scored := m.Discriminative(healthy, retrying)
+	fmt.Println("most discriminative patterns (healthy vs retrying):")
+	for i, sp := range scored {
+		if i == 5 {
+			break
+		}
+		names := make([]string, len(m.Patterns[sp.Index]))
+		for j, e := range m.Patterns[sp.Index] {
+			names[j] = db.Dict.Name(e)
+		}
+		fmt.Printf("  %-40s healthy mean %.1f, retrying mean %.1f\n",
+			strings.Join(names, " "), sp.MeanA, sp.MeanB)
+	}
+
+	// Classify the held-out probes with the centroid rule.
+	correct := 0
+	for k, idx := range probes {
+		isHealthy, err := m.Classify(scored, 8, m.Column(idx))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if isHealthy == !probeIsRetry[k] {
+			correct++
+		}
+	}
+	fmt.Printf("\nclassified %d held-out traces, %d correct\n", len(probes), correct)
+}

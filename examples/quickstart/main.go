@@ -1,0 +1,52 @@
+// Quickstart: mine repetitive gapped subsequences from the paper's
+// motivating example (Example 1.1). Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	// Two customers' purchase histories: 'A' = request placed, 'B' =
+	// request in-process, 'C' = request cancelled, 'D' = product delivered.
+	db := repro.NewDatabase()
+	db.AddString("S1", "AABCDABB")
+	db.AddString("S2", "ABCD")
+
+	// Repetitive support counts non-overlapping occurrences across AND
+	// within sequences: AB repeats three times inside S1 alone.
+	fmt.Println("sup(AB) =", db.Support([]string{"A", "B"})) // 4
+	fmt.Println("sup(CD) =", db.Support([]string{"C", "D"})) // 2
+
+	// Where exactly? Ask for the support set.
+	for _, ins := range db.SupportSet([]string{"A", "B"}) {
+		fmt.Printf("  AB occurs in %s at positions %v\n", ins.Sequence, ins.Positions)
+	}
+
+	// Mine every pattern with repetitive support >= 2 (GSgrow).
+	all, err := db.Mine(repro.Options{MinSupport: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d frequent patterns at min_sup=2:\n", len(all.Patterns))
+	for _, p := range all.Patterns {
+		fmt.Printf("  %-6s support %d\n", strings.Join(p.Events, ""), p.Support)
+	}
+
+	// The closed subset says the same thing with fewer patterns: a closed
+	// pattern has no super-pattern of equal support.
+	closed, err := db.MineClosed(repro.Options{MinSupport: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d closed patterns carry the same information:\n", len(closed.Patterns))
+	for _, p := range closed.Patterns {
+		fmt.Printf("  %-6s support %d\n", strings.Join(p.Events, ""), p.Support)
+	}
+}

@@ -1,0 +1,68 @@
+package repro
+
+import (
+	"repro/internal/gapped"
+	"repro/internal/seq"
+)
+
+// GapOptions configures gap-constrained mining (the paper's Section V
+// future-work extension, implemented exactly — see internal/gapped for the
+// algorithmic notes on why this variant computes support by max flow
+// instead of greedy instance growth).
+type GapOptions struct {
+	// MinSupport is the support threshold (>= 1).
+	MinSupport int
+	// MinGap and MaxGap bound the number of events strictly between
+	// consecutive pattern events (0 <= MinGap <= MaxGap). MaxGap = 0 with
+	// MinGap = 0 mines contiguous substrings.
+	MinGap, MaxGap int
+	// MaxPatternLength bounds pattern length; 0 = unbounded.
+	MaxPatternLength int
+	// MaxPatterns stops the run early; 0 = unbounded.
+	MaxPatterns int
+}
+
+// MineGapConstrained returns every pattern whose gap-constrained
+// repetitive support (maximum number of non-overlapping instances whose
+// consecutive gaps all lie in [MinGap, MaxGap]) reaches opt.MinSupport.
+//
+// Gap-constrained support is NOT monotone under arbitrary sub-patterns
+// (deleting a middle event merges two gaps), so unlike Mine/MineClosed the
+// result set is not closed under sub-patterns; it is closed under
+// prefixes.
+func (d *Database) MineGapConstrained(opt GapOptions) (*Result, error) {
+	res, err := gapped.Mine(d.db, gapped.Options{
+		MinSupport:       opt.MinSupport,
+		MinGap:           opt.MinGap,
+		MaxGap:           opt.MaxGap,
+		MaxPatternLength: opt.MaxPatternLength,
+		MaxPatterns:      opt.MaxPatterns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Truncated: res.Truncated, Elapsed: res.Duration}
+	out.Patterns = make([]Pattern, len(res.Patterns))
+	for i, p := range res.Patterns {
+		events := make([]string, len(p.Events))
+		for j, e := range p.Events {
+			events[j] = d.db.Dict.Name(e)
+		}
+		out.Patterns[i] = Pattern{Events: events, Support: p.Support}
+	}
+	return out, nil
+}
+
+// SupportWithGaps computes the gap-constrained repetitive support of one
+// pattern. Unknown event names yield support 0.
+func (d *Database) SupportWithGaps(pattern []string, minGap, maxGap int) (int, error) {
+	ids := make([]seq.EventID, len(pattern))
+	for i, n := range pattern {
+		id := d.db.Dict.Lookup(n)
+		if id == seq.NoEvent {
+			return 0, nil
+		}
+		ids[i] = id
+	}
+	return gapped.Support(d.db, ids, minGap, maxGap)
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// MineBIDE mines closed sequential patterns (sequence-count support) with
+// the BIDE algorithm (Wang & Han, ICDE 2004), specialized to single-event
+// itemsets: a pattern is closed iff it has no forward-extension event
+// (an event supported by every projected suffix) and no backward-extension
+// event (an event present in the i-th maximum period of every supporting
+// sequence for some i). The BackScan pruning on semi-maximum periods can be
+// toggled; output is identical either way.
+func MineBIDE(db *seq.DB, minSup, maxLen int, useBackScan bool) (*SeqResult, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("baseline: minSup must be >= 1, got %d", minSup)
+	}
+	start := time.Now()
+	b := &bideMiner{
+		seqMiner:    seqMiner{db: db, minSup: minSup, maxLen: maxLen, res: &SeqResult{}},
+		useBackScan: useBackScan,
+	}
+	proj := make([]projEntry, len(db.Seqs))
+	for i := range db.Seqs {
+		proj[i] = projEntry{seqIdx: int32(i), pos: 1}
+	}
+	var prefix []seq.EventID
+	for _, item := range b.frequentItems(proj) {
+		e := item.Events[0]
+		prefix = append(prefix[:0], e)
+		sub := b.project(proj, e)
+		if useBackScan && b.backwardEvent(prefix, sub, true) {
+			b.res.Stats.BackScans++
+			continue
+		}
+		b.mine(prefix, sub)
+	}
+	b.res.Stats.Duration = time.Since(start)
+	return b.res, nil
+}
+
+type bideMiner struct {
+	seqMiner
+	useBackScan bool
+}
+
+func (b *bideMiner) mine(prefix []seq.EventID, proj []projEntry) {
+	b.res.Stats.NodesVisited++
+	items := b.frequentItems(proj)
+	forwardExt := false
+	for _, it := range items {
+		if it.Support == len(proj) {
+			forwardExt = true
+			break
+		}
+	}
+	if !forwardExt && !b.backwardEvent(prefix, proj, false) {
+		b.res.Patterns = append(b.res.Patterns, SeqPattern{
+			Events:  append([]seq.EventID(nil), prefix...),
+			Support: len(proj),
+		})
+	}
+	if b.maxLen > 0 && len(prefix) >= b.maxLen {
+		return
+	}
+	for _, it := range items {
+		e := it.Events[0]
+		sub := b.project(proj, e)
+		prefix = append(prefix, e)
+		if b.useBackScan && b.backwardEvent(prefix, sub, true) {
+			b.res.Stats.BackScans++
+		} else {
+			b.mine(prefix, sub)
+		}
+		prefix = prefix[:len(prefix)-1]
+	}
+}
+
+// backwardEvent reports whether some event appears in the i-th
+// (semi-)maximum period of prefix in every supporting sequence, for some
+// i in [1..m]. With semi=false these are the maximum periods used by the
+// backward-extension closure check; with semi=true the semi-maximum
+// periods used by BackScan pruning.
+func (b *bideMiner) backwardEvent(prefix []seq.EventID, proj []projEntry, semi bool) bool {
+	m := len(prefix)
+	for i := 1; i <= m; i++ {
+		var inter map[seq.EventID]bool // nil means "universe" (first sequence pending)
+		empty := false
+		for _, pe := range proj {
+			s := b.db.Seqs[pe.seqIdx]
+			lo, hi, ok := b.periodBounds(s, prefix, i, semi)
+			if !ok {
+				empty = true
+				break
+			}
+			present := make(map[seq.EventID]bool)
+			for p := lo; p <= hi; p++ {
+				present[s.At(p)] = true
+			}
+			if inter == nil {
+				inter = present
+			} else {
+				for e := range inter {
+					if !present[e] {
+						delete(inter, e)
+					}
+				}
+			}
+			if len(inter) == 0 {
+				empty = true
+				break
+			}
+		}
+		if !empty && len(inter) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// periodBounds returns the 1-based inclusive bounds of the i-th period of
+// prefix in s. The i-th maximum period spans from just after the (i-1)-th
+// event of the first (leftmost) instance to just before the i-th event of
+// the last (rightmost) instance; the semi-maximum period ends just before
+// the i-th event of the first instance instead. ok=false when the period
+// is empty.
+func (b *bideMiner) periodBounds(s seq.Sequence, prefix []seq.EventID, i int, semi bool) (lo, hi int, ok bool) {
+	first := firstInstance(s, prefix)
+	if first == nil {
+		return 0, 0, false // defensive: proj entries always contain prefix
+	}
+	if i == 1 {
+		lo = 1
+	} else {
+		lo = int(first[i-2]) + 1
+	}
+	if semi {
+		hi = int(first[i-1]) - 1
+	} else {
+		last := lastInstance(s, prefix)
+		hi = int(last[i-1]) - 1
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// firstInstance returns the leftmost match positions of pattern in s, or
+// nil when s does not contain pattern.
+func firstInstance(s seq.Sequence, pattern []seq.EventID) []int32 {
+	out := make([]int32, 0, len(pattern))
+	j := 0
+	for p := 1; p <= len(s) && j < len(pattern); p++ {
+		if s.At(p) == pattern[j] {
+			out = append(out, int32(p))
+			j++
+		}
+	}
+	if j < len(pattern) {
+		return nil
+	}
+	return out
+}
+
+// lastInstance returns the rightmost match positions of pattern in s, or
+// nil when s does not contain pattern.
+func lastInstance(s seq.Sequence, pattern []seq.EventID) []int32 {
+	out := make([]int32, len(pattern))
+	j := len(pattern) - 1
+	for p := len(s); p >= 1 && j >= 0; p-- {
+		if s.At(p) == pattern[j] {
+			out[j] = int32(p)
+			j--
+		}
+	}
+	if j >= 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package baseline
+
+import "repro/internal/seq"
+
+// FixedWindowSupport is Mannila et al.'s first episode support (Table I,
+// [2], definition (i)): the number of width-w windows of s that contain
+// pattern as a subsequence. Windows are the len(s)-w+1 contiguous position
+// ranges [t, t+w-1]; in Example 1.1, serial episode AB has support 4 in
+// S1 = AABCDABB with w = 4 (windows [1,4], [2,5], [4,7], [5,8]).
+func FixedWindowSupport(s seq.Sequence, pattern []seq.EventID, w int) int {
+	if w < 1 || len(pattern) == 0 || len(pattern) > w {
+		return 0
+	}
+	if len(s) < w {
+		return 0
+	}
+	count := 0
+	for t := 1; t+w-1 <= len(s); t++ {
+		if windowContains(s, t, t+w-1, pattern) {
+			count++
+		}
+	}
+	return count
+}
+
+// MinimalWindowSupport is Mannila et al.'s second episode support (Table I,
+// [2], definition (ii)): the number of minimal windows of s containing
+// pattern — windows [a, b] that contain pattern as a subsequence while
+// neither [a+1, b] nor [a, b-1] does. In Example 1.1, AB has support 2 in
+// S1 (minimal windows [2,3] and [6,7]).
+func MinimalWindowSupport(s seq.Sequence, pattern []seq.EventID) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	count := 0
+	prevStart := 0 // latest start of a window ending before b that contains pattern
+	for b := 1; b <= len(s); b++ {
+		start := latestStart(s, b, pattern)
+		if start == 0 {
+			continue
+		}
+		// [start, b] is minimal iff no window ending at b-1 starts at or
+		// after start (otherwise [start, b-1] already contains pattern).
+		if start > prevStart {
+			count++
+		}
+		prevStart = start
+	}
+	return count
+}
+
+// FixedWindowSupportDB and MinimalWindowSupportDB sum the per-sequence
+// episode supports over the database. Episode mining takes a single
+// sequence as input; the sum is the natural lifting used when comparing
+// semantics in the Table 1 harness.
+func FixedWindowSupportDB(db *seq.DB, pattern []seq.EventID, w int) int {
+	total := 0
+	for _, s := range db.Seqs {
+		total += FixedWindowSupport(s, pattern, w)
+	}
+	return total
+}
+
+// MinimalWindowSupportDB sums MinimalWindowSupport over all sequences.
+func MinimalWindowSupportDB(db *seq.DB, pattern []seq.EventID) int {
+	total := 0
+	for _, s := range db.Seqs {
+		total += MinimalWindowSupport(s, pattern)
+	}
+	return total
+}
+
+// windowContains reports whether pattern is a subsequence of s[a..b]
+// (1-based, inclusive).
+func windowContains(s seq.Sequence, a, b int, pattern []seq.EventID) bool {
+	j := 0
+	for p := a; p <= b && j < len(pattern); p++ {
+		if s.At(p) == pattern[j] {
+			j++
+		}
+	}
+	return j == len(pattern)
+}
+
+// latestStart returns the largest a such that s[a..b] contains pattern as a
+// subsequence, or 0 when no window ending at b does. Matching the pattern
+// backwards from b greedily yields exactly this a.
+func latestStart(s seq.Sequence, b int, pattern []seq.EventID) int {
+	j := len(pattern) - 1
+	for p := b; p >= 1; p-- {
+		if s.At(p) == pattern[j] {
+			j--
+			if j < 0 {
+				return p
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+// bruteFixedWindows counts width-w windows containing the pattern by
+// direct enumeration — the specification of FixedWindowSupport.
+func bruteFixedWindows(s seq.Sequence, pattern []seq.EventID, w int) int {
+	if w < 1 || len(pattern) == 0 {
+		return 0
+	}
+	count := 0
+	for a := 1; a+w-1 <= len(s); a++ {
+		if windowContains(s, a, a+w-1, pattern) {
+			count++
+		}
+	}
+	return count
+}
+
+// bruteMinimalWindows enumerates every window and keeps those that contain
+// the pattern while neither one-sided shrink does.
+func bruteMinimalWindows(s seq.Sequence, pattern []seq.EventID) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	count := 0
+	for a := 1; a <= len(s); a++ {
+		for b := a; b <= len(s); b++ {
+			if !windowContains(s, a, b, pattern) {
+				continue
+			}
+			left := a+1 > b || !windowContains(s, a+1, b, pattern)
+			right := a > b-1 || !windowContains(s, a, b-1, pattern)
+			if left && right {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func randomSequenceDB(r *rand.Rand, maxLen int) *seq.DB {
+	db := seq.NewDB()
+	names := []string{"A", "B", "C"}
+	n := r.Intn(maxLen)
+	ev := make([]string, n)
+	for j := range ev {
+		ev[j] = names[r.Intn(3)]
+	}
+	db.Add("", ev)
+	return db
+}
+
+func TestPropertyFixedWindowMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSequenceDB(r, 20)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		s := db.Seqs[0]
+		pattern := make([]seq.EventID, 1+r.Intn(3))
+		for i := range pattern {
+			pattern[i] = seq.EventID(r.Intn(db.Dict.Size()))
+		}
+		w := 1 + r.Intn(8)
+		return FixedWindowSupport(s, pattern, w) == bruteFixedWindows(s, pattern, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(37))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMinimalWindowMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSequenceDB(r, 18)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		s := db.Seqs[0]
+		pattern := make([]seq.EventID, 1+r.Intn(3))
+		for i := range pattern {
+			pattern[i] = seq.EventID(r.Intn(db.Dict.Size()))
+		}
+		got := MinimalWindowSupport(s, pattern)
+		want := bruteMinimalWindows(s, pattern)
+		if got != want {
+			t.Logf("seed=%d: got %d want %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGapUnboundedEqualsCountOccurrences: with the gap bound at
+// the sequence length, Zhang counting equals the plain all-occurrence DP.
+func TestPropertyGapUnboundedEqualsCountOccurrences(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSequenceDB(r, 15)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		pattern := make([]seq.EventID, 1+r.Intn(3))
+		for i := range pattern {
+			pattern[i] = seq.EventID(r.Intn(db.Dict.Size()))
+		}
+		n := len(db.Seqs[0])
+		return GapOccurrencesDB(db, pattern, 0, n+1) == CountOccurrences(db, pattern)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyIterativeAtMostMinimalWindows: every QRE occurrence is
+// contained in... actually iterative occurrences and minimal windows are
+// incomparable in general; what always holds is that iterative support is
+// bounded by the number of occurrences of the first event.
+func TestPropertyIterativeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSequenceDB(r, 20)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		s := db.Seqs[0]
+		pattern := make([]seq.EventID, 1+r.Intn(3))
+		for i := range pattern {
+			pattern[i] = seq.EventID(r.Intn(db.Dict.Size()))
+		}
+		firsts := 0
+		for _, e := range s {
+			if e == pattern[0] {
+				firsts++
+			}
+		}
+		return IterativeSupport(s, pattern) <= firsts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(47))}); err != nil {
+		t.Error(err)
+	}
+}

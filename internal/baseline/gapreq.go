@@ -1,0 +1,122 @@
+package baseline
+
+import "repro/internal/seq"
+
+// GapOccurrences is Zhang et al.'s support (Table I, [6]): the number of
+// ALL occurrences (landmarks) of pattern in s whose consecutive gaps each
+// lie within [minGap, maxGap], where the gap between landmark positions
+// p < q is q-p-1 (events strictly between them). Both overlapping and
+// non-overlapping occurrences count. In Example 1.1, AB with gap in [0,3]
+// has 4 occurrences in S1 = AABCDABB.
+//
+// Computed by dynamic programming with sliding-window sums in O(|s|·|P|).
+func GapOccurrences(s seq.Sequence, pattern []seq.EventID, minGap, maxGap int) uint64 {
+	m := len(pattern)
+	if m == 0 || minGap < 0 || maxGap < minGap {
+		return 0
+	}
+	n := len(s)
+	// ways[p] = number of gap-respecting occurrences of pattern[:j] ending
+	// exactly at position p (1-based).
+	ways := make([]uint64, n+1)
+	for p := 1; p <= n; p++ {
+		if s.At(p) == pattern[0] {
+			ways[p] = 1
+		}
+	}
+	next := make([]uint64, n+1)
+	for j := 1; j < m; j++ {
+		// prefix[p] = sum of ways[1..p].
+		prefix := make([]uint64, n+1)
+		for p := 1; p <= n; p++ {
+			prefix[p] = prefix[p-1] + ways[p]
+		}
+		for p := range next {
+			next[p] = 0
+		}
+		for p := 1; p <= n; p++ {
+			if s.At(p) != pattern[j] {
+				continue
+			}
+			// Previous landmark q must satisfy gap = p-q-1 in
+			// [minGap, maxGap], i.e. q in [p-1-maxGap, p-1-minGap].
+			lo := p - 1 - maxGap
+			hi := p - 1 - minGap
+			if hi < 1 {
+				continue
+			}
+			if lo < 1 {
+				lo = 1
+			}
+			next[p] = prefix[hi] - prefix[lo-1]
+		}
+		ways, next = next, ways
+	}
+	var total uint64
+	for p := 1; p <= n; p++ {
+		total += ways[p]
+	}
+	return total
+}
+
+// GapOccurrencesDB sums GapOccurrences over the database's sequences.
+func GapOccurrencesDB(db *seq.DB, pattern []seq.EventID, minGap, maxGap int) uint64 {
+	var total uint64
+	for _, s := range db.Seqs {
+		total += GapOccurrences(s, pattern, minGap, maxGap)
+	}
+	return total
+}
+
+// MaxGapOccurrences returns N_l: the maximum possible number of
+// gap-respecting occurrences of any length-m pattern in a sequence of
+// length n — i.e. the number of position tuples p1 < ... < pm with each
+// consecutive gap in [minGap, maxGap]. Zhang et al. normalize support by
+// this value: support ratio = support / N_l. For n = 8, m = 2,
+// gap in [0, 3], N_l = 7+6+5+4 = 22, giving the paper's ratio 4/22.
+func MaxGapOccurrences(n, m, minGap, maxGap int) uint64 {
+	if m == 0 || n == 0 || minGap < 0 || maxGap < minGap {
+		return 0
+	}
+	ways := make([]uint64, n+1)
+	for p := 1; p <= n; p++ {
+		ways[p] = 1
+	}
+	next := make([]uint64, n+1)
+	for j := 1; j < m; j++ {
+		prefix := make([]uint64, n+1)
+		for p := 1; p <= n; p++ {
+			prefix[p] = prefix[p-1] + ways[p]
+		}
+		for p := range next {
+			next[p] = 0
+		}
+		for p := 1; p <= n; p++ {
+			lo := p - 1 - maxGap
+			hi := p - 1 - minGap
+			if hi < 1 {
+				continue
+			}
+			if lo < 1 {
+				lo = 1
+			}
+			next[p] = prefix[hi] - prefix[lo-1]
+		}
+		ways, next = next, ways
+	}
+	var total uint64
+	for p := 1; p <= n; p++ {
+		total += ways[p]
+	}
+	return total
+}
+
+// GapSupportRatio is Zhang et al.'s normalized support in [0, 1]:
+// occurrences divided by the maximum possible N_l for the sequence length.
+func GapSupportRatio(s seq.Sequence, pattern []seq.EventID, minGap, maxGap int) float64 {
+	nl := MaxGapOccurrences(len(s), len(pattern), minGap, maxGap)
+	if nl == 0 {
+		return 0
+	}
+	return float64(GapOccurrences(s, pattern, minGap, maxGap)) / float64(nl)
+}

@@ -1,0 +1,46 @@
+package baseline
+
+import "repro/internal/seq"
+
+// InteractionSupport is El-Ramly et al.'s interaction-pattern support
+// (Table I, [4]): the number of substrings s[a..b] such that (i) pattern is
+// a subsequence of s[a..b], and (ii) the substring's first and last events
+// match the pattern's first and last events (s[a] = e1, s[b] = em). In
+// Example 1.1, AB has support 9: eight substrings in S1 = AABCDABB and one
+// in S2 = ABCD.
+func InteractionSupport(s seq.Sequence, pattern []seq.EventID) int {
+	m := len(pattern)
+	if m == 0 {
+		return 0
+	}
+	count := 0
+	for a := 1; a <= len(s); a++ {
+		if s.At(a) != pattern[0] {
+			continue
+		}
+		if m == 1 {
+			count++ // substring [a, a] matches a single-event pattern
+			continue
+		}
+		for b := a + 1; b <= len(s); b++ {
+			if s.At(b) != pattern[m-1] {
+				continue
+			}
+			// Endpoints are fixed; the middle e2..e{m-1} must embed in
+			// s[a+1 .. b-1].
+			if windowContains(s, a+1, b-1, pattern[1:m-1]) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// InteractionSupportDB sums InteractionSupport over the database.
+func InteractionSupportDB(db *seq.DB, pattern []seq.EventID) int {
+	total := 0
+	for _, s := range db.Seqs {
+		total += InteractionSupport(s, pattern)
+	}
+	return total
+}

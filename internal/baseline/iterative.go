@@ -1,0 +1,63 @@
+package baseline
+
+import "repro/internal/seq"
+
+// IterativeSupport is Lo et al.'s iterative-pattern support (Table I, [7]):
+// the number of occurrences of pattern captured under MSC/LSC semantics,
+// i.e. substrings obeying the quantified regular expression
+//
+//	e1 G* e2 G* ... G* em
+//
+// where G is the set of all events except {e1, ..., em}. Between two
+// consecutive pattern events only events OUTSIDE the pattern's alphabet may
+// appear. In Example 1.1, AB has support 3: (2,3) and (6,7) in
+// S1 = AABCDABB — the attempt from A at position 1 is blocked by the A at
+// position 2 — plus (1,2) in S2 = ABCD.
+//
+// Each start position yields at most one occurrence (the expression is
+// deterministic once the start is fixed), so occurrences are counted per
+// starting position of e1.
+func IterativeSupport(s seq.Sequence, pattern []seq.EventID) int {
+	m := len(pattern)
+	if m == 0 {
+		return 0
+	}
+	inPattern := make(map[seq.EventID]bool, m)
+	for _, e := range pattern {
+		inPattern[e] = true
+	}
+	count := 0
+	for a := 1; a <= len(s); a++ {
+		if s.At(a) != pattern[0] {
+			continue
+		}
+		j := 1
+		ok := j == m
+	scan:
+		for p := a + 1; p <= len(s) && !ok; p++ {
+			e := s.At(p)
+			switch {
+			case e == pattern[j]:
+				j++
+				ok = j == m
+			case inPattern[e]:
+				// A pattern-alphabet event other than the expected one
+				// violates the QRE; this start fails.
+				break scan
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// IterativeSupportDB sums IterativeSupport over the database.
+func IterativeSupportDB(db *seq.DB, pattern []seq.EventID) int {
+	total := 0
+	for _, s := range db.Seqs {
+		total += IterativeSupport(s, pattern)
+	}
+	return total
+}

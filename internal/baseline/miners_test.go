@@ -1,0 +1,324 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+// bruteSeqFrequent exhaustively enumerates sequential patterns (sequence-
+// count support) up to maxLen with support >= minSup.
+func bruteSeqFrequent(db *seq.DB, minSup, maxLen int) []SeqPattern {
+	events := make(map[seq.EventID]bool)
+	for _, s := range db.Seqs {
+		for _, e := range s {
+			events[e] = true
+		}
+	}
+	var alpha []seq.EventID
+	for e := seq.EventID(0); int(e) < db.Dict.Size(); e++ {
+		if events[e] {
+			alpha = append(alpha, e)
+		}
+	}
+	var out []SeqPattern
+	var pattern []seq.EventID
+	var rec func()
+	rec = func() {
+		for _, e := range alpha {
+			pattern = append(pattern, e)
+			sup := SequenceSupport(db, pattern)
+			if sup >= minSup {
+				out = append(out, SeqPattern{append([]seq.EventID(nil), pattern...), sup})
+				if len(pattern) < maxLen {
+					rec()
+				}
+			}
+			pattern = pattern[:len(pattern)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// bruteSeqClosed filters bruteSeqFrequent to patterns with no single-event
+// extension (at any position) of equal support.
+func bruteSeqClosed(db *seq.DB, minSup, maxLen int) []SeqPattern {
+	var alpha []seq.EventID
+	seen := make(map[seq.EventID]bool)
+	for _, s := range db.Seqs {
+		for _, e := range s {
+			if !seen[e] {
+				seen[e] = true
+				alpha = append(alpha, e)
+			}
+		}
+	}
+	var out []SeqPattern
+	for _, ps := range bruteSeqFrequent(db, minSup, maxLen) {
+		closed := true
+		ext := make([]seq.EventID, len(ps.Events)+1)
+	check:
+		for pos := 0; pos <= len(ps.Events); pos++ {
+			copy(ext[:pos], ps.Events[:pos])
+			copy(ext[pos+1:], ps.Events[pos:])
+			for _, e := range alpha {
+				ext[pos] = e
+				if SequenceSupport(db, ext) == ps.Support {
+					closed = false
+					break check
+				}
+			}
+		}
+		if closed {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+func randomSeqDB(r *rand.Rand) *seq.DB {
+	db := seq.NewDB()
+	alpha := 2 + r.Intn(3)
+	names := []string{"A", "B", "C", "D"}[:alpha]
+	nSeq := 1 + r.Intn(5)
+	for i := 0; i < nSeq; i++ {
+		n := r.Intn(10)
+		ev := make([]string, n)
+		for j := range ev {
+			ev[j] = names[r.Intn(alpha)]
+		}
+		db.Add("", ev)
+	}
+	return db
+}
+
+func sameSeqPatterns(t *testing.T, db *seq.DB, label string, got, want []SeqPattern) bool {
+	t.Helper()
+	gotSet := make(map[string]int)
+	for _, p := range got {
+		gotSet[db.PatternString(p.Events)] = p.Support
+	}
+	wantSet := make(map[string]int)
+	for _, p := range want {
+		wantSet[db.PatternString(p.Events)] = p.Support
+	}
+	if len(gotSet) != len(wantSet) {
+		t.Logf("%s: got %d patterns, want %d", label, len(gotSet), len(wantSet))
+		for s := range gotSet {
+			if _, ok := wantSet[s]; !ok {
+				t.Logf("  extra %s", s)
+			}
+		}
+		for s := range wantSet {
+			if _, ok := gotSet[s]; !ok {
+				t.Logf("  missing %s", s)
+			}
+		}
+		return false
+	}
+	for s, sup := range wantSet {
+		if gotSet[s] != sup {
+			t.Logf("%s: pattern %s support %d, want %d", label, s, gotSet[s], sup)
+			return false
+		}
+	}
+	return true
+}
+
+func TestPrefixSpanSmall(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("S1", "AABCDABB")
+	db.AddChars("S2", "ABCD")
+	res, err := MinePrefixSpan(db, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]int)
+	for _, p := range res.Patterns {
+		got[db.PatternString(p.Events)] = p.Support
+	}
+	// Both sequences contain A, B, C, D, AB, ABC... ABCD? S1 = AABCDABB
+	// contains ABCD (A1 B3 C4 D5). S2 = ABCD does.
+	for _, want := range []string{"A", "B", "C", "D", "AB", "ABCD", "ABC", "BCD", "CD"} {
+		if got[want] != 2 {
+			t.Errorf("sup(%s) = %d, want 2", want, got[want])
+		}
+	}
+	// ABB is only in S1.
+	if _, ok := got["ABB"]; ok {
+		t.Error("ABB has sequence support 1, must not be frequent at minSup=2")
+	}
+	if res.Stats.NodesVisited == 0 || res.Stats.Projections == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestMinersRejectBadMinSup(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "AB")
+	if _, err := MinePrefixSpan(db, 0, 0); err == nil {
+		t.Error("PrefixSpan accepted minSup=0")
+	}
+	if _, err := MineBIDE(db, 0, 0, true); err == nil {
+		t.Error("BIDE accepted minSup=0")
+	}
+	if _, err := MineCloSpanStyle(db, 0, 0); err == nil {
+		t.Error("CloSpanStyle accepted minSup=0")
+	}
+}
+
+func TestPropertyPrefixSpanComplete(t *testing.T) {
+	const maxLen = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSeqDB(r)
+		minSup := 1 + r.Intn(3)
+		res, err := MinePrefixSpan(db, minSup, maxLen)
+		if err != nil {
+			return false
+		}
+		return sameSeqPatterns(t, db, "PrefixSpan", res.Patterns, bruteSeqFrequent(db, minSup, maxLen))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBIDEComplete(t *testing.T) {
+	// No maxLen: BIDE's closure checks look beyond any length cap, so the
+	// comparison is only exact unbounded. Sequences are short, so the
+	// pattern space is bounded by the data.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSeqDB(r)
+		minSup := 1 + r.Intn(3)
+		res, err := MineBIDE(db, minSup, 0, true)
+		if err != nil {
+			return false
+		}
+		return sameSeqPatterns(t, db, "BIDE", res.Patterns, bruteSeqClosed(db, minSup, 12))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBIDENoBackScanSame(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSeqDB(r)
+		minSup := 1 + r.Intn(3)
+		a, err := MineBIDE(db, minSup, 0, true)
+		if err != nil {
+			return false
+		}
+		b, err := MineBIDE(db, minSup, 0, false)
+		if err != nil {
+			return false
+		}
+		return sameSeqPatterns(t, db, "BIDE backscan", a.Patterns, b.Patterns)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCloSpanStyleComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSeqDB(r)
+		minSup := 1 + r.Intn(3)
+		res, err := MineCloSpanStyle(db, minSup, 0)
+		if err != nil {
+			return false
+		}
+		return sameSeqPatterns(t, db, "CloSpanStyle", res.Patterns, bruteSeqClosed(db, minSup, 12))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBIDEGoldSmall(t *testing.T) {
+	// Classic example: two identical sequences; the only closed pattern is
+	// the full sequence.
+	db := seq.NewDB()
+	db.AddChars("", "ABC")
+	db.AddChars("", "ABC")
+	res, err := MineBIDE(db, 2, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 1 || db.PatternString(res.Patterns[0].Events) != "ABC" {
+		t.Fatalf("closed patterns = %v, want just ABC", res.Patterns)
+	}
+	if res.Patterns[0].Support != 2 {
+		t.Errorf("support = %d, want 2", res.Patterns[0].Support)
+	}
+}
+
+func TestBIDEBackScanPrunes(t *testing.T) {
+	// A database where BackScan fires: every B is preceded by an A, so
+	// prefix B is prunable (A occurs in the 1st semi-maximum period of B in
+	// every sequence).
+	db := seq.NewDB()
+	db.AddChars("", "AB")
+	db.AddChars("", "AAB")
+	res, err := MineBIDE(db, 2, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BackScans == 0 {
+		t.Errorf("expected BackScan prunes, stats: %+v", res.Stats)
+	}
+	got := make(map[string]int)
+	for _, p := range res.Patterns {
+		got[db.PatternString(p.Events)] = p.Support
+	}
+	if got["AB"] != 2 {
+		t.Errorf("closed AB support = %d, want 2; got set %v", got["AB"], got)
+	}
+	if _, ok := got["B"]; ok {
+		t.Error("B is not closed (AB has equal support)")
+	}
+}
+
+func TestFirstLastInstance(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "ABCACBDDB")
+	s := db.Seqs[0]
+	p := bpat(t, db, "AB")
+	first := firstInstance(s, p)
+	if first == nil || first[0] != 1 || first[1] != 2 {
+		t.Errorf("firstInstance = %v, want [1 2]", first)
+	}
+	last := lastInstance(s, p)
+	if last == nil || last[0] != 4 || last[1] != 9 {
+		t.Errorf("lastInstance = %v, want [4 9]", last)
+	}
+	if got := firstInstance(s, bpat(t, db, "DDDD")); got != nil {
+		t.Errorf("firstInstance for absent pattern = %v", got)
+	}
+	if got := lastInstance(s, bpat(t, db, "DDDD")); got != nil {
+		t.Errorf("lastInstance for absent pattern = %v", got)
+	}
+}
+
+func TestSortSeqPatterns(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "ABC")
+	a := bpat(t, db, "A")[0]
+	b := bpat(t, db, "B")[0]
+	ps := []SeqPattern{
+		{Events: []seq.EventID{b}, Support: 1},
+		{Events: []seq.EventID{a, b}, Support: 1},
+		{Events: []seq.EventID{a}, Support: 1},
+	}
+	SortSeqPatterns(ps)
+	if db.PatternString(ps[0].Events) != "A" || db.PatternString(ps[1].Events) != "AB" || db.PatternString(ps[2].Events) != "B" {
+		t.Errorf("order: %v %v %v", ps[0].Events, ps[1].Events, ps[2].Events)
+	}
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// SeqPattern is a sequential pattern with its sequence-count support.
+type SeqPattern struct {
+	Events  []seq.EventID
+	Support int
+}
+
+// SeqResult is the output of a sequential-pattern mining run.
+type SeqResult struct {
+	Patterns []SeqPattern
+	Stats    SeqStats
+}
+
+// SeqStats carries run counters for the sequential miners.
+type SeqStats struct {
+	NodesVisited int
+	Projections  int
+	BackScans    int // BIDE only: subtrees pruned by BackScan
+	Duration     time.Duration
+}
+
+// projEntry is one pseudo-projected sequence: the sequence index and the
+// 1-based position after the end of the leftmost match of the current
+// prefix (i.e. the suffix S[pos..] remains).
+type projEntry struct {
+	seqIdx int32
+	pos    int32 // first position of the remaining suffix
+}
+
+// MinePrefixSpan mines all sequential patterns with sequence-count support
+// at least minSup, using PrefixSpan's prefix-projection. maxLen bounds the
+// pattern length (0 = unbounded). Patterns are emitted in DFS preorder over
+// ascending event IDs.
+func MinePrefixSpan(db *seq.DB, minSup, maxLen int) (*SeqResult, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("baseline: minSup must be >= 1, got %d", minSup)
+	}
+	start := time.Now()
+	m := &seqMiner{db: db, minSup: minSup, maxLen: maxLen, res: &SeqResult{}}
+	proj := make([]projEntry, len(db.Seqs))
+	for i := range db.Seqs {
+		proj[i] = projEntry{seqIdx: int32(i), pos: 1}
+	}
+	m.mine(nil, proj)
+	m.res.Stats.Duration = time.Since(start)
+	return m.res, nil
+}
+
+type seqMiner struct {
+	db     *seq.DB
+	minSup int
+	maxLen int
+	res    *SeqResult
+}
+
+// frequentItems returns events occurring in at least minSup of the
+// projected suffixes, with their supports, in ascending event order.
+func (m *seqMiner) frequentItems(proj []projEntry) []SeqPattern {
+	counts := make(map[seq.EventID]int)
+	for _, pe := range proj {
+		s := m.db.Seqs[pe.seqIdx]
+		seen := make(map[seq.EventID]bool)
+		for p := int(pe.pos); p <= len(s); p++ {
+			e := s.At(p)
+			if !seen[e] {
+				seen[e] = true
+				counts[e]++
+			}
+		}
+	}
+	var out []SeqPattern
+	for e, c := range counts {
+		if c >= m.minSup {
+			out = append(out, SeqPattern{Events: []seq.EventID{e}, Support: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Events[0] < out[b].Events[0] })
+	return out
+}
+
+// project advances each projected suffix past the leftmost occurrence of e,
+// dropping sequences that do not contain it.
+func (m *seqMiner) project(proj []projEntry, e seq.EventID) []projEntry {
+	m.res.Stats.Projections++
+	out := make([]projEntry, 0, len(proj))
+	for _, pe := range proj {
+		s := m.db.Seqs[pe.seqIdx]
+		for p := int(pe.pos); p <= len(s); p++ {
+			if s.At(p) == e {
+				out = append(out, projEntry{seqIdx: pe.seqIdx, pos: int32(p + 1)})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (m *seqMiner) mine(prefix []seq.EventID, proj []projEntry) {
+	m.res.Stats.NodesVisited++
+	if len(prefix) > 0 {
+		m.res.Patterns = append(m.res.Patterns, SeqPattern{
+			Events:  append([]seq.EventID(nil), prefix...),
+			Support: len(proj),
+		})
+	}
+	if m.maxLen > 0 && len(prefix) >= m.maxLen {
+		return
+	}
+	for _, item := range m.frequentItems(proj) {
+		e := item.Events[0]
+		sub := m.project(proj, e)
+		prefix = append(prefix, e)
+		m.mine(prefix, sub)
+		prefix = prefix[:len(prefix)-1]
+	}
+}

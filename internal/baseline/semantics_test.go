@@ -1,0 +1,291 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// ex11DB builds Example 1.1's database: S1 = AABCDABB, S2 = ABCD.
+func ex11DB() *seq.DB {
+	db := seq.NewDB()
+	db.AddChars("S1", "AABCDABB")
+	db.AddChars("S2", "ABCD")
+	return db
+}
+
+func bpat(t *testing.T, db *seq.DB, s string) []seq.EventID {
+	t.Helper()
+	names := make([]string, len(s))
+	for i := range s {
+		names[i] = string(s[i])
+	}
+	ids, err := db.EventSeq(names)
+	if err != nil {
+		t.Fatalf("pattern %q: %v", s, err)
+	}
+	return ids
+}
+
+// TestExample11AllSemantics reproduces every support number the paper's
+// related-work section derives on Example 1.1 (the quantitative content of
+// Table I).
+func TestExample11AllSemantics(t *testing.T) {
+	db := ex11DB()
+	s1 := db.Seqs[0]
+	ab := bpat(t, db, "AB")
+	cd := bpat(t, db, "CD")
+
+	// Sequential pattern mining (Agrawal & Srikant): both have support 2.
+	if got := SequenceSupport(db, ab); got != 2 {
+		t.Errorf("sequence support of AB = %d, want 2", got)
+	}
+	if got := SequenceSupport(db, cd); got != 2 {
+		t.Errorf("sequence support of CD = %d, want 2", got)
+	}
+
+	// Episode mining (Mannila et al.), definition (i): w=4 gives AB
+	// support 4 in S1 (windows [1,4], [2,5], [4,7], [5,8]).
+	if got := FixedWindowSupport(s1, ab, 4); got != 4 {
+		t.Errorf("fixed-window support of AB in S1 = %d, want 4", got)
+	}
+	// Definition (ii): 2 minimal windows in S1.
+	if got := MinimalWindowSupport(s1, ab); got != 2 {
+		t.Errorf("minimal-window support of AB in S1 = %d, want 2", got)
+	}
+
+	// Gap requirement (Zhang et al.): gap >= 0 and <= 3 gives support 4 in
+	// S1 and ratio 4/22.
+	if got := GapOccurrences(s1, ab, 0, 3); got != 4 {
+		t.Errorf("gap occurrences of AB in S1 = %d, want 4", got)
+	}
+	if got := MaxGapOccurrences(8, 2, 0, 3); got != 22 {
+		t.Errorf("N_l for len 8 = %d, want 22", got)
+	}
+	if got := GapSupportRatio(s1, ab, 0, 3); got != 4.0/22.0 {
+		t.Errorf("gap support ratio = %v, want %v", got, 4.0/22.0)
+	}
+
+	// Interaction patterns (El-Ramly et al.): AB has support 9 (8
+	// substrings in S1, 1 in S2).
+	if got := InteractionSupport(s1, ab); got != 8 {
+		t.Errorf("interaction support of AB in S1 = %d, want 8", got)
+	}
+	if got := InteractionSupportDB(db, ab); got != 9 {
+		t.Errorf("interaction support of AB = %d, want 9", got)
+	}
+
+	// Iterative patterns (Lo et al.): AB has support 3.
+	if got := IterativeSupportDB(db, ab); got != 3 {
+		t.Errorf("iterative support of AB = %d, want 3", got)
+	}
+	if got := IterativeSupport(s1, ab); got != 2 {
+		t.Errorf("iterative support of AB in S1 = %d, want 2", got)
+	}
+}
+
+// TestIntroLargerExampleSequenceSupport checks the 100-sequence example of
+// the introduction under sequence-count support: both AB and CD get 100.
+func TestIntroLargerExampleSequenceSupport(t *testing.T) {
+	db := seq.NewDB()
+	for i := 0; i < 50; i++ {
+		db.AddChars("", "CABABABABABD")
+	}
+	for i := 0; i < 50; i++ {
+		db.AddChars("", "ABCD")
+	}
+	ab := bpat(t, db, "AB")
+	cd := bpat(t, db, "CD")
+	if got := SequenceSupport(db, ab); got != 100 {
+		t.Errorf("sequence support of AB = %d, want 100", got)
+	}
+	if got := SequenceSupport(db, cd); got != 100 {
+		t.Errorf("sequence support of CD = %d, want 100", got)
+	}
+}
+
+func TestCountOccurrencesMotivation(t *testing.T) {
+	var events string
+	for c := byte('A'); c <= 'Z'; c++ {
+		events += string(c) + string(c)
+	}
+	db := seq.NewDB()
+	db.AddChars("", events)
+	if got := CountOccurrences(db, bpat(t, db, "AB")); got != 4 {
+		t.Errorf("sup_all(AB) = %d, want 4", got)
+	}
+	if got := CountOccurrences(db, bpat(t, db, "ABCDEFGHIJKLMNOPQRSTUVWXYZ")); got != 1<<26 {
+		t.Errorf("sup_all(A..Z) = %d, want 2^26", got)
+	}
+	if got := CountOccurrences(db, nil); got != 0 {
+		t.Errorf("sup_all(empty) = %d, want 0", got)
+	}
+}
+
+func TestContainsSubsequence(t *testing.T) {
+	db := ex11DB()
+	s2 := db.Seqs[1] // ABCD
+	cases := []struct {
+		pattern string
+		want    bool
+	}{
+		{"ABCD", true}, {"AD", true}, {"DA", false}, {"ABB", false}, {"A", true},
+	}
+	for _, c := range cases {
+		if got := ContainsSubsequence(s2, bpat(t, db, c.pattern)); got != c.want {
+			t.Errorf("ContainsSubsequence(ABCD, %s) = %v, want %v", c.pattern, got, c.want)
+		}
+	}
+	if !ContainsSubsequence(s2, nil) {
+		t.Error("empty pattern must be contained")
+	}
+}
+
+func TestFixedWindowEdgeCases(t *testing.T) {
+	db := ex11DB()
+	s1 := db.Seqs[0]
+	ab := bpat(t, db, "AB")
+	if got := FixedWindowSupport(s1, ab, 0); got != 0 {
+		t.Errorf("w=0: %d", got)
+	}
+	if got := FixedWindowSupport(s1, ab, 1); got != 0 {
+		t.Errorf("w < pattern length: %d", got)
+	}
+	// Whole-sequence window: only [1,8] exists and it contains AB.
+	if got := FixedWindowSupport(s1, ab, 8); got != 1 {
+		t.Errorf("w=8: %d, want 1", got)
+	}
+}
+
+func TestFixedWindowWholeSequence(t *testing.T) {
+	db := ex11DB()
+	// S2 = ABCD, w = 4: one window, contains AB.
+	if got := FixedWindowSupport(db.Seqs[1], bpat(t, db, "AB"), 4); got != 1 {
+		t.Errorf("single window support = %d, want 1", got)
+	}
+	// Window shorter than sequence never fits.
+	if got := FixedWindowSupport(db.Seqs[1], bpat(t, db, "AB"), 5); got != 0 {
+		t.Errorf("oversize window = %d, want 0", got)
+	}
+}
+
+func TestMinimalWindows(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "AXXBAB")
+	s := db.Seqs[0]
+	ab := bpat(t, db, "AB")
+	// Windows containing AB minimally: [1,4] (A1..B4)? [5,6] = AB is
+	// minimal; [4?]... A positions 1,5; B positions 4,6.
+	// Candidate minimal windows: [1,4] and [5,6]. [1,4] contains A1,B4 and
+	// no sub-window does (start 2..4 has no A before B4... window [2,4] has
+	// no A). So 2 minimal windows.
+	if got := MinimalWindowSupport(s, ab); got != 2 {
+		t.Errorf("minimal windows = %d, want 2", got)
+	}
+	// Single-event pattern: every occurrence is a minimal window.
+	if got := MinimalWindowSupport(s, bpat(t, db, "A")); got != 2 {
+		t.Errorf("minimal windows of A = %d, want 2", got)
+	}
+	if got := MinimalWindowSupport(s, nil); got != 0 {
+		t.Errorf("minimal windows of empty = %d, want 0", got)
+	}
+}
+
+func TestGapOccurrencesBounds(t *testing.T) {
+	db := ex11DB()
+	s1 := db.Seqs[0] // AABCDABB
+	ab := bpat(t, db, "AB")
+	// With unlimited gap (maxGap = len), all 3*... A at 1,2,6; B at 3,7,8.
+	// Pairs (a,b) a<b: (1,3),(1,7),(1,8),(2,3),(2,7),(2,8),(6,7),(6,8) = 8.
+	if got := GapOccurrences(s1, ab, 0, len(s1)); got != 8 {
+		t.Errorf("unbounded gap occurrences = %d, want 8", got)
+	}
+	// Gap exactly 0 (adjacent): (2,3),(6,7) = 2.
+	if got := GapOccurrences(s1, ab, 0, 0); got != 2 {
+		t.Errorf("adjacent occurrences = %d, want 2", got)
+	}
+	// Invalid ranges.
+	if got := GapOccurrences(s1, ab, -1, 3); got != 0 {
+		t.Errorf("negative minGap accepted: %d", got)
+	}
+	if got := GapOccurrences(s1, ab, 3, 1); got != 0 {
+		t.Errorf("inverted range accepted: %d", got)
+	}
+	if got := GapOccurrences(s1, nil, 0, 3); got != 0 {
+		t.Errorf("empty pattern: %d", got)
+	}
+	// Triple with gaps: ABB with gap in [0,3]: A..B..B combos.
+	abb := bpat(t, db, "ABB")
+	// A1: B3 (gap1), then from B3: B7 gap3 ok, B8 gap4 no -> (1,3,7).
+	// A2: B3 gap0 -> B7 gap3 -> (2,3,7). A2,B3,B8? gap4 no.
+	// A6: B7 gap0 -> B8 gap0 -> (6,7,8). A6,B8? gap1, then no B after.
+	// A1,B7? gap5 no. A2,B7 gap4 no.
+	// Total: (1,3,7),(2,3,7),(6,7,8) = 3.
+	if got := GapOccurrences(s1, abb, 0, 3); got != 3 {
+		t.Errorf("ABB gap occurrences = %d, want 3", got)
+	}
+}
+
+func TestMaxGapOccurrencesDegenerate(t *testing.T) {
+	if got := MaxGapOccurrences(8, 1, 0, 3); got != 8 {
+		t.Errorf("m=1: %d, want 8", got)
+	}
+	if got := MaxGapOccurrences(0, 2, 0, 3); got != 0 {
+		t.Errorf("n=0: %d, want 0", got)
+	}
+	if got := MaxGapOccurrences(8, 0, 0, 3); got != 0 {
+		t.Errorf("m=0: %d, want 0", got)
+	}
+	// Unbounded gaps: C(4,2) = 6 for n=4, m=2.
+	if got := MaxGapOccurrences(4, 2, 0, 4); got != 6 {
+		t.Errorf("C(4,2) = %d, want 6", got)
+	}
+}
+
+func TestInteractionSupportSingleEvent(t *testing.T) {
+	db := ex11DB()
+	if got := InteractionSupport(db.Seqs[0], bpat(t, db, "A")); got != 3 {
+		t.Errorf("interaction support of A in S1 = %d, want 3", got)
+	}
+	if got := InteractionSupport(db.Seqs[0], nil); got != 0 {
+		t.Errorf("empty pattern = %d, want 0", got)
+	}
+	// Three-event pattern with fixed endpoints: ACB in S1? A..C..B:
+	// substrings starting at A (1,2,6) ending at B (3,7,8) containing C
+	// between: (1,7): C4? no C at 4... S1 = A A B C D A B B: C at 4.
+	// (1,7): interior 2..6 contains C4 yes. (1,8): yes. (2,7): yes. (2,8):
+	// yes. (6,7),(6,8): interior empty/7..7 no C. (1,3),(2,3): interior no
+	// C. Total 4.
+	if got := InteractionSupport(db.Seqs[0], bpat(t, db, "ACB")); got != 4 {
+		t.Errorf("interaction support of ACB in S1 = %d, want 4", got)
+	}
+}
+
+func TestIterativeSupportQRESemantics(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "AXBAYB") // X,Y outside pattern alphabet
+	ab := bpat(t, db, "AB")
+	if got := IterativeSupport(db.Seqs[0], ab); got != 2 {
+		t.Errorf("AXBAYB: %d, want 2", got)
+	}
+	db2 := seq.NewDB()
+	db2.AddChars("", "ABA") // pattern ABA: A then B then A, all in alphabet
+	aba := bpat(t, db2, "ABA")
+	if got := IterativeSupport(db2.Seqs[0], aba); got != 1 {
+		t.Errorf("ABA in ABA: %d, want 1", got)
+	}
+	// Start blocked by pattern event: in AAB, the first A is blocked by
+	// the second A, so only one occurrence of AB.
+	db3 := seq.NewDB()
+	db3.AddChars("", "AAB")
+	if got := IterativeSupport(db3.Seqs[0], bpat(t, db3, "AB")); got != 1 {
+		t.Errorf("AAB: %d, want 1", got)
+	}
+	// Single-event pattern: one occurrence per position.
+	if got := IterativeSupport(db3.Seqs[0], bpat(t, db3, "A")); got != 2 {
+		t.Errorf("A in AAB: %d, want 2", got)
+	}
+	if got := IterativeSupport(db3.Seqs[0], nil); got != 0 {
+		t.Errorf("empty pattern: %d", got)
+	}
+}

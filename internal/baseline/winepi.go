@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// MineEpisodes mines all frequent serial episodes from a single sequence
+// under Mannila et al.'s fixed-width-window support (Table I, [2],
+// definition (i)): the support of episode P is the number of width-w
+// windows of s containing P as a subsequence — the WINEPI setting
+// specialized to serial episodes over single events. Window support is
+// anti-monotone (every window containing P∘e contains P), so the miner is
+// a DFS with Apriori pruning, like the paper's own algorithms but with
+// window counting in place of instance growth.
+//
+// Episodes longer than w can never occur, bounding the depth at w.
+func MineEpisodes(s seq.Sequence, w, minSup, maxLen int) (*SeqResult, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("baseline: window width must be >= 1, got %d", w)
+	}
+	if minSup < 1 {
+		return nil, fmt.Errorf("baseline: minSup must be >= 1, got %d", minSup)
+	}
+	start := time.Now()
+	if maxLen == 0 || maxLen > w {
+		maxLen = w
+	}
+	m := &episodeMiner{s: s, w: w, minSup: minSup, maxLen: maxLen, res: &SeqResult{}}
+	m.buildNext()
+	var alphabet []seq.EventID
+	seen := map[seq.EventID]bool{}
+	for _, e := range s {
+		if !seen[e] {
+			seen[e] = true
+			alphabet = append(alphabet, e)
+		}
+	}
+	sort.Slice(alphabet, func(a, b int) bool { return alphabet[a] < alphabet[b] })
+	m.alphabet = alphabet
+	m.mine(nil)
+	m.res.Stats.Duration = time.Since(start)
+	return m.res, nil
+}
+
+type episodeMiner struct {
+	s        seq.Sequence
+	w        int
+	minSup   int
+	maxLen   int
+	alphabet []seq.EventID
+	// next[p][k] = smallest position q >= p with s[q] = alphabet[k], or
+	// n+1 when none. Indexed 1..n+1 on p.
+	next [][]int32
+	slot map[seq.EventID]int
+	res  *SeqResult
+}
+
+// buildNext fills the classic next-occurrence table in O(n·|alphabet|).
+func (m *episodeMiner) buildNext() {
+	n := len(m.s)
+	distinct := map[seq.EventID]int{}
+	for _, e := range m.s {
+		if _, ok := distinct[e]; !ok {
+			distinct[e] = len(distinct)
+		}
+	}
+	m.slot = distinct
+	k := len(distinct)
+	m.next = make([][]int32, n+2)
+	last := make([]int32, k)
+	for j := range last {
+		last[j] = int32(n + 1)
+	}
+	m.next[n+1] = append([]int32(nil), last...)
+	for p := n; p >= 1; p-- {
+		last[distinct[m.s.At(p)]] = int32(p)
+		m.next[p] = append([]int32(nil), last...)
+	}
+}
+
+// support counts width-w windows containing pattern: for each window start
+// t, greedily embed the pattern from t using the next table and test
+// whether the embedding finishes by t+w-1.
+func (m *episodeMiner) support(pattern []seq.EventID) int {
+	n := len(m.s)
+	if len(pattern) > m.w {
+		return 0
+	}
+	count := 0
+	for t := 1; t+m.w-1 <= n; t++ {
+		p := int32(t)
+		ok := true
+		for _, e := range pattern {
+			k, present := m.slot[e]
+			if !present {
+				return 0
+			}
+			q := m.next[p][k]
+			if int(q) > t+m.w-1 {
+				ok = false
+				break
+			}
+			p = q + 1
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+func (m *episodeMiner) mine(prefix []seq.EventID) {
+	m.res.Stats.NodesVisited++
+	if len(prefix) >= m.maxLen {
+		return
+	}
+	for _, e := range m.alphabet {
+		candidate := append(prefix, e)
+		sup := m.support(candidate)
+		if sup >= m.minSup {
+			m.res.Patterns = append(m.res.Patterns, SeqPattern{
+				Events:  append([]seq.EventID(nil), candidate...),
+				Support: sup,
+			})
+			m.mine(candidate)
+		}
+		prefix = candidate[:len(prefix)]
+	}
+}

@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/seq"
+)
+
+func TestMineEpisodesExample11(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "AABCDABB") // S1 of Example 1.1
+	res, err := MineEpisodes(db.Seqs[0], 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, p := range res.Patterns {
+		got[db.PatternString(p.Events)] = p.Support
+	}
+	// The paper: serial episode AB has support 4 in S1 with w=4.
+	if got["AB"] != 4 {
+		t.Errorf("win4 support of AB = %d, want 4", got["AB"])
+	}
+	// Singletons: A occurs in windows... A at 1,2,6: windows [1,4],[2,5]
+	// contain A via 1/2; [3,6],[4,7],[5,8] via 6: all 5 windows.
+	if got["A"] != 5 {
+		t.Errorf("win4 support of A = %d, want 5", got["A"])
+	}
+	// Every mined support must be >= minSup and anti-monotone w.r.t. the
+	// prefix.
+	for _, p := range res.Patterns {
+		if p.Support < 2 {
+			t.Errorf("pattern %v below minSup", p)
+		}
+		if len(p.Events) > 1 {
+			if prefix, ok := got[db.PatternString(p.Events[:len(p.Events)-1])]; ok && prefix < p.Support {
+				t.Errorf("anti-monotonicity violated for %v", p.Events)
+			}
+		}
+	}
+}
+
+func TestMineEpisodesValidation(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "AB")
+	if _, err := MineEpisodes(db.Seqs[0], 0, 1, 0); err == nil {
+		t.Error("w=0 accepted")
+	}
+	if _, err := MineEpisodes(db.Seqs[0], 2, 0, 0); err == nil {
+		t.Error("minSup=0 accepted")
+	}
+}
+
+func TestMineEpisodesDepthBoundedByWindow(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "ABABABAB")
+	res, err := MineEpisodes(db.Seqs[0], 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if len(p.Events) > 3 {
+			t.Errorf("episode %v longer than the window", p.Events)
+		}
+	}
+}
+
+// TestPropertyEpisodeSupportMatchesBrute: the next-table window counting
+// agrees with direct window enumeration.
+func TestPropertyEpisodeSupportMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSequenceDB(r, 25)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		s := db.Seqs[0]
+		w := 1 + r.Intn(8)
+		res, err := MineEpisodes(s, w, 1, 3)
+		if err != nil {
+			return false
+		}
+		for _, p := range res.Patterns {
+			if p.Support != bruteFixedWindows(s, p.Events, w) {
+				t.Logf("seed=%d w=%d pattern=%v: %d != %d",
+					seed, w, p.Events, p.Support, bruteFixedWindows(s, p.Events, w))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(53))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEpisodeComplete: the miner finds exactly the patterns whose
+// brute window support clears the threshold (up to maxLen).
+func TestPropertyEpisodeComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomSequenceDB(r, 15)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		s := db.Seqs[0]
+		w := 2 + r.Intn(4)
+		minSup := 1 + r.Intn(3)
+		const maxLen = 3
+		res, err := MineEpisodes(s, w, minSup, maxLen)
+		if err != nil {
+			return false
+		}
+		got := map[string]int{}
+		for _, p := range res.Patterns {
+			got[db.PatternString(p.Events)] = p.Support
+		}
+		// Exhaustive enumeration.
+		var alpha []seq.EventID
+		for e := 0; e < db.Dict.Size(); e++ {
+			alpha = append(alpha, seq.EventID(e))
+		}
+		want := map[string]int{}
+		var pattern []seq.EventID
+		var rec func()
+		rec = func() {
+			for _, e := range alpha {
+				pattern = append(pattern, e)
+				sup := bruteFixedWindows(s, pattern, w)
+				if sup >= minSup {
+					want[db.PatternString(pattern)] = sup
+					if len(pattern) < maxLen {
+						rec()
+					}
+				}
+				pattern = pattern[:len(pattern)-1]
+			}
+		}
+		rec()
+		if len(got) != len(want) {
+			t.Logf("seed=%d: got %d want %d (got=%v want=%v)", seed, len(got), len(want), got, want)
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(59))}); err != nil {
+		t.Error(err)
+	}
+}

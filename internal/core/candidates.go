@@ -1,0 +1,111 @@
+package core
+
+import "repro/internal/seq"
+
+// candidates returns, in ascending event-ID order, every event e that can
+// extend at least one instance of I: e occurs, in some sequence touched by
+// I, strictly after the earliest last-landmark of I's instances in that
+// sequence. (Within a sequence, I is sorted by last landmark, so the first
+// instance of the run has the earliest one; any event occurring after it
+// can extend at least that instance.)
+//
+// This realizes the remark under Theorem 6: "we can maintain a list of
+// possible events which are much fewer than those in E". The test against
+// the inverted index is one comparison with the final element of the
+// event's position list, so the whole scan costs O(Σ distinct events per
+// touched sequence). The returned slice is freshly allocated (the DFS holds
+// it across recursive calls); the seen-bitmap scratch is shared and reset
+// before returning.
+func (m *miner) candidates(I Set) []seq.EventID {
+	out := make([]seq.EventID, 0, 16)
+	start := 0
+	for start < len(I) {
+		si := I[start].Seq
+		firstLast := I[start].Last
+		end := start
+		for end < len(I) && I[end].Seq == si {
+			end++
+		}
+		for _, e := range m.ix.Events(int(si)) {
+			if m.seen[e] {
+				continue
+			}
+			if m.ix.LastPos(int(si), e) > firstLast {
+				m.seen[e] = true
+				out = append(out, e)
+			}
+		}
+		start = end
+	}
+	for _, e := range out {
+		m.seen[e] = false
+	}
+	sortEventIDs(out)
+	return out
+}
+
+// insertionCandidates returns candidate events e' for the insertion
+// extension P' = e1..eg e' e{g+1}..em (1 <= g <= m-1). A sound filter: e'
+// must be able to extend at least one instance of the prefix support set
+// chain[g-1] — exactly the candidate list the DFS computed when it grew
+// from that prefix, cached on candStack — and, since sup(P') must equal s
+// and P' contains e', the singleton support of e' must be at least s
+// (Apriori). The returned slice is freshly allocated; the cached list is
+// shared with ancestors and must not be modified.
+func (m *miner) insertionCandidates(g, s int) []seq.EventID {
+	cands := m.candStack[g-1]
+	out := make([]seq.EventID, 0, len(cands))
+	for _, e := range cands {
+		if m.ix.SingletonSupport(e) >= s {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// prependCandidates returns candidate events e' for the prepend extension
+// P' = e' P. Every instance of P' lives in a sequence containing P (= the
+// sequences touched by I, since repetitive support decomposes per
+// sequence), and s non-overlapping instances need s distinct occurrences of
+// e' in those sequences, so events with fewer total occurrences there are
+// filtered out.
+func (m *miner) prependCandidates(seqs []int32, s int) []seq.EventID {
+	var out []seq.EventID
+	for _, i := range seqs {
+		for _, e := range m.ix.Events(int(i)) {
+			if m.counts[e] == 0 {
+				out = append(out, e)
+			}
+			m.counts[e] += m.ix.Count(int(i), e)
+		}
+	}
+	filtered := out[:0]
+	for _, e := range out {
+		if m.counts[e] >= s {
+			filtered = append(filtered, e)
+		}
+		m.counts[e] = 0
+	}
+	sortEventIDs(filtered)
+	return filtered
+}
+
+// allFrequentEvents is the ablation-A1 alternative to candidates: ignore I
+// and try every globally frequent event, as in the worst-case factor E of
+// Theorem 6.
+func (m *miner) allFrequentEvents() []seq.EventID { return m.freqEvents }
+
+// sortEventIDs sorts a small slice of event IDs ascending. Insertion sort:
+// candidate lists arrive nearly sorted (per-sequence event lists are
+// sorted, and merging a handful of sequences keeps long ascending runs).
+func sortEventIDs(a []seq.EventID) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// newTestMiner builds a miner positioned at a given pattern with its chain
+// of prefix support sets, the way the DFS would have it.
+func newTestMiner(t *testing.T, db *seq.DB, pattern string) *miner {
+	t.Helper()
+	ix := seq.NewIndex(db)
+	m := &miner{
+		ix:     ix,
+		opt:    Options{MinSupport: 1},
+		seen:   make([]bool, db.Dict.Size()),
+		counts: make([]int, db.Dict.Size()),
+		res:    &Result{},
+	}
+	p := pat(t, db, pattern)
+	for j := range p {
+		m.pattern = append(m.pattern, p[j])
+		if j == 0 {
+			m.chain = append(m.chain, singletonSet(ix, p[0]))
+		} else {
+			m.chain = append(m.chain, insGrow(ix, m.chain[j-1], p[j]))
+		}
+		if j < len(p)-1 {
+			m.candStack = append(m.candStack, m.candidates(m.chain[j]))
+		}
+	}
+	return m
+}
+
+func eventNames(db *seq.DB, ids []seq.EventID) string {
+	out := ""
+	for _, e := range ids {
+		out += db.Dict.Name(e)
+	}
+	return out
+}
+
+func TestCandidatesTable3(t *testing.T) {
+	db := table3DB()
+	m := newTestMiner(t, db, "A")
+	// Support set of A touches both sequences with firstLast = 1 in each;
+	// every event occurs after position 1 somewhere, so all four events
+	// are candidates.
+	got := m.candidates(m.chain[0])
+	if eventNames(db, got) != "ABCD" {
+		t.Errorf("candidates(A) = %s, want ABCD", eventNames(db, got))
+	}
+
+	// For ACB (leftmost set ends at 6, 9, 4): S1 run starts at instance
+	// ending 6, so S1 contributes events occurring after 6 = {B, D}; S2's
+	// run starts at 4, contributing events after 4 = {A, C, D}.
+	m3 := newTestMiner(t, db, "ACB")
+	got3 := m3.candidates(m3.chain[2])
+	if eventNames(db, got3) != "ABCD" {
+		t.Errorf("candidates(ACB) = %s, want ABCD", eventNames(db, got3))
+	}
+
+	// A pattern whose instances end at the very last positions has no
+	// candidates: pattern ACADD ends S2 at 9... build an exhausted case:
+	db2 := seq.NewDB()
+	db2.AddChars("", "AB")
+	m4 := newTestMiner(t, db2, "AB")
+	if got := m4.candidates(m4.chain[1]); len(got) != 0 {
+		t.Errorf("candidates at sequence end = %v, want none", got)
+	}
+}
+
+func TestCandidatesSound(t *testing.T) {
+	// Every event that actually extends some instance must be in the
+	// candidate list (soundness of the filter w.r.t. the DFS).
+	db := table3DB()
+	for _, pattern := range []string{"A", "AC", "AB", "AA", "ACB", "D"} {
+		m := newTestMiner(t, db, pattern)
+		I := m.chain[len(m.chain)-1]
+		cands := map[seq.EventID]bool{}
+		for _, e := range m.candidates(I) {
+			cands[e] = true
+		}
+		for e := seq.EventID(0); int(e) < db.Dict.Size(); e++ {
+			if len(insGrow(m.ix, I, e)) > 0 && !cands[e] {
+				t.Errorf("pattern %s: event %s extends an instance but is not a candidate",
+					pattern, db.Dict.Name(e))
+			}
+		}
+	}
+}
+
+func TestInsertionCandidatesFilter(t *testing.T) {
+	db := table3DB()
+	m := newTestMiner(t, db, "AB") // chain: A, AB; candStack: cands(A)
+	// Insertion at gap 1 (between A and B) with required support s:
+	// candidates must have singleton support >= s.
+	for _, s := range []int{1, 4, 5, 6} {
+		got := m.insertionCandidates(1, s)
+		for _, e := range got {
+			if m.ix.SingletonSupport(e) < s {
+				t.Errorf("s=%d: candidate %s has singleton support %d",
+					s, db.Dict.Name(e), m.ix.SingletonSupport(e))
+			}
+		}
+	}
+	// s=6 exceeds every singleton support (max is 5): no candidates.
+	if got := m.insertionCandidates(1, 6); len(got) != 0 {
+		t.Errorf("s=6 candidates = %v, want none", got)
+	}
+}
+
+func TestPrependCandidatesFilter(t *testing.T) {
+	db := table3DB()
+	m := newTestMiner(t, db, "B")
+	I := m.chain[0]
+	seqs := I.sequences()
+	// s=1: every event occurring in a sequence containing B qualifies.
+	got := m.prependCandidates(seqs, 1)
+	if eventNames(db, got) != "ABCD" {
+		t.Errorf("prependCandidates(s=1) = %s", eventNames(db, got))
+	}
+	// s=5: only events with >= 5 occurrences within those sequences (A and
+	// D, both 5).
+	got = m.prependCandidates(seqs, 5)
+	if eventNames(db, got) != "AD" {
+		t.Errorf("prependCandidates(s=5) = %s, want AD", eventNames(db, got))
+	}
+	// Scratch counters must be reset between calls.
+	got = m.prependCandidates(seqs, 5)
+	if eventNames(db, got) != "AD" {
+		t.Errorf("second call differs: %s", eventNames(db, got))
+	}
+}
+
+// TestDeterministicOutput: two mining runs over the same database produce
+// identical pattern lists, and GSgrow's preorder is the lexicographic
+// order over event IDs.
+func TestDeterministicOutput(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	a, err := Mine(ix, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(ix, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("non-deterministic pattern count: %d vs %d", len(a.Patterns), len(b.Patterns))
+	}
+	for k := range a.Patterns {
+		if db.PatternString(a.Patterns[k].Events) != db.PatternString(b.Patterns[k].Events) {
+			t.Fatalf("non-deterministic order at %d", k)
+		}
+	}
+	for k := 1; k < len(a.Patterns); k++ {
+		if !lessEvents(a.Patterns[k-1].Events, a.Patterns[k].Events) {
+			t.Fatalf("GSgrow emission not in DFS preorder at %d: %s !< %s", k,
+				db.PatternString(a.Patterns[k-1].Events), db.PatternString(a.Patterns[k].Events))
+		}
+	}
+}
+
+// TestUniformSequenceClosure: on S = A^n, the instances of A^k are the
+// shifted windows (i, i+1, ..., i+k-1), pairwise non-overlapping under
+// Definition 2.3 (they differ at every pattern index), so
+// sup(A^k) = n-k+1 — strictly decreasing in k, which makes EVERY A^k
+// closed. A sharp degenerate-case check of both support computation and
+// closure logic.
+func TestUniformSequenceClosure(t *testing.T) {
+	const n = 60
+	db := seq.NewDB()
+	uniform := make([]byte, n)
+	for i := range uniform {
+		uniform[i] = 'A'
+	}
+	db.AddChars("", string(uniform))
+	ix := seq.NewIndex(db)
+
+	res, err := Mine(ix, Options{MinSupport: 1, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedLens := map[int]int{}
+	for _, p := range res.Patterns {
+		closedLens[len(p.Events)] = p.Support
+	}
+	if len(closedLens) != n {
+		t.Errorf("%d closed lengths, want %d (every A^k is closed)", len(closedLens), n)
+	}
+	for k := 1; k <= n; k++ {
+		sup, ok := closedLens[k]
+		if !ok {
+			t.Errorf("A^%d missing from closed result", k)
+			continue
+		}
+		if sup != n-k+1 {
+			t.Errorf("A^%d: support %d, want %d", k, sup, n-k+1)
+		}
+	}
+	// Cross-check the two smallest cases against the flow oracle's logic:
+	// shifted windows really are non-overlapping instances.
+	set := ComputeSupportSet(ix, pat(t, db, "AA"))
+	if len(set) != n-1 || !NonRedundant(set) {
+		t.Errorf("support set of AA: %d instances, non-redundant=%v", len(set), NonRedundant(set))
+	}
+}
+
+// TestAllDistinctSequence: with no repetition anywhere, every pattern has
+// support 1, the only closed pattern is the full sequence, and GSgrow at
+// min_sup=1 faces 2^n - 1 patterns (exercised via a budget).
+func TestAllDistinctSequence(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "ABCDEFGHIJ")
+	ix := seq.NewIndex(db)
+
+	closed, err := Mine(ix, Options{MinSupport: 1, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed.Patterns) != 1 || len(closed.Patterns[0].Events) != 10 {
+		t.Fatalf("closed patterns = %v, want just the full sequence", closed.Patterns)
+	}
+	// 2^10 - 1 = 1023 subsequences in total; a budget of 500 must truncate,
+	// and an unbounded run must find exactly 1023.
+	all, err := Mine(ix, Options{MinSupport: 1, DiscardPatterns: true, MaxPatterns: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all.Stats.Truncated || all.NumPatterns != 500 {
+		t.Errorf("budget run: %d patterns, truncated=%v", all.NumPatterns, all.Stats.Truncated)
+	}
+	unbounded, err := Mine(ix, Options{MinSupport: 1, DiscardPatterns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.NumPatterns != 1023 {
+		t.Errorf("unbounded run found %d patterns, want 1023", unbounded.NumPatterns)
+	}
+	// At min_sup=2 nothing is frequent.
+	none, err := Mine(ix, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.NumPatterns != 0 {
+		t.Errorf("min_sup=2 found %d patterns", none.NumPatterns)
+	}
+}

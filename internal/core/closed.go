@@ -1,0 +1,165 @@
+package core
+
+import "repro/internal/seq"
+
+// growClosed is the CloGSgrow (Algorithm 4) variant of mineFre. For the
+// frequent pattern P on m.pattern with support set I it:
+//
+//  1. runs closure checking (Theorem 4) against insertion and prepend
+//     extensions, re-growing each candidate chain from the prefix support
+//     sets held on the DFS stack, and landmark border checking (Theorem 5)
+//     on every equal-support chain it finds — if some extension has equal
+//     support and its leftmost support set's last landmarks do not shift
+//     right, the entire DFS subtree rooted at P is pruned;
+//  2. otherwise extends P depth-first exactly like GSgrow, observing along
+//     the way whether any append extension preserves the support;
+//  3. emits P only if no extension of equal support was found anywhere.
+func (m *miner) growClosed(I Set) {
+	m.enterNode()
+	m.res.Stats.ClosureChecks++
+	equalFound, prune := m.checkNonAppend(I)
+	if prune {
+		m.res.Stats.LBPrunes++
+		m.res.Stats.NonClosedSkipped++
+		return
+	}
+
+	appendEqual := false
+	var cands []seq.EventID
+	if m.opt.FullAlphabetCandidates {
+		cands = m.allFrequentEvents()
+	} else {
+		cands = m.candidates(I)
+	}
+	m.candStack = append(m.candStack, cands)
+	atCap := m.opt.MaxPatternLength > 0 && len(m.pattern) >= m.opt.MaxPatternLength
+	for _, e := range cands {
+		m.res.Stats.INSgrowCalls++
+		I2 := insGrow(m.ix, I, e)
+		if len(I2) == len(I) {
+			appendEqual = true
+		}
+		if len(I2) < m.opt.MinSupport || atCap {
+			continue
+		}
+		m.pattern = append(m.pattern, e)
+		m.chain = append(m.chain, I2)
+		m.growClosed(I2)
+		m.pattern = m.pattern[:len(m.pattern)-1]
+		m.chain = m.chain[:len(m.chain)-1]
+		if m.stopped {
+			break
+		}
+	}
+	m.candStack = m.candStack[:len(m.candStack)-1]
+	if m.stopped {
+		return
+	}
+	if equalFound || appendEqual {
+		m.res.Stats.NonClosedSkipped++
+		return
+	}
+	m.emit(I)
+}
+
+// checkNonAppend implements the insertion/prepend part of closure checking
+// plus landmark border checking. For the current pattern P = e1..em with
+// leftmost support set I (|I| = s = sup(P)), it examines extensions
+//
+//	g = 0:        P' = e' e1..em          (prepend)
+//	1 <= g < m:   P' = e1..eg e' e{g+1}..em (insertion)
+//
+// For each candidate e', the leftmost support set of P' is obtained by
+// instance growth starting from the prefix support set chain[g-1] (or the
+// singleton set of e' restricted to the sequences containing P, for g = 0)
+// and then appending e' and the suffix events — every step aborting early
+// once the intermediate support can no longer reach s. Since by Apriori
+// sup(P') <= s, any chain that survives proves sup(P') = s and hence that P
+// is non-closed; if additionally the final landmarks of P”s leftmost
+// support set do not shift right of I's (Theorem 5 condition (ii)), the
+// whole subtree can be pruned and checkNonAppend returns prune = true.
+//
+// With LBCheck disabled (ablation A2), the function returns on the first
+// equal-support extension found, as no pruning decision is needed.
+func (m *miner) checkNonAppend(I Set) (equalFound, prune bool) {
+	s := len(I)
+	mlen := len(m.pattern)
+	seqs := I.sequences()
+	// Gaps are visited in descending order: insertion near the end of the
+	// pattern needs the shortest re-grow chain, and — since landmark
+	// border prunes are common — finding a prunable extension early saves
+	// the rest of the scan. The prepend chain (full pattern re-grow) is
+	// the most expensive and goes last.
+	for g := mlen - 1; g >= 0; g-- {
+		var cands []seq.EventID
+		if g == 0 {
+			cands = m.prependCandidates(seqs, s)
+		} else {
+			cands = m.insertionCandidates(g, s)
+		}
+		for _, e := range cands {
+			var cur, next Set
+			if g == 0 {
+				cur = singletonSetIn(m.ix, e, seqs)
+				if len(cur) < s {
+					continue
+				}
+				next = m.scratchB
+			} else {
+				m.res.Stats.ClosureChainGrowths++
+				cur = insGrowAtLeast(m.ix, m.chain[g-1], e, s, m.scratchA)
+				if cur == nil {
+					continue
+				}
+				next = m.scratchB
+			}
+			// Ping-pong the two scratch buffers down the suffix chain: each
+			// step reads cur and writes into next, so source and
+			// destination never alias.
+			ok := true
+			for j := g; j < mlen; j++ {
+				m.res.Stats.ClosureChainGrowths++
+				grown := insGrowAtLeast(m.ix, cur, m.pattern[j], s, next)
+				if grown == nil {
+					ok = false
+					break
+				}
+				next = cur
+				cur = grown
+			}
+			if ok {
+				// cur is the leftmost support set of P' and |cur| >= s; by
+				// Apriori |cur| = sup(P') <= sup(P) = s, hence equality.
+				equalFound = true
+				if m.opt.DisableLBCheck {
+					return true, false
+				}
+				if borderNotShifted(cur, I) {
+					return true, true
+				}
+			}
+			// Keep the (possibly grown) buffers for the next candidate.
+			m.scratchA, m.scratchB = cur[:0], next[:0]
+		}
+	}
+	return equalFound, false
+}
+
+// borderNotShifted checks Theorem 5 condition (ii): with both leftmost
+// support sets sorted in right-shift order, the last landmark of each P'
+// instance must not exceed the last landmark of the corresponding P
+// instance (l'^(k)_{m+1} <= l^(k)_m for every k). Equal supports imply the
+// two sets visit the same sequences with the same multiplicities (support
+// decomposes per sequence); the sequence comparison below is a defensive
+// guard.
+func borderNotShifted(J, I Set) bool {
+	if len(J) != len(I) {
+		return false
+	}
+	for k := range J {
+		if J[k].Seq != I[k].Seq || J[k].Last > I[k].Last {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestBorderNotShifted(t *testing.T) {
+	I := Set{{Seq: 0, First: 1, Last: 4}, {Seq: 1, First: 1, Last: 5}, {Seq: 1, First: 5, Last: 7}}
+	cases := []struct {
+		name string
+		J    Set
+		want bool
+	}{
+		{"equal borders (Example 3.6 AA vs ACA)",
+			Set{{Seq: 0, First: 1, Last: 4}, {Seq: 1, First: 1, Last: 5}, {Seq: 1, First: 5, Last: 7}}, true},
+		{"all earlier",
+			Set{{Seq: 0, First: 1, Last: 3}, {Seq: 1, First: 1, Last: 4}, {Seq: 1, First: 5, Last: 6}}, true},
+		{"one shifted right (Example 3.5 AB vs ACB)",
+			Set{{Seq: 0, First: 1, Last: 6}, {Seq: 1, First: 1, Last: 5}, {Seq: 1, First: 5, Last: 7}}, false},
+		{"size mismatch", Set{{Seq: 0, First: 1, Last: 4}}, false},
+		{"sequence mismatch",
+			Set{{Seq: 0, First: 1, Last: 4}, {Seq: 0, First: 5, Last: 5}, {Seq: 1, First: 5, Last: 7}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := borderNotShifted(c.J, I); got != c.want {
+				t.Errorf("borderNotShifted = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestExample35NotPrunable reproduces Example 3.5/3.6's contrast directly
+// through checkNonAppend: AB has an equal-support extension (ACB) but its
+// borders shift right, so AB is non-closed yet NOT prunable; AA's extension
+// ACA has non-shifting borders, so AA IS prunable.
+func TestExample35NotPrunable(t *testing.T) {
+	db := table3DB()
+
+	mAB := newTestMiner(t, db, "AB")
+	equal, prune := mAB.checkNonAppend(mAB.chain[1])
+	if !equal {
+		t.Error("AB: expected an equal-support extension (ACB)")
+	}
+	if prune {
+		t.Error("AB: must not be prunable (ACB's borders shift right; ABD is closed)")
+	}
+
+	mAA := newTestMiner(t, db, "AA")
+	equal, prune = mAA.checkNonAppend(mAA.chain[1])
+	if !equal || !prune {
+		t.Errorf("AA: equal=%v prune=%v, want both true (ACA does not shift borders)", equal, prune)
+	}
+}
+
+func TestClosedWithCollectInstances(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res, err := Mine(ix, Options{MinSupport: 3, Closed: true, CollectInstances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no closed patterns")
+	}
+	for _, p := range res.Patterns {
+		if len(p.Instances) != p.Support {
+			t.Errorf("%s: %d instances for support %d", db.PatternString(p.Events), len(p.Instances), p.Support)
+		}
+		if err := CheckLeftmost(ix, p.Events, p.Instances); err != nil {
+			t.Errorf("%s: %v", db.PatternString(p.Events), err)
+		}
+	}
+}
+
+func TestClosedTruncation(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res, err := Mine(ix, Options{MinSupport: 2, Closed: true, MaxPatterns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPatterns != 2 || !res.Stats.Truncated {
+		t.Errorf("patterns=%d truncated=%v", res.NumPatterns, res.Stats.Truncated)
+	}
+}
+
+func TestInsGrowEmptyAndMissingEvent(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	if got := insGrow(ix, nil, 0); len(got) != 0 {
+		t.Errorf("insGrow(empty) = %v", got)
+	}
+	// Growing with an event that never occurs drops everything.
+	z := db.Dict.Intern("Z")
+	ia := singletonSet(ix, pat(t, db, "A")[0])
+	// The index was built before Z was interned; Next must answer -1.
+	if got := insGrow(ix, ia, z); len(got) != 0 {
+		t.Errorf("insGrow with absent event = %v", got)
+	}
+}
+
+// TestClosureAcrossSequences: a pattern whose closure witness lives in a
+// different alignment than its own support set. Two sequences where AB's
+// support can be matched by AXB through entirely different instances.
+func TestClosureAcrossSequences(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "AXB")
+	db.AddChars("", "AXB")
+	ix := seq.NewIndex(db)
+	res, err := Mine(ix, Options{MinSupport: 2, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := patternSet(db, res)
+	if len(got) != 1 {
+		t.Fatalf("closed = %v, want just AXB", got)
+	}
+	if got["AXB"] != 2 {
+		t.Errorf("sup(AXB) = %d, want 2", got["AXB"])
+	}
+}
+
+// TestPrunePreservesCompleteness: craft a database where LBCheck fires and
+// verify no closed pattern under the pruned prefix is lost (the pruned
+// subtree's closed patterns must all be discoverable through the extended
+// prefix).
+func TestPrunePreservesCompleteness(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	with, err := Mine(ix, Options{MinSupport: 2, Closed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Mine(ix, Options{MinSupport: 2, Closed: true, DisableLBCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Stats.LBPrunes == 0 {
+		t.Skip("no prunes fired; nothing to compare")
+	}
+	comparePatternLists(t, db, "prune-completeness", with, without)
+	if with.Stats.NodesVisited >= without.Stats.NodesVisited {
+		t.Errorf("pruning did not reduce nodes: %d vs %d",
+			with.Stats.NodesVisited, without.Stats.NodesVisited)
+	}
+}

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+// FuzzSupportAgainstOracle: for fuzzer-shaped databases and patterns, the
+// greedy instance-growth support must equal the max-flow oracle, and the
+// computed support set must be valid and non-redundant.
+func FuzzSupportAgainstOracle(f *testing.F) {
+	f.Add("AABCDABB|ABCD", "AB")
+	f.Add("ABCACBDDB|ACDBACADD", "ACB")
+	f.Add("AAAA", "AA")
+	f.Add("", "A")
+	f.Add("CABACBCC", "BC")
+	f.Fuzz(func(t *testing.T, dbSpec, patternSpec string) {
+		if len(dbSpec) > 64 || len(patternSpec) > 6 || len(patternSpec) == 0 {
+			return
+		}
+		db := seq.NewDB()
+		start := 0
+		for i := 0; i <= len(dbSpec); i++ {
+			if i == len(dbSpec) || dbSpec[i] == '|' {
+				names := make([]string, 0, i-start)
+				for j := start; j < i; j++ {
+					names = append(names, string('A'+dbSpec[j]%4))
+				}
+				db.Add("", names)
+				start = i + 1
+			}
+		}
+		pattern := make([]seq.EventID, 0, len(patternSpec))
+		for j := 0; j < len(patternSpec); j++ {
+			pattern = append(pattern, db.Dict.Intern(string('A'+patternSpec[j]%4)))
+		}
+		ix := seq.NewIndex(db)
+		got := core.SupportOf(ix, pattern)
+		want := verify.Support(db, pattern)
+		if got != want {
+			t.Fatalf("support mismatch: greedy %d, flow %d (db=%q pattern=%q)", got, want, dbSpec, patternSpec)
+		}
+		set := core.ComputeSupportSet(ix, pattern)
+		if len(set) != got {
+			t.Fatalf("support set size %d != support %d", len(set), got)
+		}
+		if !core.NonRedundant(set) {
+			t.Fatal("support set has overlapping instances")
+		}
+		for _, ins := range set {
+			if !core.ValidInstance(db, pattern, ins) {
+				t.Fatalf("invalid instance %v", ins)
+			}
+		}
+	})
+}
+
+// FuzzMineNeverPanics: mining any small fuzzer-shaped database terminates
+// without panics for both algorithms and respects min_sup.
+func FuzzMineNeverPanics(f *testing.F) {
+	f.Add("ABCACBDDB|ACDBACADD", 3)
+	f.Add("AAAA|AAAA", 2)
+	f.Add("", 1)
+	f.Fuzz(func(t *testing.T, dbSpec string, minSup int) {
+		if len(dbSpec) > 48 {
+			return
+		}
+		if minSup < 1 {
+			minSup = 1
+		}
+		if minSup > 10 {
+			minSup %= 10
+			minSup++
+		}
+		db := seq.NewDB()
+		start := 0
+		for i := 0; i <= len(dbSpec); i++ {
+			if i == len(dbSpec) || dbSpec[i] == '|' {
+				names := make([]string, 0, i-start)
+				for j := start; j < i; j++ {
+					names = append(names, string('A'+dbSpec[j]%3))
+				}
+				db.Add("", names)
+				start = i + 1
+			}
+		}
+		ix := seq.NewIndex(db)
+		all, err := core.Mine(ix, core.Options{MinSupport: minSup, MaxPatternLength: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := core.Mine(ix, core.Options{MinSupport: minSup, Closed: true, MaxPatternLength: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(closed.Patterns) > len(all.Patterns) {
+			t.Fatalf("closed %d > all %d", len(closed.Patterns), len(all.Patterns))
+		}
+		for _, p := range all.Patterns {
+			if p.Support < minSup {
+				t.Fatalf("pattern below min_sup: %v", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// miner carries the state of one depth-first mining run. The pattern and
+// the chain of prefix support sets live on an explicit stack so that
+// closure checking can re-grow insertion chains from any prefix without
+// recomputation (the space bound of Theorem 7: O(sup_max · len_max)).
+type miner struct {
+	ix  *seq.Index
+	opt Options
+
+	freqEvents []seq.EventID // events with singleton support >= min_sup
+
+	pattern []seq.EventID // current DFS pattern e1..em
+	chain   []Set         // chain[j] = leftmost support set of pattern[:j+1]
+	// candStack[j] caches candidates(chain[j]) computed when the DFS grew
+	// from depth j+1; closure checking reuses it for insertion candidates
+	// instead of rescanning the index.
+	candStack [][]seq.EventID
+
+	seen   []bool // scratch for candidates()
+	counts []int  // scratch for prependCandidates()
+	// scratchA/scratchB are the ping-pong buffers of closure-check chain
+	// growth (see checkNonAppend); always stored with length 0.
+	scratchA, scratchB Set
+
+	// Parallel-mode coordination (nil/unused in sequential runs): budget
+	// is the shared remaining-pattern count decremented atomically on
+	// emission; stopAll is set when any worker must stop everyone
+	// (callback returned false).
+	budget  *int64
+	stopAll *atomic.Bool
+
+	res     *Result
+	stopped bool
+}
+
+// Mine runs GSgrow (Algorithm 3) or, when opt.Closed is set, CloGSgrow
+// (Algorithm 4) over the indexed database and returns every (closed)
+// pattern with repetitive support at least opt.MinSupport.
+//
+// Patterns are discovered by depth-first pattern growth: all frequent
+// size-1 patterns are seeded with their full occurrence lists as support
+// sets, and each DFS step extends the current support set with one instance
+// growth per candidate event. In closed mode, patterns are emitted in DFS
+// post-order (the closure verdict needs the append extensions, which the
+// DFS computes anyway); in all-patterns mode they are emitted in pre-order.
+func Mine(ix *seq.Index, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	numEvents := ix.DB().Dict.Size()
+	m := &miner{
+		ix:         ix,
+		opt:        opt,
+		freqEvents: ix.FrequentEvents(opt.MinSupport),
+		seen:       make([]bool, numEvents),
+		counts:     make([]int, numEvents),
+		res:        &Result{},
+	}
+	for _, e := range m.freqEvents {
+		I := singletonSet(ix, e)
+		m.pattern = append(m.pattern[:0], e)
+		m.chain = append(m.chain[:0], I)
+		if opt.Closed {
+			m.growClosed(I)
+		} else {
+			m.grow(I)
+		}
+		if m.stopped {
+			break
+		}
+	}
+	m.res.Stats.Duration = time.Since(start)
+	return m.res, nil
+}
+
+// grow is subroutine mineFre of Algorithm 3: the pattern on m.pattern is
+// frequent with support set I; emit it and extend depth-first.
+func (m *miner) grow(I Set) {
+	m.enterNode()
+	m.emit(I)
+	if m.stopped {
+		return
+	}
+	if m.opt.MaxPatternLength > 0 && len(m.pattern) >= m.opt.MaxPatternLength {
+		return
+	}
+	var cands []seq.EventID
+	if m.opt.FullAlphabetCandidates {
+		cands = m.allFrequentEvents()
+	} else {
+		cands = m.candidates(I)
+	}
+	m.candStack = append(m.candStack, cands)
+	for _, e := range cands {
+		m.res.Stats.INSgrowCalls++
+		I2 := insGrow(m.ix, I, e)
+		if len(I2) < m.opt.MinSupport {
+			continue
+		}
+		m.pattern = append(m.pattern, e)
+		m.chain = append(m.chain, I2)
+		m.grow(I2)
+		m.pattern = m.pattern[:len(m.pattern)-1]
+		m.chain = m.chain[:len(m.chain)-1]
+		if m.stopped {
+			break
+		}
+	}
+	m.candStack = m.candStack[:len(m.candStack)-1]
+}
+
+func (m *miner) enterNode() {
+	m.res.Stats.NodesVisited++
+	if d := len(m.pattern); d > m.res.Stats.MaxDepth {
+		m.res.Stats.MaxDepth = d
+	}
+}
+
+// emit records the current pattern as part of the output.
+func (m *miner) emit(I Set) {
+	if m.stopAll != nil && m.stopAll.Load() {
+		m.stopped = true
+		return
+	}
+	if m.budget != nil {
+		if atomic.AddInt64(m.budget, -1) < 0 {
+			m.stopped = true
+			m.res.Stats.Truncated = true
+			return
+		}
+	}
+	p := Pattern{Events: append([]seq.EventID(nil), m.pattern...), Support: len(I)}
+	if m.opt.CollectInstances {
+		p.Instances = ComputeSupportSet(m.ix, p.Events)
+	}
+	m.res.NumPatterns++
+	if !m.opt.DiscardPatterns {
+		m.res.Patterns = append(m.res.Patterns, p)
+	}
+	if m.opt.OnPattern != nil && !m.opt.OnPattern(p) {
+		m.stopped = true
+		m.res.Stats.Truncated = true
+		return
+	}
+	if m.opt.MaxPatterns > 0 && m.res.NumPatterns >= m.opt.MaxPatterns {
+		m.stopped = true
+		m.res.Stats.Truncated = true
+	}
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's primary contribution: computing
+// repetitive support via instance growth (INSgrow/supComp, Algorithms 1-2),
+// mining all frequent repetitive gapped subsequences (GSgrow, Algorithm 3),
+// and mining closed ones with closure checking and landmark border checking
+// (CloGSgrow, Algorithm 4). See Ding, Lo, Han, Khoo: "Efficient Mining of
+// Closed Repetitive Gapped Subsequences from a Sequence Database",
+// ICDE 2009.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/seq"
+)
+
+// Inst is the compressed representation of one pattern instance
+// (i, <l1, ..., ln>): only the sequence index, the first landmark and the
+// last landmark are stored (Section III-D, "Compressed Storage of
+// Instances"). Every operation in GSgrow and CloGSgrow — instance growth,
+// candidate generation, closure checking and landmark border checking —
+// needs only these three numbers. Full landmarks can be reconstructed with
+// ComputeSupportSet when callers ask for them.
+type Inst struct {
+	Seq   int32 // 0-based sequence index
+	First int32 // 1-based position of the first landmark l1
+	Last  int32 // 1-based position of the last landmark ln
+}
+
+// Set is a support set in compressed form, always kept sorted in the
+// right-shift order of Definition 3.1: ascending (Seq, Last).
+type Set []Inst
+
+// Support returns |I|, the number of instances in the set.
+func (I Set) Support() int { return len(I) }
+
+// inRightShiftOrder reports whether the set is sorted by (Seq, Last) with
+// strictly increasing Last within each sequence. Used by tests and
+// debug assertions.
+func (I Set) inRightShiftOrder() bool {
+	for k := 1; k < len(I); k++ {
+		a, b := I[k-1], I[k]
+		if a.Seq > b.Seq {
+			return false
+		}
+		if a.Seq == b.Seq && a.Last >= b.Last {
+			return false
+		}
+	}
+	return true
+}
+
+// sequences returns the distinct 0-based sequence indices touched by I, in
+// ascending order. Because repetitive support decomposes per sequence
+// (Definition 2.3 makes instances in different sequences never overlap),
+// these are exactly the sequences containing at least one instance of the
+// pattern.
+func (I Set) sequences() []int32 {
+	var out []int32
+	for k := 0; k < len(I); k++ {
+		if k == 0 || I[k].Seq != I[k-1].Seq {
+			out = append(out, I[k].Seq)
+		}
+	}
+	return out
+}
+
+// PerSequenceSupport returns, for each touched sequence, the number of
+// instances of the pattern in that sequence. This is the per-sequence
+// repetitive support the paper proposes as classification feature values
+// (Section V).
+func (I Set) PerSequenceSupport() map[int32]int {
+	out := make(map[int32]int)
+	for _, ins := range I {
+		out[ins.Seq]++
+	}
+	return out
+}
+
+// Instance is a full pattern instance (i, <l1, ..., lm>) with its complete
+// landmark, used for reporting support sets to callers and in tests that
+// check the paper's running examples position by position.
+type Instance struct {
+	Seq  int32   // 0-based sequence index
+	Land []int32 // 1-based landmark positions, strictly increasing
+}
+
+// FullSet is a support set with full landmarks, sorted in right-shift order.
+type FullSet []Instance
+
+// Support returns |I|.
+func (I FullSet) Support() int { return len(I) }
+
+// Compress drops the middle landmarks, returning the (i, l1, ln) view.
+func (I FullSet) Compress() Set {
+	out := make(Set, len(I))
+	for k, ins := range I {
+		out[k] = Inst{Seq: ins.Seq, First: ins.Land[0], Last: ins.Land[len(ins.Land)-1]}
+	}
+	return out
+}
+
+// String renders an instance like the paper: "(2, <1,3,6>)" with the
+// sequence index shown 1-based.
+func (ins Instance) String() string {
+	parts := make([]string, len(ins.Land))
+	for i, l := range ins.Land {
+		parts[i] = fmt.Sprintf("%d", l)
+	}
+	return fmt.Sprintf("(%d, <%s>)", ins.Seq+1, strings.Join(parts, ","))
+}
+
+// Overlapping reports whether two instances of the same pattern overlap
+// under Definition 2.3: same sequence AND sharing a position at the same
+// pattern index. Instances of different lengths never belong to the same
+// pattern; Overlapping panics in that case to surface misuse.
+func Overlapping(a, b Instance) bool {
+	if len(a.Land) != len(b.Land) {
+		panic("core: Overlapping called on instances of different pattern lengths")
+	}
+	if a.Seq != b.Seq {
+		return false
+	}
+	for j := range a.Land {
+		if a.Land[j] == b.Land[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// NonRedundant reports whether every pair of instances in I is
+// non-overlapping (Definition 2.4). O(n^2) in the number of instances in
+// the same sequence; intended for validation and tests.
+func NonRedundant(I FullSet) bool {
+	for a := 0; a < len(I); a++ {
+		for b := a + 1; b < len(I); b++ {
+			if I[a].Seq != I[b].Seq {
+				continue
+			}
+			if Overlapping(I[a], I[b]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ValidInstance reports whether ins is an instance of pattern in db: the
+// landmark is strictly increasing, within bounds, and matches the pattern's
+// events (Definition 2.1/2.2).
+func ValidInstance(db *seq.DB, pattern []seq.EventID, ins Instance) bool {
+	if int(ins.Seq) < 0 || int(ins.Seq) >= len(db.Seqs) {
+		return false
+	}
+	if len(ins.Land) != len(pattern) {
+		return false
+	}
+	s := db.Seqs[ins.Seq]
+	prev := int32(0)
+	for j, l := range ins.Land {
+		if l <= prev || int(l) > len(s) {
+			return false
+		}
+		if s.At(int(l)) != pattern[j] {
+			return false
+		}
+		prev = l
+	}
+	return true
+}
+
+// SortRightShift sorts a full support set into right-shift order
+// (ascending sequence, then ascending last landmark). Sets produced by
+// instance growth are already in this order; this helper is for sets
+// assembled by hand in tests or by the brute-force oracle.
+func SortRightShift(I FullSet) {
+	sort.SliceStable(I, func(a, b int) bool {
+		x, y := I[a], I[b]
+		if x.Seq != y.Seq {
+			return x.Seq < y.Seq
+		}
+		return x.Land[len(x.Land)-1] < y.Land[len(y.Land)-1]
+	})
+}

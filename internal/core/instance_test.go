@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// table2DB builds the database of Table II: S1 = ABCABCA, S2 = AABBCCC.
+func table2DB() *seq.DB {
+	db := seq.NewDB()
+	db.AddChars("S1", "ABCABCA")
+	db.AddChars("S2", "AABBCCC")
+	return db
+}
+
+// table3DB builds the running-example database of Table III:
+// S1 = ABCACBDDB, S2 = ACDBACADD.
+func table3DB() *seq.DB {
+	db := seq.NewDB()
+	db.AddChars("S1", "ABCACBDDB")
+	db.AddChars("S2", "ACDBACADD")
+	return db
+}
+
+// pat resolves a single-character pattern string against db's dictionary.
+func pat(t *testing.T, db *seq.DB, s string) []seq.EventID {
+	t.Helper()
+	names := make([]string, len(s))
+	for i := range s {
+		names[i] = string(s[i])
+	}
+	ids, err := db.EventSeq(names)
+	if err != nil {
+		t.Fatalf("pattern %q: %v", s, err)
+	}
+	return ids
+}
+
+// ins builds an Instance from a 1-based sequence number and landmark.
+func ins(seqNum int, land ...int32) Instance {
+	return Instance{Seq: int32(seqNum - 1), Land: land}
+}
+
+func TestOverlappingExample21(t *testing.T) {
+	// Example 2.1 on Table II.
+	cases := []struct {
+		name string
+		a, b Instance
+		want bool
+	}{
+		{"same first event", ins(1, 1, 2), ins(1, 1, 5), true},
+		{"disjoint positions", ins(1, 1, 2), ins(1, 4, 5), false},
+		{"different sequences", ins(1, 1, 2), ins(2, 1, 2), false},
+		{"ABA share third", ins(1, 1, 2, 7), ins(1, 4, 5, 7), true},
+		// (1,<1,2,4>) and (1,<4,5,7>): l3 = l'1 = 4 but at different
+		// pattern indices, so NOT overlapping (Definition 2.3).
+		{"ABA same position different index", ins(1, 1, 2, 4), ins(1, 4, 5, 7), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Overlapping(c.a, c.b); got != c.want {
+				t.Errorf("Overlapping(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+			if got := Overlapping(c.b, c.a); got != c.want {
+				t.Errorf("Overlapping(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+			}
+		})
+	}
+}
+
+func TestOverlappingPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for instances of different lengths")
+		}
+	}()
+	Overlapping(ins(1, 1, 2), ins(1, 1, 2, 3))
+}
+
+func TestNonRedundantExample21(t *testing.T) {
+	// I_AB and I'_AB from Example 2.1 are both non-redundant.
+	iab := FullSet{ins(1, 1, 2), ins(1, 4, 5), ins(2, 1, 3), ins(2, 2, 4)}
+	if !NonRedundant(iab) {
+		t.Error("I_AB should be non-redundant")
+	}
+	iabPrime := FullSet{ins(1, 1, 5), ins(2, 2, 3), ins(2, 1, 4)}
+	if !NonRedundant(iabPrime) {
+		t.Error("I'_AB should be non-redundant")
+	}
+	// Adding (1,<1,2>) to I'_AB creates an overlap with (1,<1,5>).
+	bad := append(FullSet{ins(1, 1, 2)}, iabPrime...)
+	if NonRedundant(bad) {
+		t.Error("set with shared first landmark should be redundant")
+	}
+	// I_ABA = {(1,<1,2,4>), (1,<4,5,7>)} is non-redundant.
+	iaba := FullSet{ins(1, 1, 2, 4), ins(1, 4, 5, 7)}
+	if !NonRedundant(iaba) {
+		t.Error("I_ABA should be non-redundant")
+	}
+}
+
+func TestValidInstance(t *testing.T) {
+	db := table2DB()
+	ab := pat(t, db, "AB")
+	cases := []struct {
+		name    string
+		pattern []seq.EventID
+		ins     Instance
+		want    bool
+	}{
+		{"valid", ab, ins(1, 1, 2), true},
+		{"wrong event", ab, ins(1, 1, 3), false}, // S1[3] = C
+		{"not increasing", ab, ins(1, 2, 2), false},
+		{"out of range", ab, ins(1, 1, 8), false},
+		{"zero position", ab, Instance{Seq: 0, Land: []int32{0, 2}}, false},
+		{"bad sequence", ab, Instance{Seq: 9, Land: []int32{1, 2}}, false},
+		{"length mismatch", ab, ins(1, 1), false},
+		{"valid in S2", ab, ins(2, 2, 3), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := ValidInstance(db, c.pattern, c.ins); got != c.want {
+				t.Errorf("ValidInstance = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestRightShiftOrder(t *testing.T) {
+	good := Set{
+		{Seq: 0, First: 1, Last: 2},
+		{Seq: 0, First: 4, Last: 5},
+		{Seq: 1, First: 1, Last: 3},
+	}
+	if !good.inRightShiftOrder() {
+		t.Error("sorted set not recognized as right-shift ordered")
+	}
+	badSeq := Set{{Seq: 1, First: 1, Last: 2}, {Seq: 0, First: 1, Last: 2}}
+	if badSeq.inRightShiftOrder() {
+		t.Error("descending sequence accepted")
+	}
+	badLast := Set{{Seq: 0, First: 1, Last: 5}, {Seq: 0, First: 2, Last: 5}}
+	if badLast.inRightShiftOrder() {
+		t.Error("equal last landmarks within a sequence accepted")
+	}
+}
+
+func TestSortRightShift(t *testing.T) {
+	set := FullSet{ins(2, 1, 4), ins(1, 4, 6), ins(1, 1, 2)}
+	SortRightShift(set)
+	want := FullSet{ins(1, 1, 2), ins(1, 4, 6), ins(2, 1, 4)}
+	for k := range want {
+		if set[k].Seq != want[k].Seq || set[k].Land[0] != want[k].Land[0] {
+			t.Fatalf("position %d: got %v, want %v", k, set[k], want[k])
+		}
+	}
+}
+
+func TestSetSequencesAndPerSequenceSupport(t *testing.T) {
+	I := Set{
+		{Seq: 0, First: 1, Last: 2},
+		{Seq: 0, First: 4, Last: 6},
+		{Seq: 3, First: 1, Last: 4},
+	}
+	seqs := I.sequences()
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 3 {
+		t.Fatalf("sequences() = %v, want [0 3]", seqs)
+	}
+	per := I.PerSequenceSupport()
+	if per[0] != 2 || per[3] != 1 || len(per) != 2 {
+		t.Fatalf("PerSequenceSupport() = %v", per)
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	got := ins(2, 1, 3, 6).String()
+	if got != "(2, <1,3,6>)" {
+		t.Errorf("String() = %q, want %q", got, "(2, <1,3,6>)")
+	}
+}
+
+func TestCompress(t *testing.T) {
+	full := FullSet{ins(1, 1, 3, 6), ins(2, 5, 6, 7)}
+	c := full.Compress()
+	want := Set{{Seq: 0, First: 1, Last: 6}, {Seq: 1, First: 5, Last: 7}}
+	for k := range want {
+		if c[k] != want[k] {
+			t.Errorf("Compress()[%d] = %+v, want %+v", k, c[k], want[k])
+		}
+	}
+}
+
+func TestSortEventIDs(t *testing.T) {
+	cases := [][]seq.EventID{
+		{},
+		{3},
+		{3, 1, 2},
+		{5, 4, 3, 2, 1},
+		{1, 1, 2, 0, 2},
+	}
+	for _, c := range cases {
+		cp := append([]seq.EventID(nil), c...)
+		sortEventIDs(cp)
+		for i := 1; i < len(cp); i++ {
+			if cp[i-1] > cp[i] {
+				t.Errorf("sortEventIDs(%v) = %v not sorted", c, cp)
+			}
+		}
+	}
+}

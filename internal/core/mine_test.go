@@ -1,0 +1,376 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func mustMine(t *testing.T, ix *seq.Index, opt Options) *Result {
+	t.Helper()
+	res, err := Mine(ix, opt)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	return res
+}
+
+func patternSet(db *seq.DB, res *Result) map[string]int {
+	out := make(map[string]int, len(res.Patterns))
+	for _, p := range res.Patterns {
+		out[db.PatternString(p.Events)] = p.Support
+	}
+	return out
+}
+
+// TestGSgrowTable3 mines the running example with min_sup = 3 and checks
+// the supports the paper quotes along the way (Examples 3.4-3.6).
+func TestGSgrowTable3(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res := mustMine(t, ix, Options{MinSupport: 3})
+	got := patternSet(db, res)
+
+	wantSupports := map[string]int{
+		"A": 5, "B": 4, "C": 4, "D": 5,
+		"AC": 4, "ACB": 3, "ACA": 3, "AB": 3, "ABD": 3,
+		"AA": 3, "AAD": 3, "ACAD": 3,
+	}
+	for p, sup := range wantSupports {
+		if got[p] != sup {
+			t.Errorf("sup(%s) = %d, want %d", p, got[p], sup)
+		}
+	}
+	// AAA is infrequent: |I_AAA| = 1 < 3 (Example 3.4).
+	if _, ok := got["AAA"]; ok {
+		t.Error("AAA must not be frequent at min_sup=3")
+	}
+	if res.NumPatterns != len(res.Patterns) {
+		t.Errorf("NumPatterns = %d, len(Patterns) = %d", res.NumPatterns, len(res.Patterns))
+	}
+	// Every reported support must be >= min_sup and recomputable.
+	for _, p := range res.Patterns {
+		if p.Support < 3 {
+			t.Errorf("pattern %s has support %d < min_sup", db.PatternString(p.Events), p.Support)
+		}
+		if recomputed := SupportOf(ix, p.Events); recomputed != p.Support {
+			t.Errorf("pattern %s: support %d but supComp gives %d", db.PatternString(p.Events), p.Support, recomputed)
+		}
+	}
+}
+
+// TestCloGSgrowTable3 mines closed patterns on the running example and
+// checks the paper's claims: AB, AA, AAD are not closed; ABD is; AA's
+// subtree is pruned by landmark border checking while AB's is not.
+func TestCloGSgrowTable3(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res := mustMine(t, ix, Options{MinSupport: 3, Closed: true})
+	got := patternSet(db, res)
+
+	for _, nonClosed := range []string{"AB", "AA", "AAD", "AC"} {
+		if _, ok := got[nonClosed]; ok {
+			t.Errorf("%s reported closed; the paper shows it is not", nonClosed)
+		}
+	}
+	for _, closed := range []string{"ABD", "ACB", "ACAD"} {
+		if _, ok := got[closed]; !ok {
+			t.Errorf("%s missing from closed result", closed)
+		}
+	}
+	if res.Stats.LBPrunes == 0 {
+		t.Error("expected at least one landmark-border prune (AA) on the running example")
+	}
+}
+
+// TestClosedSubsetOfAll verifies closed(DB) ⊆ all(DB) with equal supports
+// and that every frequent pattern has a closed super-pattern (or is itself
+// closed) with the same support.
+func TestClosedSubsetOfAll(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	all := mustMine(t, ix, Options{MinSupport: 2})
+	closed := mustMine(t, ix, Options{MinSupport: 2, Closed: true})
+	allSet := patternSet(db, all)
+	if len(closed.Patterns) >= len(all.Patterns) {
+		t.Errorf("closed count %d not smaller than all count %d", len(closed.Patterns), len(all.Patterns))
+	}
+	for _, p := range closed.Patterns {
+		s := db.PatternString(p.Events)
+		sup, ok := allSet[s]
+		if !ok {
+			t.Errorf("closed pattern %s not in all-pattern result", s)
+			continue
+		}
+		if sup != p.Support {
+			t.Errorf("pattern %s: closed support %d, all support %d", s, p.Support, sup)
+		}
+	}
+	// Every frequent pattern must be a sub-pattern of some closed pattern
+	// with the same support (Definition 2.6 + Lemma 2).
+	for _, p := range all.Patterns {
+		found := false
+		for _, c := range closed.Patterns {
+			if c.Support == p.Support && isSubsequence(p.Events, c.Events) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("frequent pattern %s (sup %d) has no closed super-pattern of equal support",
+				db.PatternString(p.Events), p.Support)
+		}
+	}
+}
+
+func isSubsequence(a, b []seq.EventID) bool {
+	i := 0
+	for j := 0; i < len(a) && j < len(b); j++ {
+		if a[i] == b[j] {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// TestAblationOutputsIdentical checks that the ablation switches change
+// performance characteristics, never results.
+func TestAblationOutputsIdentical(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	base := mustMine(t, ix, Options{MinSupport: 2})
+	fullAlpha := mustMine(t, ix, Options{MinSupport: 2, FullAlphabetCandidates: true})
+	comparePatternLists(t, db, "FullAlphabetCandidates", base, fullAlpha)
+
+	fullLand, err := MineAllFull(ix, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatalf("MineAllFull: %v", err)
+	}
+	comparePatternLists(t, db, "MineAllFull", base, fullLand)
+
+	closedBase := mustMine(t, ix, Options{MinSupport: 2, Closed: true})
+	closedNoLB := mustMine(t, ix, Options{MinSupport: 2, Closed: true, DisableLBCheck: true})
+	closedBase.SortLex()
+	closedNoLB.SortLex()
+	comparePatternLists(t, db, "DisableLBCheck", closedBase, closedNoLB)
+	if closedNoLB.Stats.NodesVisited < closedBase.Stats.NodesVisited {
+		t.Errorf("LBCheck should not increase nodes visited: with=%d without=%d",
+			closedBase.Stats.NodesVisited, closedNoLB.Stats.NodesVisited)
+	}
+}
+
+func comparePatternLists(t *testing.T, db *seq.DB, label string, a, b *Result) {
+	t.Helper()
+	a.SortLex()
+	b.SortLex()
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("%s: %d patterns vs %d", label, len(a.Patterns), len(b.Patterns))
+	}
+	for k := range a.Patterns {
+		pa, pb := a.Patterns[k], b.Patterns[k]
+		if db.PatternString(pa.Events) != db.PatternString(pb.Events) || pa.Support != pb.Support {
+			t.Fatalf("%s: pattern %d differs: %s/%d vs %s/%d", label, k,
+				db.PatternString(pa.Events), pa.Support, db.PatternString(pb.Events), pb.Support)
+		}
+	}
+}
+
+func TestMineOptionsValidation(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	if _, err := Mine(ix, Options{MinSupport: 0}); err == nil {
+		t.Error("MinSupport=0 accepted")
+	}
+	if _, err := Mine(ix, Options{MinSupport: 1, MaxPatterns: -1}); err == nil {
+		t.Error("negative MaxPatterns accepted")
+	}
+	if _, err := Mine(ix, Options{MinSupport: 1, MaxPatternLength: -2}); err == nil {
+		t.Error("negative MaxPatternLength accepted")
+	}
+	if _, err := MineAllFull(ix, Options{MinSupport: 0}); err == nil {
+		t.Error("MineAllFull accepted MinSupport=0")
+	}
+}
+
+func TestMaxPatternLength(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res := mustMine(t, ix, Options{MinSupport: 2, MaxPatternLength: 2})
+	for _, p := range res.Patterns {
+		if len(p.Events) > 2 {
+			t.Errorf("pattern %s exceeds MaxPatternLength", db.PatternString(p.Events))
+		}
+	}
+	if res.Stats.MaxDepth > 2 {
+		t.Errorf("MaxDepth = %d, want <= 2", res.Stats.MaxDepth)
+	}
+	// Closed mode at the cap: a capped pattern with a longer equal-support
+	// extension must still be suppressed.
+	closedCapped := mustMine(t, ix, Options{MinSupport: 3, Closed: true, MaxPatternLength: 2})
+	got := patternSet(db, closedCapped)
+	if _, ok := got["AB"]; ok {
+		t.Error("AB is non-closed (ACB has equal support) and must be suppressed even at the length cap")
+	}
+}
+
+func TestMaxPatternsTruncation(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res := mustMine(t, ix, Options{MinSupport: 2, MaxPatterns: 3})
+	if res.NumPatterns != 3 {
+		t.Errorf("NumPatterns = %d, want 3", res.NumPatterns)
+	}
+	if !res.Stats.Truncated {
+		t.Error("Truncated flag not set")
+	}
+}
+
+func TestOnPatternStreaming(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	var streamed []string
+	res := mustMine(t, ix, Options{
+		MinSupport:      3,
+		DiscardPatterns: true,
+		OnPattern: func(p Pattern) bool {
+			streamed = append(streamed, db.PatternString(p.Events))
+			return true
+		},
+	})
+	if len(res.Patterns) != 0 {
+		t.Errorf("DiscardPatterns kept %d patterns", len(res.Patterns))
+	}
+	if len(streamed) != res.NumPatterns || len(streamed) == 0 {
+		t.Errorf("streamed %d patterns, NumPatterns=%d", len(streamed), res.NumPatterns)
+	}
+	// Early stop via callback.
+	res2 := mustMine(t, ix, Options{
+		MinSupport: 3,
+		OnPattern:  func(Pattern) bool { return false },
+	})
+	if !res2.Stats.Truncated || res2.NumPatterns != 1 {
+		t.Errorf("callback stop: truncated=%v patterns=%d", res2.Stats.Truncated, res2.NumPatterns)
+	}
+}
+
+func TestCollectInstances(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res := mustMine(t, ix, Options{MinSupport: 3, CollectInstances: true})
+	for _, p := range res.Patterns {
+		if len(p.Instances) != p.Support {
+			t.Errorf("pattern %s: %d instances for support %d",
+				db.PatternString(p.Events), len(p.Instances), p.Support)
+		}
+		if err := CheckLeftmost(ix, p.Events, p.Instances); err != nil {
+			t.Errorf("pattern %s: %v", db.PatternString(p.Events), err)
+		}
+	}
+}
+
+func TestMineEmptyAndDegenerate(t *testing.T) {
+	empty := seq.NewDB()
+	res := mustMine(t, seq.NewIndex(empty), Options{MinSupport: 1})
+	if res.NumPatterns != 0 {
+		t.Errorf("empty database produced %d patterns", res.NumPatterns)
+	}
+
+	single := seq.NewDB()
+	single.AddChars("S1", "A")
+	res = mustMine(t, seq.NewIndex(single), Options{MinSupport: 1})
+	if res.NumPatterns != 1 || res.Patterns[0].Support != 1 {
+		t.Errorf("single-event database: %+v", res.Patterns)
+	}
+
+	// min_sup larger than anything in the database.
+	res = mustMine(t, seq.NewIndex(single), Options{MinSupport: 2})
+	if res.NumPatterns != 0 {
+		t.Errorf("unsatisfiable min_sup produced %d patterns", res.NumPatterns)
+	}
+
+	// Database with an empty sequence.
+	withEmpty := seq.NewDB()
+	withEmpty.AddChars("S1", "")
+	withEmpty.AddChars("S2", "AA")
+	res = mustMine(t, seq.NewIndex(withEmpty), Options{MinSupport: 2})
+	got := patternSet(withEmpty, res)
+	if got["A"] != 2 {
+		t.Errorf("sup(A) = %d, want 2", got["A"])
+	}
+}
+
+// TestRepeatedEventPatterns exercises patterns that repeat the same event,
+// where the same position plays different roles (the paper's ACA note in
+// Example 3.1 step 3').
+func TestRepeatedEventPatterns(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("S1", "AAAA")
+	ix := seq.NewIndex(db)
+	// Under Definition 2.3, (1,2), (2,3), (3,4) are pairwise
+	// NON-overlapping: position 2 is shared by the first two but at
+	// different pattern indices (compare the ABA discussion in Example
+	// 2.1). Under the paper's "stronger version" footnote the answer would
+	// be 2; the adopted definition gives 3.
+	if got := SupportOf(ix, pat(t, db, "AA")); got != 3 {
+		t.Errorf("sup(AA) in AAAA = %d, want 3", got)
+	}
+	// AAA: (1,2,3) and (2,3,4) are non-overlapping.
+	if got := SupportOf(ix, pat(t, db, "AAA")); got != 2 {
+		t.Errorf("sup(AAA) in AAAA = %d, want 2", got)
+	}
+	if got := SupportOf(ix, pat(t, db, "AAAA")); got != 1 {
+		t.Errorf("sup(AAAA) = %d, want 1", got)
+	}
+	if got := SupportOf(ix, pat(t, db, "AAAAA")); got != 0 {
+		t.Errorf("sup(AAAAA) = %d, want 0", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	all := mustMine(t, ix, Options{MinSupport: 3})
+	if all.Stats.NodesVisited != all.NumPatterns {
+		t.Errorf("GSgrow: nodes visited %d != patterns %d", all.Stats.NodesVisited, all.NumPatterns)
+	}
+	if all.Stats.INSgrowCalls == 0 || all.Stats.Duration <= 0 {
+		t.Errorf("stats not populated: %+v", all.Stats)
+	}
+	closed := mustMine(t, ix, Options{MinSupport: 3, Closed: true})
+	if closed.Stats.ClosureChecks == 0 || closed.Stats.NonClosedSkipped == 0 {
+		t.Errorf("closed stats not populated: %+v", closed.Stats)
+	}
+	if closed.NumPatterns+closed.Stats.NonClosedSkipped != closed.Stats.NodesVisited {
+		t.Errorf("closed accounting: emitted %d + skipped %d != visited %d",
+			closed.NumPatterns, closed.Stats.NonClosedSkipped, closed.Stats.NodesVisited)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	res := mustMine(t, ix, Options{MinSupport: 3})
+	res.SortByLengthSupport()
+	for k := 1; k < len(res.Patterns); k++ {
+		a, b := res.Patterns[k-1], res.Patterns[k]
+		if len(a.Events) < len(b.Events) {
+			t.Fatal("SortByLengthSupport: not descending by length")
+		}
+		if len(a.Events) == len(b.Events) && a.Support < b.Support {
+			t.Fatal("SortByLengthSupport: ties not descending by support")
+		}
+	}
+	if got := res.LongestPattern(); len(got.Events) != 4 {
+		t.Errorf("LongestPattern length = %d, want 4 (ACAD)", len(got.Events))
+	}
+	if got := res.MaxSupport(); got != 5 {
+		t.Errorf("MaxSupport = %d, want 5", got)
+	}
+	var empty Result
+	if got := empty.MaxSupport(); got != 0 {
+		t.Errorf("MaxSupport on empty = %d", got)
+	}
+	if got := empty.LongestPattern(); got.Events != nil {
+		t.Errorf("LongestPattern on empty = %v", got)
+	}
+}

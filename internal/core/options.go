@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the repetitive-support threshold min_sup (>= 1).
+	MinSupport int
+
+	// Closed selects CloGSgrow (mine closed frequent patterns) instead of
+	// GSgrow (mine all frequent patterns).
+	Closed bool
+
+	// MaxPatternLength bounds the length of mined patterns; 0 means
+	// unbounded. The paper's algorithms are unbounded; the bound is a
+	// practical guard for exploratory runs.
+	MaxPatternLength int
+
+	// MaxPatterns stops mining after this many patterns have been emitted;
+	// 0 means unbounded. The run is marked Truncated in the stats. This is
+	// how the harness imitates the paper's "cut-off" points where GSgrow
+	// "takes too long to complete".
+	MaxPatterns int
+
+	// CollectInstances attaches the leftmost support set (with full
+	// landmarks) to every emitted pattern. Instances are reconstructed from
+	// the compressed representation at emission time, costing an extra
+	// O(|P| · sup · log L) per emitted pattern.
+	CollectInstances bool
+
+	// DisableLBCheck turns off landmark border checking (Theorem 5) in
+	// CloGSgrow, leaving only closure checking (Theorem 4). Output is
+	// unchanged; only the search-space pruning is lost. Ablation A2.
+	DisableLBCheck bool
+
+	// FullAlphabetCandidates disables the candidate-event lists and tries
+	// every frequent event at every growth step, as in the worst-case bound
+	// of Theorem 6. Output is unchanged. Ablation A1.
+	FullAlphabetCandidates bool
+
+	// OnPattern, when non-nil, streams every emitted pattern. Returning
+	// false stops the mining run (marked Truncated). When OnPattern is set,
+	// patterns are still accumulated in Result.Patterns unless
+	// DiscardPatterns is also set.
+	OnPattern func(Pattern) bool
+
+	// DiscardPatterns suppresses accumulation in Result.Patterns; only
+	// counts and stats are kept. Useful with OnPattern for huge runs and
+	// used by the benchmark harness when only pattern counts matter.
+	DiscardPatterns bool
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.MinSupport < 1 {
+		return fmt.Errorf("core: MinSupport must be >= 1, got %d", o.MinSupport)
+	}
+	if o.MaxPatternLength < 0 {
+		return fmt.Errorf("core: MaxPatternLength must be >= 0, got %d", o.MaxPatternLength)
+	}
+	if o.MaxPatterns < 0 {
+		return fmt.Errorf("core: MaxPatterns must be >= 0, got %d", o.MaxPatterns)
+	}
+	return nil
+}

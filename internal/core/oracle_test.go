@@ -1,0 +1,368 @@
+package core_test
+
+// Property tests pitting the miner against the independent brute-force
+// oracle in internal/verify (max-flow based support, exhaustive pattern
+// enumeration). These live in an external test package to avoid the
+// core <- verify <- core import cycle.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+// randomDB generates a small random database: 1-4 sequences over an
+// alphabet of 2-4 events, each of length 0-12. Small enough for the oracle,
+// rich enough in repetition to exercise the non-overlap machinery.
+func randomDB(r *rand.Rand) *seq.DB {
+	db := seq.NewDB()
+	alpha := 2 + r.Intn(3)
+	names := []string{"A", "B", "C", "D"}[:alpha]
+	nSeq := 1 + r.Intn(4)
+	for i := 0; i < nSeq; i++ {
+		n := r.Intn(13)
+		ev := make([]string, n)
+		for j := range ev {
+			ev[j] = names[r.Intn(alpha)]
+		}
+		db.Add("", ev)
+	}
+	return db
+}
+
+func randomPattern(r *rand.Rand, db *seq.DB, maxLen int) []seq.EventID {
+	n := 1 + r.Intn(maxLen)
+	p := make([]seq.EventID, n)
+	for i := range p {
+		p[i] = seq.EventID(r.Intn(db.Dict.Size()))
+	}
+	return p
+}
+
+func quickCfg(maxCount int) *quick.Config {
+	return &quick.Config{
+		MaxCount: maxCount,
+		Rand:     rand.New(rand.NewSource(20090401)), // ICDE'09 vintage
+	}
+}
+
+// TestPropertySupportMatchesMaxFlow: supComp (greedy leftmost instance
+// growth) equals the max-flow formulation of "maximum number of pairwise
+// non-overlapping instances" on random inputs.
+func TestPropertySupportMatchesMaxFlow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		for trial := 0; trial < 8; trial++ {
+			p := randomPattern(r, db, 5)
+			got := core.SupportOf(ix, p)
+			want := verify.Support(db, p)
+			if got != want {
+				t.Logf("db=%v pattern=%v got=%d want=%d", dump(db), db.PatternString(p), got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySupportSetWellFormed: the computed support set consists of
+// valid, pairwise non-overlapping instances in right-shift order, with
+// cardinality equal to the oracle support.
+func TestPropertySupportSetWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		for trial := 0; trial < 4; trial++ {
+			p := randomPattern(r, db, 4)
+			I := core.ComputeSupportSet(ix, p)
+			for _, instance := range I {
+				if !core.ValidInstance(db, p, instance) {
+					t.Logf("invalid instance %v for %s in %v", instance, db.PatternString(p), dump(db))
+					return false
+				}
+			}
+			if !core.NonRedundant(I) {
+				t.Logf("overlapping instances for %s in %v", db.PatternString(p), dump(db))
+				return false
+			}
+			if len(I) != verify.Support(db, p) {
+				t.Logf("size %d != oracle %d for %s in %v", len(I), verify.Support(db, p), db.PatternString(p), dump(db))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLeftmostDominance: per sequence, the support set returned by
+// supComp dominates (coordinate-wise <=) every other support set — the
+// leftmost property of Definition 3.2 that the correctness of CloGSgrow's
+// border checking rests on.
+func TestPropertyLeftmostDominance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := seq.NewDB()
+		// Keep sequences tiny: AllMaxSets enumerates exhaustively.
+		names := []string{"A", "B", "C"}
+		n := r.Intn(9)
+		ev := make([]string, n)
+		for j := range ev {
+			ev[j] = names[r.Intn(3)]
+		}
+		db.Add("", ev)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		p := randomPattern(r, db, 3)
+		I := core.ComputeSupportSet(ix, p)
+		if err := verify.CheckLeftmostDominance(db, 0, p, I, 2000); err != nil {
+			t.Logf("db=%v pattern=%v: %v", dump(db), db.PatternString(p), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyApriori: support is monotone under super-patterns
+// (Lemma 1) — insert a random event anywhere into P and support must not
+// increase.
+func TestPropertyApriori(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		p := randomPattern(r, db, 4)
+		sup := core.SupportOf(ix, p)
+		pos := r.Intn(len(p) + 1)
+		e := seq.EventID(r.Intn(db.Dict.Size()))
+		super := make([]seq.EventID, 0, len(p)+1)
+		super = append(super, p[:pos]...)
+		super = append(super, e)
+		super = append(super, p[pos:]...)
+		supSuper := core.SupportOf(ix, super)
+		if supSuper > sup {
+			t.Logf("db=%v sup(%s)=%d < sup(%s)=%d", dump(db), db.PatternString(p), sup, db.PatternString(super), supSuper)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(400)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGSgrowComplete: GSgrow finds exactly the frequent patterns
+// the exhaustive oracle finds, with identical supports.
+func TestPropertyGSgrowComplete(t *testing.T) {
+	const maxLen = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		minSup := 1 + r.Intn(3)
+		res, err := core.Mine(ix, core.Options{MinSupport: minSup, MaxPatternLength: maxLen})
+		if err != nil {
+			t.Logf("mine: %v", err)
+			return false
+		}
+		want := verify.Frequent(db, minSup, maxLen)
+		return samePatternLists(t, db, res.Patterns, want)
+	}
+	if err := quick.Check(f, quickCfg(120)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCloGSgrowComplete: CloGSgrow finds exactly the closed
+// frequent patterns per Definition 2.6, as enumerated by the oracle.
+func TestPropertyCloGSgrowComplete(t *testing.T) {
+	const maxLen = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		minSup := 1 + r.Intn(3)
+		res, err := core.Mine(ix, core.Options{MinSupport: minSup, Closed: true, MaxPatternLength: maxLen})
+		if err != nil {
+			t.Logf("mine: %v", err)
+			return false
+		}
+		res.SortLex()
+		want := verify.Closed(db, minSup, maxLen)
+		return samePatternLists(t, db, res.Patterns, want)
+	}
+	if err := quick.Check(f, quickCfg(120)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCloGSgrowNoLBComplete repeats the closed completeness check
+// with landmark border checking disabled, guarding the ablation switch.
+func TestPropertyCloGSgrowNoLBComplete(t *testing.T) {
+	const maxLen = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		minSup := 1 + r.Intn(3)
+		res, err := core.Mine(ix, core.Options{
+			MinSupport: minSup, Closed: true, MaxPatternLength: maxLen, DisableLBCheck: true,
+		})
+		if err != nil {
+			t.Logf("mine: %v", err)
+			return false
+		}
+		res.SortLex()
+		return samePatternLists(t, db, res.Patterns, verify.Closed(db, minSup, maxLen))
+	}
+	if err := quick.Check(f, quickCfg(80)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFullMinerAgrees: the full-landmark ablation miner produces
+// the same result set as the compressed-instance miner.
+func TestPropertyFullMinerAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		minSup := 1 + r.Intn(3)
+		a, err := core.Mine(ix, core.Options{MinSupport: minSup, MaxPatternLength: 4})
+		if err != nil {
+			return false
+		}
+		b, err := core.MineAllFull(ix, core.Options{MinSupport: minSup, MaxPatternLength: 4})
+		if err != nil {
+			return false
+		}
+		a.SortLex()
+		b.SortLex()
+		if len(a.Patterns) != len(b.Patterns) {
+			t.Logf("compressed %d vs full %d patterns on %v", len(a.Patterns), len(b.Patterns), dump(db))
+			return false
+		}
+		for k := range a.Patterns {
+			if db.PatternString(a.Patterns[k].Events) != db.PatternString(b.Patterns[k].Events) ||
+				a.Patterns[k].Support != b.Patterns[k].Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(120)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySupAllDominatesSup: the naive all-occurrence count sup_all of
+// Section II-A is always an upper bound on repetitive support.
+func TestPropertySupAllDominatesSup(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		p := randomPattern(r, db, 4)
+		return uint64(core.SupportOf(ix, p)) <= verify.CountOccurrences(db, p)
+	}
+	if err := quick.Check(f, quickCfg(300)); err != nil {
+		t.Error(err)
+	}
+}
+
+func samePatternLists(t *testing.T, db *seq.DB, got []core.Pattern, want []verify.PatternSupport) bool {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Logf("db=%v: got %d patterns, oracle %d", dump(db), len(got), len(want))
+		logDiff(t, db, got, want)
+		return false
+	}
+	// Both are in DFS preorder over ascending event IDs... the miner's
+	// closed output is post-order, so compare as sorted sets.
+	gotSet := make(map[string]int, len(got))
+	for _, p := range got {
+		gotSet[db.PatternString(p.Events)] = p.Support
+	}
+	for _, w := range want {
+		s := db.PatternString(w.Pattern)
+		sup, ok := gotSet[s]
+		if !ok || sup != w.Support {
+			t.Logf("db=%v: pattern %s: got sup=%d ok=%v, oracle %d", dump(db), s, sup, ok, w.Support)
+			return false
+		}
+	}
+	return true
+}
+
+func logDiff(t *testing.T, db *seq.DB, got []core.Pattern, want []verify.PatternSupport) {
+	t.Helper()
+	gotSet := make(map[string]int)
+	for _, p := range got {
+		gotSet[db.PatternString(p.Events)] = p.Support
+	}
+	wantSet := make(map[string]int)
+	for _, w := range want {
+		wantSet[db.PatternString(w.Pattern)] = w.Support
+	}
+	for s, sup := range gotSet {
+		if _, ok := wantSet[s]; !ok {
+			t.Logf("  extra: %s (sup %d)", s, sup)
+		}
+	}
+	for s, sup := range wantSet {
+		if _, ok := gotSet[s]; !ok {
+			t.Logf("  missing: %s (sup %d)", s, sup)
+		}
+	}
+}
+
+func dump(db *seq.DB) []string {
+	out := make([]string, len(db.Seqs))
+	for i, s := range db.Seqs {
+		ids := make([]seq.EventID, len(s))
+		copy(ids, s)
+		out[i] = db.PatternString(ids)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// MineParallel runs the same mining as Mine but fans the DFS out over the
+// frequent seed events across `workers` goroutines. The inverted index is
+// shared read-only; each worker owns its full DFS state, so no locks are
+// taken on the hot path. Results are merged in ascending seed-event order,
+// making the output deterministic and equal to the sequential run — except
+// under a MaxPatterns budget, where exactly MaxPatterns patterns are
+// produced but which ones depends on scheduling. OnPattern callbacks are
+// serialized with a mutex; a false return stops all workers.
+func MineParallel(ix *seq.Index, opt Options, workers int) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		return Mine(ix, opt)
+	}
+	start := time.Now()
+	seeds := ix.FrequentEvents(opt.MinSupport)
+	results := make([]*Result, len(seeds))
+
+	var budget *int64
+	if opt.MaxPatterns > 0 {
+		b := int64(opt.MaxPatterns)
+		budget = &b
+	}
+	var stop atomic.Bool
+	var cbMu sync.Mutex
+	workerOpt := opt
+	workerOpt.MaxPatterns = 0 // enforced through the shared budget instead
+	if opt.OnPattern != nil {
+		inner := opt.OnPattern
+		workerOpt.OnPattern = func(p Pattern) bool {
+			cbMu.Lock()
+			defer cbMu.Unlock()
+			ok := inner(p)
+			if !ok {
+				stop.Store(true)
+			}
+			return ok
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	numEvents := ix.DB().Dict.Size()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &miner{
+				ix:         ix,
+				opt:        workerOpt,
+				freqEvents: seeds,
+				seen:       make([]bool, numEvents),
+				counts:     make([]int, numEvents),
+				budget:     budget,
+				stopAll:    &stop,
+			}
+			for job := range jobs {
+				if stop.Load() {
+					continue // drain
+				}
+				m.res = &Result{}
+				m.stopped = false
+				e := seeds[job]
+				I := singletonSet(ix, e)
+				m.pattern = append(m.pattern[:0], e)
+				m.chain = append(m.chain[:0], I)
+				m.candStack = m.candStack[:0]
+				if workerOpt.Closed {
+					m.growClosed(I)
+				} else {
+					m.grow(I)
+				}
+				results[job] = m.res
+			}
+		}()
+	}
+	// Feed heavier seeds first (descending singleton support) so the tail
+	// of the run is not dominated by one straggler subtree.
+	for _, job := range sortSeedsByWork(ix, seeds) {
+		jobs <- job
+	}
+	close(jobs)
+	wg.Wait()
+
+	merged := &Result{}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		merged.Patterns = append(merged.Patterns, r.Patterns...)
+		merged.NumPatterns += r.NumPatterns
+		mergeStats(&merged.Stats, &r.Stats)
+	}
+	if opt.MaxPatterns > 0 && merged.NumPatterns >= opt.MaxPatterns {
+		merged.Stats.Truncated = true
+	}
+	// Keep the sequential run's deterministic DFS-preorder output when no
+	// budget interfered (per-seed blocks are already in preorder; seeds
+	// were processed in arbitrary order but results merged in seed order,
+	// so only cross-block order needs no fixing — it is already sorted by
+	// construction of `results`). Under a budget, order is scheduling-
+	// dependent; normalize it for reproducibility.
+	if merged.Stats.Truncated && !opt.DiscardPatterns {
+		merged.SortLex()
+	}
+	merged.Stats.Duration = time.Since(start)
+	return merged, nil
+}
+
+func mergeStats(dst, src *MineStats) {
+	dst.NodesVisited += src.NodesVisited
+	dst.INSgrowCalls += src.INSgrowCalls
+	dst.ClosureChainGrowths += src.ClosureChainGrowths
+	dst.ClosureChecks += src.ClosureChecks
+	dst.LBPrunes += src.LBPrunes
+	dst.NonClosedSkipped += src.NonClosedSkipped
+	if src.MaxDepth > dst.MaxDepth {
+		dst.MaxDepth = src.MaxDepth
+	}
+	dst.Truncated = dst.Truncated || src.Truncated
+}
+
+// sortSeedsByWork orders seed indices by descending singleton support, a
+// cheap proxy for subtree size that improves load balance when seeds vary
+// wildly (exported for the scheduler test).
+func sortSeedsByWork(ix *seq.Index, seeds []seq.EventID) []int {
+	order := make([]int, len(seeds))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ix.SingletonSupport(seeds[order[a]]) > ix.SingletonSupport(seeds[order[b]])
+	})
+	return order
+}

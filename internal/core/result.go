@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// Pattern is one mined frequent pattern.
+type Pattern struct {
+	// Events is the pattern e1 e2 ... em as dictionary IDs.
+	Events []seq.EventID
+	// Support is the repetitive support sup(P).
+	Support int
+	// Instances is the leftmost support set with full landmarks, present
+	// only when Options.CollectInstances is set.
+	Instances FullSet
+}
+
+// Len returns the pattern length m.
+func (p Pattern) Len() int { return len(p.Events) }
+
+// String formats the pattern using the database dictionary held by db.
+func (p Pattern) String(db *seq.DB) string { return db.PatternString(p.Events) }
+
+// MineStats are counters describing a mining run; the ablation benchmarks
+// and several tests assert on them.
+type MineStats struct {
+	// NodesVisited counts DFS nodes entered with support >= min_sup
+	// (frequent patterns considered, whether or not emitted).
+	NodesVisited int
+	// INSgrowCalls counts instance-growth invocations during pattern
+	// growth (not counting closure-check chains).
+	INSgrowCalls int
+	// ClosureChainGrowths counts instance-growth steps spent inside
+	// closure checking (insertion/prepend chains).
+	ClosureChainGrowths int
+	// ClosureChecks counts patterns that underwent closure checking.
+	ClosureChecks int
+	// LBPrunes counts DFS subtrees pruned by landmark border checking.
+	LBPrunes int
+	// NonClosedSkipped counts frequent patterns suppressed from the output
+	// because some extension had equal support.
+	NonClosedSkipped int
+	// MaxDepth is the deepest pattern length reached.
+	MaxDepth int
+	// Truncated records that the run stopped early (MaxPatterns reached or
+	// OnPattern returned false), so the result set may be incomplete.
+	Truncated bool
+	// Duration is the wall-clock mining time.
+	Duration time.Duration
+}
+
+// Result is the output of a mining run.
+type Result struct {
+	Patterns []Pattern
+	// NumPatterns is the number of emitted patterns; it equals
+	// len(Patterns) unless DiscardPatterns was set.
+	NumPatterns int
+	Stats       MineStats
+}
+
+// SortByLengthSupport orders patterns by descending length, then descending
+// support, then lexicographic events — the ranking used by the case study
+// (Section IV-B step 3).
+func (r *Result) SortByLengthSupport() {
+	sort.SliceStable(r.Patterns, func(a, b int) bool {
+		pa, pb := r.Patterns[a], r.Patterns[b]
+		if len(pa.Events) != len(pb.Events) {
+			return len(pa.Events) > len(pb.Events)
+		}
+		if pa.Support != pb.Support {
+			return pa.Support > pb.Support
+		}
+		return lessEvents(pa.Events, pb.Events)
+	})
+}
+
+// SortLex orders patterns lexicographically by events (DFS preorder of the
+// pattern space), which is the canonical order used when comparing two
+// result sets in tests.
+func (r *Result) SortLex() {
+	sort.SliceStable(r.Patterns, func(a, b int) bool {
+		return lessEvents(r.Patterns[a].Events, r.Patterns[b].Events)
+	})
+}
+
+func lessEvents(a, b []seq.EventID) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// MaxSupport returns the largest support among emitted patterns, 0 when
+// none were emitted.
+func (r *Result) MaxSupport() int {
+	m := 0
+	for _, p := range r.Patterns {
+		if p.Support > m {
+			m = p.Support
+		}
+	}
+	return m
+}
+
+// LongestPattern returns the first longest pattern in the result, or a zero
+// Pattern when the result is empty.
+func (r *Result) LongestPattern() Pattern {
+	var best Pattern
+	for _, p := range r.Patterns {
+		if len(p.Events) > len(best.Events) {
+			best = p
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// SupportOf is Algorithm 1 (supComp) returning only the repetitive support
+// value sup(P): it grows the leftmost support set of e1, then of e1e2, and
+// so on, and returns the size of the final set. Time is
+// O(|P| · sup · log L); the empty pattern has support 0 by convention.
+func SupportOf(ix *seq.Index, pattern []seq.EventID) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	I := singletonSet(ix, pattern[0])
+	for j := 1; j < len(pattern); j++ {
+		if len(I) == 0 {
+			return 0
+		}
+		I = insGrow(ix, I, pattern[j])
+	}
+	return len(I)
+}
+
+// ComputeSupportSet is Algorithm 1 (supComp) returning the leftmost support
+// set of pattern with full landmarks, as printed in the paper's Table IV.
+// The result is sorted in right-shift order.
+func ComputeSupportSet(ix *seq.Index, pattern []seq.EventID) FullSet {
+	if len(pattern) == 0 {
+		return nil
+	}
+	I := singletonFullSet(ix, pattern[0])
+	for j := 1; j < len(pattern); j++ {
+		if len(I) == 0 {
+			return FullSet{}
+		}
+		I = insGrowFull(ix, I, pattern[j])
+	}
+	return I
+}
+
+// SupportOfNames resolves a pattern of event names against the database
+// dictionary and returns its repetitive support. Unknown events yield
+// support 0 with no error: a pattern containing an event that never occurs
+// cannot have instances.
+func SupportOfNames(ix *seq.Index, names []string) int {
+	pattern := make([]seq.EventID, len(names))
+	for i, n := range names {
+		id := ix.DB().Dict.Lookup(n)
+		if id == seq.NoEvent {
+			return 0
+		}
+		pattern[i] = id
+	}
+	return SupportOf(ix, pattern)
+}
+
+// CheckLeftmost verifies that I is a plausible leftmost support set of
+// pattern: instances valid, pairwise non-overlapping, sorted in right-shift
+// order, and of maximum cardinality according to supComp. It is a
+// diagnostic used by tests and the verify package; it does not prove
+// coordinate-wise minimality (the brute-force oracle does that on small
+// inputs).
+func CheckLeftmost(ix *seq.Index, pattern []seq.EventID, I FullSet) error {
+	for k, ins := range I {
+		if !ValidInstance(ix.DB(), pattern, ins) {
+			return fmt.Errorf("core: instance %d = %v is not a valid instance of the pattern", k, ins)
+		}
+	}
+	if !NonRedundant(I) {
+		return fmt.Errorf("core: support set contains overlapping instances")
+	}
+	if !I.Compress().inRightShiftOrder() {
+		return fmt.Errorf("core: support set not in right-shift order")
+	}
+	if want := SupportOf(ix, pattern); len(I) != want {
+		return fmt.Errorf("core: support set has %d instances, supComp computes %d", len(I), want)
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func wantSet(t *testing.T, got FullSet, want FullSet) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("support set size = %d, want %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for k := range want {
+		if got[k].Seq != want[k].Seq {
+			t.Fatalf("instance %d: sequence %d, want %d", k, got[k].Seq, want[k].Seq)
+		}
+		if len(got[k].Land) != len(want[k].Land) {
+			t.Fatalf("instance %d: landmark length %d, want %d", k, len(got[k].Land), len(want[k].Land))
+		}
+		for j := range want[k].Land {
+			if got[k].Land[j] != want[k].Land[j] {
+				t.Fatalf("instance %d: got %v, want %v", k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestTableIVInstanceGrowth replays the paper's Table IV step by step:
+// growing A -> AC -> ACB on Table III, with the exact leftmost support sets.
+func TestTableIVInstanceGrowth(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+
+	ia := ComputeSupportSet(ix, pat(t, db, "A"))
+	wantSet(t, ia, FullSet{ins(1, 1), ins(1, 4), ins(2, 1), ins(2, 5), ins(2, 7)})
+	if len(ia) != 5 {
+		t.Errorf("sup(A) = %d, want 5", len(ia))
+	}
+
+	iac := ComputeSupportSet(ix, pat(t, db, "AC"))
+	wantSet(t, iac, FullSet{ins(1, 1, 3), ins(1, 4, 5), ins(2, 1, 2), ins(2, 5, 6)})
+	if len(iac) != 4 {
+		t.Errorf("sup(AC) = %d, want 4", len(iac))
+	}
+
+	iacb := ComputeSupportSet(ix, pat(t, db, "ACB"))
+	wantSet(t, iacb, FullSet{ins(1, 1, 3, 6), ins(1, 4, 5, 9), ins(2, 1, 2, 4)})
+	if len(iacb) != 3 {
+		t.Errorf("sup(ACB) = %d, want 3", len(iacb))
+	}
+}
+
+// TestExample31ACA checks step 3' of Example 3.1: growing AC with A.
+func TestExample31ACA(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	iaca := ComputeSupportSet(ix, pat(t, db, "ACA"))
+	wantSet(t, iaca, FullSet{ins(1, 1, 3, 4), ins(2, 1, 2, 5), ins(2, 5, 6, 7)})
+	if SupportOf(ix, pat(t, db, "ACA")) != 3 {
+		t.Errorf("sup(ACA) != 3")
+	}
+}
+
+// TestExample35ABLeftmost checks the leftmost support set of AB quoted in
+// Example 3.5: {(1,<1,2>), (1,<4,6>), (2,<1,4>)}.
+func TestExample35ABLeftmost(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	iab := ComputeSupportSet(ix, pat(t, db, "AB"))
+	wantSet(t, iab, FullSet{ins(1, 1, 2), ins(1, 4, 6), ins(2, 1, 4)})
+}
+
+// TestExample36Landmarks checks the leftmost support sets of AA, ACA, AAD
+// and the support of ACAD from Example 3.6.
+func TestExample36Landmarks(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	wantSet(t, ComputeSupportSet(ix, pat(t, db, "AA")),
+		FullSet{ins(1, 1, 4), ins(2, 1, 5), ins(2, 5, 7)})
+	wantSet(t, ComputeSupportSet(ix, pat(t, db, "AAD")),
+		FullSet{ins(1, 1, 4, 7), ins(2, 1, 5, 8), ins(2, 5, 7, 9)})
+	if got := SupportOf(ix, pat(t, db, "ACAD")); got != 3 {
+		t.Errorf("sup(ACAD) = %d, want 3", got)
+	}
+	if got := SupportOf(ix, pat(t, db, "ABD")); got != 3 {
+		t.Errorf("sup(ABD) = %d, want 3", got)
+	}
+}
+
+// TestTableIISupports checks the supports discussed in Examples 2.1-2.3.
+func TestTableIISupports(t *testing.T) {
+	db := table2DB()
+	ix := seq.NewIndex(db)
+	cases := []struct {
+		pattern string
+		want    int
+	}{
+		{"AB", 4},  // Example 2.2
+		{"ABA", 2}, // Example 2.2
+		{"ABC", 4}, // Example 2.3
+		{"A", 4},   // S1: 1,4,7; S2: 1,2
+		{"B", 3},   // S1: 2,5; S2: 3,4 -> 4? no: S1 has B at 2,5 and S2 at 3,4
+	}
+	// Fix the singleton counts: S1 = ABCABCA has A at 1,4,7 (3), B at 2,5
+	// (2), C at 3,6 (2); S2 = AABBCCC has A at 1,2 (2), B at 3,4 (2), C at
+	// 5,6,7 (3).
+	cases[3].want = 5
+	cases[4].want = 4
+	for _, c := range cases {
+		if got := SupportOf(ix, pat(t, db, c.pattern)); got != c.want {
+			t.Errorf("sup(%s) = %d, want %d", c.pattern, got, c.want)
+		}
+	}
+	// Example 2.3: support set of ABC.
+	wantSet(t, ComputeSupportSet(ix, pat(t, db, "ABC")),
+		FullSet{ins(1, 1, 2, 3), ins(1, 4, 5, 6), ins(2, 1, 3, 5), ins(2, 2, 4, 6)})
+}
+
+// TestExample11 checks the motivating example: S1 = AABCDABB, S2 = ABCD,
+// sup(AB) = 4 and sup(CD) = 2.
+func TestExample11(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("S1", "AABCDABB")
+	db.AddChars("S2", "ABCD")
+	ix := seq.NewIndex(db)
+	if got := SupportOf(ix, pat(t, db, "AB")); got != 4 {
+		t.Errorf("sup(AB) = %d, want 4", got)
+	}
+	if got := SupportOf(ix, pat(t, db, "CD")); got != 2 {
+		t.Errorf("sup(CD) = %d, want 2", got)
+	}
+}
+
+// TestIntroLargerExample checks the sequential-vs-repetitive example from
+// the introduction: 50 copies of CABABABABABD and 50 copies of ABCD give
+// sup(AB) = 5*50+50 = 300 and sup(CD) = 100.
+func TestIntroLargerExample(t *testing.T) {
+	db := seq.NewDB()
+	for i := 0; i < 50; i++ {
+		db.AddChars("", "CABABABABABD")
+	}
+	for i := 0; i < 50; i++ {
+		db.AddChars("", "ABCD")
+	}
+	ix := seq.NewIndex(db)
+	if got := SupportOf(ix, pat(t, db, "AB")); got != 300 {
+		t.Errorf("sup(AB) = %d, want 300", got)
+	}
+	if got := SupportOf(ix, pat(t, db, "CD")); got != 100 {
+		t.Errorf("sup(CD) = %d, want 100", got)
+	}
+}
+
+// TestSectionIIOverlapMotivation checks the AABBCC...ZZ example of Section
+// II-A: repetitive support avoids the exponential over-count of sup_all.
+func TestSectionIIOverlapMotivation(t *testing.T) {
+	var events string
+	for c := byte('A'); c <= 'Z'; c++ {
+		events += string(c) + string(c)
+	}
+	db := seq.NewDB()
+	db.AddChars("S1", events)
+	ix := seq.NewIndex(db)
+	if got := SupportOf(ix, pat(t, db, "AB")); got != 2 {
+		t.Errorf("sup(AB) = %d, want 2", got)
+	}
+	alphabet := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if got := SupportOf(ix, pat(t, db, alphabet)); got != 2 {
+		t.Errorf("sup(A..Z) = %d, want 2", got)
+	}
+}
+
+func TestSupportOfEdgeCases(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	if got := SupportOf(ix, nil); got != 0 {
+		t.Errorf("empty pattern support = %d, want 0", got)
+	}
+	if got := len(ComputeSupportSet(ix, nil)); got != 0 {
+		t.Errorf("empty pattern support set size = %d, want 0", got)
+	}
+	// A pattern that dies midway: ADB has no instance in S1... check:
+	// S1=ABCACBDDB: A1 D7 B9 exists. Use a pattern with no instances: DDDD.
+	if got := SupportOf(ix, pat(t, db, "DDDD")); got != 0 {
+		t.Errorf("sup(DDDD) = %d, want 0", got)
+	}
+	if got := len(ComputeSupportSet(ix, pat(t, db, "DDDD"))); got != 0 {
+		t.Errorf("support set of DDDD should be empty, got %d", got)
+	}
+}
+
+func TestSupportOfNames(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	if got := SupportOfNames(ix, []string{"A", "C", "B"}); got != 3 {
+		t.Errorf("SupportOfNames(ACB) = %d, want 3", got)
+	}
+	if got := SupportOfNames(ix, []string{"A", "unknown"}); got != 0 {
+		t.Errorf("SupportOfNames with unknown event = %d, want 0", got)
+	}
+}
+
+func TestCheckLeftmost(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	p := pat(t, db, "ACB")
+	I := ComputeSupportSet(ix, p)
+	if err := CheckLeftmost(ix, p, I); err != nil {
+		t.Errorf("leftmost support set rejected: %v", err)
+	}
+	// A valid but non-maximum set must be rejected.
+	if err := CheckLeftmost(ix, p, I[:2]); err == nil {
+		t.Error("undersized set accepted")
+	}
+	// An invalid instance must be rejected.
+	bad := append(FullSet{}, I...)
+	bad[0] = ins(1, 1, 3, 7) // S1[7] = D, not B
+	if err := CheckLeftmost(ix, p, bad); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+// TestInsGrowBreakSemantics checks that instance growth stops scanning a
+// sequence at the first non-extensible instance: in Table IV, (2,<7>) is
+// not extended to AC even though... (2,<7>) has no C after position 7, and
+// the break also correctly leaves no further instances.
+func TestInsGrowBreakSemantics(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	ia := singletonSet(ix, pat(t, db, "A")[0])
+	if len(ia) != 5 {
+		t.Fatalf("|I_A| = %d, want 5", len(ia))
+	}
+	iac := insGrow(ix, ia, pat(t, db, "C")[0])
+	if len(iac) != 4 {
+		t.Fatalf("|I_AC| = %d, want 4", len(iac))
+	}
+	if !iac.inRightShiftOrder() {
+		t.Error("I_AC not in right-shift order")
+	}
+	// Example 3.3: next(S1, B, max{6,5}) = 9 when extending (1,<4,5>).
+	if got := ix.Next(0, pat(t, db, "B")[0], 6); got != 9 {
+		t.Errorf("next(S1, B, 6) = %d, want 9", got)
+	}
+}
+
+func TestInsGrowAtLeast(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	a, c := pat(t, db, "A")[0], pat(t, db, "C")[0]
+	ia := singletonSet(ix, a)
+	// sup(AC) = 4, so need=5 must abort and need=4 must succeed.
+	if got := insGrowAtLeast(ix, ia, c, 5, nil); got != nil {
+		t.Errorf("insGrowAtLeast(need=5) = %v, want nil", got)
+	}
+	got := insGrowAtLeast(ix, ia, c, 4, nil)
+	if got == nil || len(got) != 4 {
+		t.Errorf("insGrowAtLeast(need=4) = %v, want 4 instances", got)
+	}
+	// need greater than |I| aborts immediately.
+	if got := insGrowAtLeast(ix, ia, c, 6, nil); got != nil {
+		t.Errorf("insGrowAtLeast(need=6) = %v, want nil", got)
+	}
+	// A provided buffer is reused when large enough.
+	buf := make(Set, 0, 16)
+	got2 := insGrowAtLeast(ix, ia, c, 4, buf)
+	if len(got2) != 4 || cap(got2) != 16 {
+		t.Errorf("buffer not reused: len=%d cap=%d", len(got2), cap(got2))
+	}
+}
+
+func TestSingletonSetIn(t *testing.T) {
+	db := table3DB()
+	ix := seq.NewIndex(db)
+	a := pat(t, db, "A")[0]
+	all := singletonSet(ix, a)
+	if len(all) != 5 {
+		t.Fatalf("|singletonSet(A)| = %d, want 5", len(all))
+	}
+	only2 := singletonSetIn(ix, a, []int32{1})
+	if len(only2) != 3 {
+		t.Fatalf("restricted singleton set = %v, want 3 instances in S2", only2)
+	}
+	for _, i := range only2 {
+		if i.Seq != 1 {
+			t.Errorf("instance %v outside requested sequence", i)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// MineTopK returns the k highest-support (closed) patterns without a
+// support threshold, by best-first search over the pattern-growth tree:
+// since support never increases along a growth edge (Apriori), popping
+// nodes in descending support order emits patterns in non-increasing
+// support order, so the first k (closed) pops are a valid top-k set. Ties
+// are broken lexicographically for determinism. maxLen (0 = unbounded)
+// bounds pattern length.
+//
+// Intended for exploratory use: without a threshold, the frontier can grow
+// large on dense data; the k-th emitted support effectively becomes the
+// threshold, so small k on heavy-tailed data is cheap.
+func MineTopK(ix *seq.Index, k int, closed bool, maxLen int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	start := time.Now()
+	numEvents := ix.DB().Dict.Size()
+	m := &miner{
+		ix:     ix,
+		opt:    Options{MinSupport: 1, Closed: closed},
+		seen:   make([]bool, numEvents),
+		counts: make([]int, numEvents),
+		res:    &Result{},
+	}
+	pq := &nodeHeap{}
+	for _, e := range ix.FrequentEvents(1) {
+		I := singletonSet(ix, e)
+		heap.Push(pq, &searchNode{pattern: []seq.EventID{e}, set: I})
+	}
+	for pq.Len() > 0 && m.res.NumPatterns < k {
+		n := heap.Pop(pq).(*searchNode)
+		m.enterNode()
+		emit := true
+		if closed {
+			emit = m.isClosedStandalone(n.pattern, n.set)
+			if !emit {
+				m.res.Stats.NonClosedSkipped++
+			}
+		}
+		if emit {
+			p := Pattern{Events: n.pattern, Support: len(n.set)}
+			m.res.NumPatterns++
+			m.res.Patterns = append(m.res.Patterns, p)
+		}
+		if maxLen > 0 && len(n.pattern) >= maxLen {
+			continue
+		}
+		// Expand regardless of closedness: closed descendants can hide
+		// under non-closed nodes (Example 3.5).
+		m.pattern = append(m.pattern[:0], n.pattern...)
+		for _, e := range m.candidates(n.set) {
+			m.res.Stats.INSgrowCalls++
+			I2 := insGrow(ix, n.set, e)
+			if len(I2) == 0 {
+				continue
+			}
+			child := make([]seq.EventID, len(n.pattern)+1)
+			copy(child, n.pattern)
+			child[len(n.pattern)] = e
+			heap.Push(pq, &searchNode{pattern: child, set: I2})
+		}
+	}
+	m.res.Stats.Duration = time.Since(start)
+	return m.res, nil
+}
+
+// isClosedStandalone runs the full closure check (Theorem 4) for a pattern
+// outside the DFS, by rebuilding the prefix support-set chain and the
+// candidate stack that growClosed would have on its stack.
+func (m *miner) isClosedStandalone(pattern []seq.EventID, I Set) bool {
+	m.pattern = append(m.pattern[:0], pattern...)
+	m.chain = m.chain[:0]
+	m.candStack = m.candStack[:0]
+	cur := singletonSet(m.ix, pattern[0])
+	m.chain = append(m.chain, cur)
+	for j := 1; j < len(pattern); j++ {
+		m.candStack = append(m.candStack, m.candidates(cur))
+		cur = insGrow(m.ix, cur, pattern[j])
+		m.chain = append(m.chain, cur)
+	}
+	m.res.Stats.ClosureChecks++
+	equal, _ := m.checkNonAppend(I)
+	if equal {
+		return false
+	}
+	// Append extensions.
+	for _, e := range m.candidates(I) {
+		m.res.Stats.INSgrowCalls++
+		if len(insGrow(m.ix, I, e)) == len(I) {
+			return false
+		}
+	}
+	return true
+}
+
+// searchNode is a frontier entry of the best-first search.
+type searchNode struct {
+	pattern []seq.EventID
+	set     Set
+}
+
+// nodeHeap orders nodes by descending support, ties broken by ascending
+// lexicographic pattern (deterministic pop order).
+type nodeHeap []*searchNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(a, b int) bool {
+	if len(h[a].set) != len(h[b].set) {
+		return len(h[a].set) > len(h[b].set)
+	}
+	return lessEvents(h[a].pattern, h[b].pattern)
+}
+func (h nodeHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*searchNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

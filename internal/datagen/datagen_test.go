@@ -1,0 +1,300 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestQuestShapeAndDeterminism(t *testing.T) {
+	p := QuestParams{D: 1, C: 20, N: 1, S: 10, Seed: 42}
+	db, err := Quest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 1000 {
+		t.Errorf("sequences = %d, want 1000", db.NumSequences())
+	}
+	st := seq.ComputeStats(db)
+	if math.Abs(st.AvgLength-20) > 3 {
+		t.Errorf("avg length = %.2f, want ≈20", st.AvgLength)
+	}
+	if st.DistinctEvents > 1000 {
+		t.Errorf("distinct events = %d, want <= 1000", st.DistinctEvents)
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("invalid DB: %v", err)
+	}
+	// Determinism.
+	db2, err := Quest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.TotalLength() != db.TotalLength() || db2.NumSequences() != db.NumSequences() {
+		t.Error("same seed produced different database")
+	}
+	for i := range db.Seqs {
+		for j := range db.Seqs[i] {
+			if db.Seqs[i][j] != db2.Seqs[i][j] {
+				t.Fatalf("sequence %d differs at %d", i, j)
+			}
+		}
+	}
+	// Different seed produces different data.
+	p.Seed = 43
+	db3, err := Quest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := db3.TotalLength() == db.TotalLength()
+	if same {
+		diff := false
+		for i := range db.Seqs {
+			if len(db.Seqs[i]) != len(db3.Seqs[i]) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Log("same total length across seeds (possible but unlikely); not failing")
+		}
+	}
+}
+
+func TestQuestName(t *testing.T) {
+	p := QuestParams{D: 5, C: 20, N: 10, S: 20}
+	if p.Name() != "D5C20N10S20" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+func TestQuestValidation(t *testing.T) {
+	bad := []QuestParams{
+		{D: 0, C: 20, N: 10, S: 20},
+		{D: 5, C: 0, N: 10, S: 20},
+		{D: 5, C: 20, N: 0, S: 20},
+		{D: 5, C: 20, N: 10, S: 0},
+		{D: 5, C: 20, N: 10, S: 20, Corruption: 1.5},
+	}
+	for _, p := range bad {
+		if _, err := Quest(p); err == nil {
+			t.Errorf("accepted %+v", p)
+		}
+	}
+}
+
+func TestQuestRepetition(t *testing.T) {
+	// The generator must produce within-sequence repetition: some frequent
+	// event should occur more than once in some sequence.
+	db, err := Quest(QuestParams{D: 1, C: 50, N: 1, S: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeats := 0
+	for _, s := range db.Seqs {
+		counts := map[seq.EventID]int{}
+		for _, e := range s {
+			counts[e]++
+			if counts[e] == 2 {
+				repeats++
+				break
+			}
+		}
+	}
+	if repeats < db.NumSequences()/10 {
+		t.Errorf("only %d/%d sequences have any repeated event", repeats, db.NumSequences())
+	}
+}
+
+func TestGazelleShape(t *testing.T) {
+	// Scaled down for test speed but with the real length cap.
+	db, err := Gazelle(GazelleParams{NumSequences: 5000, NumEvents: 1423, MaxLength: 651, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := seq.ComputeStats(db)
+	if st.NumSequences != 5000 {
+		t.Errorf("sequences = %d", st.NumSequences)
+	}
+	if st.MaxLength != 651 {
+		t.Errorf("max length = %d, want 651 (pinned)", st.MaxLength)
+	}
+	if st.AvgLength < 2 || st.AvgLength > 5 {
+		t.Errorf("avg length = %.2f, want ≈3", st.AvgLength)
+	}
+	if st.DistinctEvents > 1423 {
+		t.Errorf("distinct events = %d", st.DistinctEvents)
+	}
+	if err := db.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGazelleDefaultsAndValidation(t *testing.T) {
+	p := GazelleParams{}.withDefaults()
+	if p.NumSequences != 29369 || p.NumEvents != 1423 || p.MaxLength != 651 {
+		t.Errorf("defaults: %+v", p)
+	}
+	if err := (GazelleParams{NumSequences: -1}).Validate(); err == nil {
+		t.Error("negative NumSequences accepted")
+	}
+}
+
+func TestTCASShape(t *testing.T) {
+	db, err := TCAS(TCASParams{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := seq.ComputeStats(db)
+	if st.NumSequences != 1578 {
+		t.Errorf("traces = %d, want 1578", st.NumSequences)
+	}
+	if st.DistinctEvents > 75 {
+		t.Errorf("distinct events = %d, want <= 75", st.DistinctEvents)
+	}
+	if db.NumEvents() != 75 {
+		t.Errorf("vocabulary = %d, want 75", db.NumEvents())
+	}
+	if st.MaxLength > 70 {
+		t.Errorf("max length = %d, want <= 70", st.MaxLength)
+	}
+	if st.AvgLength < 25 || st.AvgLength > 45 {
+		t.Errorf("avg length = %.2f, want ≈36", st.AvgLength)
+	}
+	if err := db.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Every trace begins with the entry block and ends with the exit block.
+	for i, s := range db.Seqs {
+		if db.Dict.Name(s.At(1)) != "main.enter" || db.Dict.Name(s.At(len(s))) != "main.exit" {
+			t.Fatalf("trace %d does not follow the automaton", i)
+		}
+	}
+}
+
+func TestTCASValidation(t *testing.T) {
+	if _, err := TCAS(TCASParams{MaxLength: 5}); err == nil {
+		t.Error("tiny MaxLength accepted")
+	}
+}
+
+func TestJBossShape(t *testing.T) {
+	db, err := JBoss(JBossParams{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := seq.ComputeStats(db)
+	if st.NumSequences != 28 {
+		t.Errorf("traces = %d, want 28", st.NumSequences)
+	}
+	if db.NumEvents() != 64 {
+		t.Errorf("vocabulary = %d, want 64", db.NumEvents())
+	}
+	if st.MaxLength != 125 {
+		t.Errorf("max length = %d, want 125 (pinned)", st.MaxLength)
+	}
+	if st.AvgLength < 75 || st.AvgLength > 110 {
+		t.Errorf("avg length = %.2f, want ≈91", st.AvgLength)
+	}
+	if err := db.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJBossCanonicalFlowEmbedded(t *testing.T) {
+	// Every trace must contain the canonical flow as a subsequence, so the
+	// case study can rediscover it at min_sup = NumTraces.
+	db, err := JBoss(JBossParams{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := JBossCanonicalFlow()
+	if len(flow) != 66 {
+		t.Fatalf("canonical flow has %d events, want 66 (Figure 7)", len(flow))
+	}
+	flowIDs, err := db.EventSeq(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range db.Seqs {
+		j := 0
+		for _, e := range s {
+			if j < len(flowIDs) && e == flowIDs[j] {
+				j++
+			}
+		}
+		if j != len(flowIDs) {
+			t.Errorf("trace %d does not embed the canonical flow (matched %d/%d)", i, j, len(flowIDs))
+		}
+	}
+}
+
+func TestJBossLockUnlockDominates(t *testing.T) {
+	// The case study's most frequent 2-event behaviour is Lock -> Unlock.
+	db, err := JBoss(JBossParams{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := db.Dict.Lookup("TransImpl.lock")
+	unlock := db.Dict.Lookup("TransImpl.unlock")
+	if lock == seq.NoEvent || unlock == seq.NoEvent {
+		t.Fatal("lock/unlock events missing")
+	}
+	// Count per-trace occurrences; lock must appear many times per trace.
+	for i, s := range db.Seqs {
+		locks := 0
+		for _, e := range s {
+			if e == lock {
+				locks++
+			}
+		}
+		if locks < 8 {
+			t.Errorf("trace %d has only %d lock events", i, locks)
+		}
+	}
+}
+
+func TestJBossValidation(t *testing.T) {
+	if _, err := JBoss(JBossParams{MaxLength: 30}); err == nil {
+		t.Error("MaxLength below flow size accepted")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := newTestRand()
+	for _, mean := range []float64{0, 0.5, 3, 12, 50} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(r, mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > mean*0.1+0.1 {
+			t.Errorf("poisson mean %v: sample mean %.2f", mean, got)
+		}
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := newTestRand()
+	cum := []float64{0.25, 0.75, 1.0}
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[pickWeighted(r, cum)]++
+	}
+	if math.Abs(float64(counts[0])/30000-0.25) > 0.02 ||
+		math.Abs(float64(counts[1])/30000-0.5) > 0.02 {
+		t.Errorf("weighted pick distribution off: %v", counts)
+	}
+}
+
+func TestSessionLengthBounds(t *testing.T) {
+	r := newTestRand()
+	for i := 0; i < 100000; i++ {
+		n := sessionLength(r, 651)
+		if n < 1 || n > 651 {
+			t.Fatalf("session length %d out of bounds", n)
+		}
+	}
+}

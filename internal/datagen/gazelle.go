@@ -1,0 +1,132 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// GazelleParams configures the Gazelle-like click-stream generator. The
+// defaults match the statistics the paper reports for the KDD-Cup 2000
+// Gazelle dataset: 29369 sequences, 1423 distinct events, average sequence
+// length 3, maximum length 651 — "although the average sequence length is
+// only 3, there are a number of long sequences where a pattern may repeat
+// many times".
+type GazelleParams struct {
+	NumSequences int   // 0 selects 29369
+	NumEvents    int   // 0 selects 1423
+	MaxLength    int   // 0 selects 651
+	Seed         int64 // deterministic seed
+}
+
+func (p GazelleParams) withDefaults() GazelleParams {
+	if p.NumSequences == 0 {
+		p.NumSequences = 29369
+	}
+	if p.NumEvents == 0 {
+		p.NumEvents = 1423
+	}
+	if p.MaxLength == 0 {
+		p.MaxLength = 651
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p GazelleParams) Validate() error {
+	p = p.withDefaults()
+	if p.NumSequences < 1 || p.NumEvents < 1 || p.MaxLength < 1 {
+		return fmt.Errorf("datagen: gazelle parameters must be positive: %+v", p)
+	}
+	return nil
+}
+
+// Gazelle generates a click-stream database: most sessions are 1-4 page
+// views (geometric), a sub-percent Pareto tail produces very long sessions
+// up to MaxLength, and page popularity is Zipf. Within a session the
+// visitor browses in bursts — each selected page is viewed 1-3 times in a
+// row (refreshes) and with probability 0.25 the next page is a revisit of
+// one of the last five distinct pages (back-navigation) — giving long
+// sessions heavy but *local* within-sequence repetition, the structure the
+// paper uses Gazelle to demonstrate, without the combinatorial explosion a
+// uniform whole-session revisit model would create. One session is pinned
+// to MaxLength so the dataset's published maximum is reproduced exactly.
+func Gazelle(p GazelleParams) (*seq.DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	db := seq.NewDB()
+	ids := make([]seq.EventID, p.NumEvents)
+	for i := range ids {
+		ids[i] = db.Dict.Intern(fmt.Sprintf("page%d", i))
+	}
+	// Mild skew: the most popular page draws on the order of 1% of all
+	// clicks, as in the real dataset, rather than a degenerate head.
+	zipf := rand.NewZipf(r, 1.05, float64(p.NumEvents)/20+1, uint64(p.NumEvents-1))
+
+	session := make([]seq.EventID, 0, 64)
+	var recent []seq.EventID // recently visited pages, most recent last
+	for i := 0; i < p.NumSequences; i++ {
+		length := sessionLength(r, p.MaxLength)
+		if i == 0 {
+			length = p.MaxLength // pin the published maximum
+		}
+		session = session[:0]
+		recent = recent[:0]
+		for len(session) < length {
+			var page seq.EventID
+			if len(recent) > 0 && r.Float64() < 0.25 {
+				page = recent[r.Intn(len(recent))] // back-navigation
+			} else {
+				page = ids[zipf.Uint64()]
+			}
+			recent = append(recent, page)
+			if len(recent) > 5 {
+				recent = recent[1:]
+			}
+			// Burst: the page is viewed 1-3 times in a row (refreshes).
+			views := 1
+			for views < 3 && r.Float64() < 0.25 {
+				views++
+			}
+			for v := 0; v < views && len(session) < length; v++ {
+				session = append(session, page)
+			}
+		}
+		db.AddIDs("", session)
+	}
+	return db, nil
+}
+
+// sessionLength draws the session-length distribution: geometric with mean
+// ≈2.6 for the bulk, plus a 0.4% Pareto tail reaching into the hundreds.
+func sessionLength(r *rand.Rand, maxLen int) int {
+	var n int
+	if r.Float64() < 0.004 {
+		// Pareto tail: 30..maxLen.
+		n = 30 + int(float64(maxLen-30)*pow(r.Float64(), 3))
+	} else {
+		n = 1
+		for r.Float64() < 0.61 && n < 25 {
+			n++
+		}
+	}
+	if n > maxLen {
+		n = maxLen
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func pow(x float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= x
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// JBossParams configures the JBoss-transaction-trace generator. Defaults
+// match the case-study dataset of Section IV-B: 28 traces, 64 distinct
+// events, 91 events per trace on average, longest trace 125.
+type JBossParams struct {
+	NumTraces int     // 0 selects 28
+	MaxLength int     // 0 selects 125
+	NoiseMean float64 // mean number of interleaved noise events; 0 selects 11
+	Seed      int64   // deterministic seed
+}
+
+func (p JBossParams) withDefaults() JBossParams {
+	if p.NumTraces == 0 {
+		p.NumTraces = 28
+	}
+	if p.MaxLength == 0 {
+		p.MaxLength = 125
+	}
+	if p.NoiseMean == 0 {
+		p.NoiseMean = 11
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p JBossParams) Validate() error {
+	p = p.withDefaults()
+	if p.NumTraces < 1 || p.MaxLength < len(jbossFlow())+len(jbossEnlistment()) {
+		return fmt.Errorf("datagen: jboss needs MaxLength >= %d: %+v", len(jbossFlow())+len(jbossEnlistment()), p)
+	}
+	return nil
+}
+
+// The canonical 66-event transaction flow of the paper's Figure 7, block by
+// block. The case-study pipeline should rediscover (a superpattern of) this
+// flow as its longest pattern, with the enlistment and commit blocks merged
+// — the finding the paper highlights against iterative patterns.
+
+func jbossConnectionSetup() []string {
+	return []string{
+		"TransManLoc.getInstance", "TransManLoc.locate", "TransManLoc.tryJNDI", "TransManLoc.usePrivateAPI",
+	}
+}
+
+func jbossTxManagerSetup() []string {
+	return []string{
+		"TxManager.getInstance", "TxManager.begin", "XidFactory.newXid", "XidFactory.getNextId",
+		"XidImpl.getTrulyGlobalId",
+	}
+}
+
+func jbossTransactionSetup() []string {
+	return []string{
+		"TransImpl.assocCurThd", "TransImpl.lock", "TransImpl.unlock", "TransImpl.getLocId",
+		"XidImpl.getLocId", "LocId.hashCode", "TxManager.getTrans", "TransImpl.isDone",
+		"TransImpl.getStatus",
+	}
+}
+
+func jbossEnlistment() []string {
+	return []string{
+		"TxManager.getTrans", "TransImpl.isDone", "TransImpl.enlistResource", "TransImpl.lock",
+		"TransImpl.createXidBranch", "XidFactory.newBranch", "TransImpl.unlock", "XidImpl.hashCode",
+		"XidImpl.hashCode", "TransImpl.lock", "TransImpl.unlock", "XidImpl.hashCode",
+		"TxManager.getTrans", "TransImpl.isDone", "TransImpl.equals", "TransImpl.getLocIdVal",
+		"XidImpl.getLocIdVal", "TransImpl.getLocIdVal", "XidImpl.getLocIdVal",
+	}
+}
+
+func jbossCommit() []string {
+	return []string{
+		"TxManager.commit", "TransImpl.commit", "TransImpl.lock", "TransImpl.beforePrepare",
+		"TransImpl.checkIntegrity", "TransImpl.checkBeforeStatus", "TransImpl.endResources",
+		"TransImpl.unlock", "XidImpl.hashCode", "TransImpl.lock", "TransImpl.unlock",
+		"XidImpl.hashCode", "TransImpl.lock", "TransImpl.completeTrans", "TransImpl.cancelTimeout",
+		"TransImpl.unlock", "TransImpl.lock", "TransImpl.doAfterCompletion", "TransImpl.unlock",
+		"TransImpl.lock", "TransImpl.instanceDone",
+	}
+}
+
+func jbossDispose() []string {
+	return []string{
+		"TxManager.getInstance", "TxManager.releaseTransImpl", "TransImpl.getLocalId",
+		"XidImpl.getLocalId", "LocalId.hashCode", "LocalId.equals", "TransImpl.unlock",
+		"XidImpl.hashCode",
+	}
+}
+
+// jbossFlow returns the full 66-event canonical flow with one enlistment.
+func jbossFlow() []string {
+	var out []string
+	out = append(out, jbossConnectionSetup()...)
+	out = append(out, jbossTxManagerSetup()...)
+	out = append(out, jbossTransactionSetup()...)
+	out = append(out, jbossEnlistment()...)
+	out = append(out, jbossCommit()...)
+	out = append(out, jbossDispose()...)
+	return out
+}
+
+// JBossCanonicalFlow exposes the Figure 7 flow (66 events) for tests and
+// the case-study report.
+func JBossCanonicalFlow() []string { return jbossFlow() }
+
+// jbossNoisePool pads the vocabulary to 64 distinct events: server
+// machinery that interleaves with transaction processing in real traces.
+func jbossNoisePool() []string {
+	distinct := map[string]bool{}
+	for _, e := range jbossFlow() {
+		distinct[e] = true
+	}
+	var pool []string
+	for i := 0; len(distinct)+len(pool) < 64; i++ {
+		pool = append(pool, fmt.Sprintf("Server.aux%d", i))
+	}
+	return pool
+}
+
+// JBoss generates transaction-component traces: every trace replays the
+// canonical flow with 1-3 resource-enlistment repetitions before the commit
+// (the within-trace repetition the case study highlights) and a Poisson
+// number of noise events interleaved at random positions, capped at
+// MaxLength. Trace 1 is pinned to 3 enlistments plus maximal noise so the
+// published maximum length (125) is attained.
+func JBoss(p JBossParams) (*seq.DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	db := seq.NewDB()
+	noise := jbossNoisePool()
+
+	for i := 0; i < p.NumTraces; i++ {
+		// 1-3 enlistment blocks: P(1)=.5, P(2)=.3, P(3)=.2.
+		k := 1
+		switch x := r.Float64(); {
+		case x < 0.2:
+			k = 3
+		case x < 0.5:
+			k = 2
+		}
+		if i == 0 {
+			k = 3
+		}
+		var trace []string
+		trace = append(trace, jbossConnectionSetup()...)
+		trace = append(trace, jbossTxManagerSetup()...)
+		trace = append(trace, jbossTransactionSetup()...)
+		for j := 0; j < k; j++ {
+			trace = append(trace, jbossEnlistment()...)
+		}
+		trace = append(trace, jbossCommit()...)
+		trace = append(trace, jbossDispose()...)
+
+		nNoise := poisson(r, p.NoiseMean)
+		if i == 0 {
+			nNoise = p.MaxLength - len(trace)
+		}
+		if len(trace)+nNoise > p.MaxLength {
+			nNoise = p.MaxLength - len(trace)
+		}
+		for j := 0; j < nNoise; j++ {
+			pos := r.Intn(len(trace) + 1)
+			e := noise[r.Intn(len(noise))]
+			trace = append(trace[:pos], append([]string{e}, trace[pos:]...)...)
+		}
+		db.Add(fmt.Sprintf("trace%d", i+1), trace)
+	}
+	return db, nil
+}

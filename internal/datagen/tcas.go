@@ -1,0 +1,138 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// TCASParams configures the TCAS-like trace generator. Defaults match the
+// paper's description of the Traffic alert and Collision Avoidance System
+// dataset: 1578 sequences over 75 distinct events, average length 36,
+// maximum length 70.
+type TCASParams struct {
+	NumTraces int   // 0 selects 1578
+	MaxLength int   // 0 selects 70
+	Seed      int64 // deterministic seed
+}
+
+func (p TCASParams) withDefaults() TCASParams {
+	if p.NumTraces == 0 {
+		p.NumTraces = 1578
+	}
+	if p.MaxLength == 0 {
+		p.MaxLength = 70
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p TCASParams) Validate() error {
+	p = p.withDefaults()
+	if p.NumTraces < 1 || p.MaxLength < 20 {
+		return fmt.Errorf("datagen: tcas needs NumTraces >= 1 and MaxLength >= 20: %+v", p)
+	}
+	return nil
+}
+
+// tcasEvents is the 75-event vocabulary: function-level events of a
+// collision-avoidance controller, organized into the blocks emitted by the
+// control-flow automaton below.
+var tcasEvents = buildTCASEvents()
+
+func buildTCASEvents() (blocks struct {
+	entry, exit []string
+	branches    [][]string
+	rare        []string
+	all         []string
+}) {
+	blocks.entry = []string{
+		"main.enter", "init.read_inputs", "init.validate", "alt.layer_select", "track.update",
+	}
+	blocks.exit = []string{"resolve.report", "main.exit"}
+	// Eight loop branches of 6-9 events each: the monitoring cycle.
+	names := [][]string{
+		{"cycle.begin", "own.alt_read", "other.alt_read", "sep.vertical", "sep.horizontal", "cycle.commit"},
+		{"cycle.begin", "own.alt_read", "other.tracked", "threat.classify", "threat.range_test", "threat.alt_test", "cycle.commit"},
+		{"cycle.begin", "advisory.eval", "advisory.upward", "advisory.strength", "advisory.issue", "alarm.raise", "cycle.commit"},
+		{"cycle.begin", "advisory.eval", "advisory.downward", "advisory.strength", "advisory.issue", "alarm.raise", "cycle.commit"},
+		{"cycle.begin", "intent.recv", "intent.decode", "intent.apply", "sep.vertical", "cycle.commit"},
+		{"cycle.begin", "radar.ping", "radar.echo", "track.correlate", "track.smooth", "track.predict", "cycle.commit"},
+		{"cycle.begin", "crossing.check", "crossing.own_above", "sep.projected", "advisory.eval", "advisory.none", "cycle.commit"},
+		{"cycle.begin", "crossing.check", "crossing.own_below", "sep.projected", "advisory.eval", "advisory.none", "cycle.commit"},
+	}
+	blocks.branches = names
+	blocks.rare = []string{
+		"fault.sensor", "fault.recover", "mode.standby", "mode.resume", "alarm.clear",
+		"config.reload", "xpndr.fault", "xpndr.restore",
+	}
+	seen := map[string]bool{}
+	add := func(list []string) {
+		for _, e := range list {
+			if !seen[e] {
+				seen[e] = true
+				blocks.all = append(blocks.all, e)
+			}
+		}
+	}
+	add(blocks.entry)
+	for _, b := range names {
+		add(b)
+	}
+	add(blocks.rare)
+	add(blocks.exit)
+	// Pad the vocabulary to exactly 75 with auxiliary diagnostics events
+	// used sparsely inside the loop.
+	for i := 0; len(blocks.all) < 75; i++ {
+		e := fmt.Sprintf("diag.probe%d", i)
+		blocks.rare = append(blocks.rare, e)
+		blocks.all = append(blocks.all, e)
+	}
+	return blocks
+}
+
+// TCAS generates software execution traces from a looped control-flow
+// automaton: entry block, a geometric number of monitoring-cycle
+// iterations each taking one of eight branches (with occasional rare
+// fault/mode events), then an exit block. Loops give patterns heavy
+// within-trace repetition over a small alphabet — the regime in which the
+// paper's Figure 4 shows GSgrow exploding while CloGSgrow survives down to
+// min_sup = 1.
+func TCAS(p TCASParams) (*seq.DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	r := rand.New(rand.NewSource(p.Seed))
+	db := seq.NewDB()
+	for _, e := range tcasEvents.all {
+		db.Dict.Intern(e)
+	}
+	trace := make([]string, 0, p.MaxLength)
+	for i := 0; i < p.NumTraces; i++ {
+		trace = trace[:0]
+		trace = append(trace, tcasEvents.entry...)
+		budget := p.MaxLength - len(tcasEvents.exit)
+		// Geometric number of cycles with mean ≈4.4; each cycle 6-9 events.
+		for c := 0; ; c++ {
+			if c > 0 && r.Float64() < 0.23 {
+				break
+			}
+			branch := tcasEvents.branches[r.Intn(len(tcasEvents.branches))]
+			if len(trace)+len(branch) > budget {
+				break
+			}
+			trace = append(trace, branch...)
+			if r.Float64() < 0.06 {
+				trace = append(trace, tcasEvents.rare[r.Intn(len(tcasEvents.rare))])
+				if len(trace) > budget {
+					trace = trace[:budget]
+				}
+			}
+		}
+		trace = append(trace, tcasEvents.exit...)
+		db.Add(fmt.Sprintf("trace%d", i+1), trace)
+	}
+	return db, nil
+}

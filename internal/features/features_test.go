@@ -1,0 +1,172 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// twoGroupDB builds the intro example: heavy-repeaters vs one-shot buyers.
+func twoGroupDB() (*seq.DB, []int, []int) {
+	db := seq.NewDB()
+	var groupA, groupB []int
+	for i := 0; i < 5; i++ {
+		groupA = append(groupA, db.AddChars("", "CABABABABABD"))
+	}
+	for i := 0; i < 5; i++ {
+		groupB = append(groupB, db.AddChars("", "ABCD"))
+	}
+	return db, groupA, groupB
+}
+
+func TestExtractShape(t *testing.T) {
+	db, _, _ := twoGroupDB()
+	m, err := Extract(db, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPatterns() == 0 {
+		t.Fatal("no features extracted")
+	}
+	for p := range m.Patterns {
+		if len(m.Row(p)) != db.NumSequences() {
+			t.Fatalf("row %d has %d entries, want %d", p, len(m.Row(p)), db.NumSequences())
+		}
+	}
+}
+
+func TestPerSequenceSupportValues(t *testing.T) {
+	db, groupA, groupB := twoGroupDB()
+	m, err := Extract(db, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the AB pattern row: per-sequence support 5 in group A, 1 in B.
+	ab, err := db.EventSeq([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for p, events := range m.Patterns {
+		if len(events) == 2 && events[0] == ab[0] && events[1] == ab[1] {
+			found = true
+			for _, i := range groupA {
+				if m.Values[p][i] != 5 {
+					t.Errorf("AB in repeater sequence %d: %v, want 5", i, m.Values[p][i])
+				}
+			}
+			for _, i := range groupB {
+				if m.Values[p][i] != 1 {
+					t.Errorf("AB in one-shot sequence %d: %v, want 1", i, m.Values[p][i])
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("AB not among extracted features")
+	}
+}
+
+func TestDiscriminativeRanksABAboveCD(t *testing.T) {
+	db, groupA, groupB := twoGroupDB()
+	m, err := Extract(db, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := m.Discriminative(groupA, groupB)
+	if len(scored) == 0 {
+		t.Fatal("no scored patterns")
+	}
+	scoreOf := func(name string) float64 {
+		ids, err := db.EventSeq(splitChars(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, sp := range scored {
+			ev := m.Patterns[sp.Index]
+			if len(ev) == len(ids) && eq(ev, ids) {
+				return sp.Score
+			}
+		}
+		t.Fatalf("pattern %s not scored", name)
+		return 0
+	}
+	// AB separates the groups (5 vs 1); CD does not (1 vs 1).
+	if ab, cd := scoreOf("AB"), scoreOf("CD"); !(ab > cd) {
+		t.Errorf("score(AB)=%v should exceed score(CD)=%v", ab, cd)
+	}
+	if cd := scoreOf("CD"); cd != 0 {
+		t.Errorf("score(CD)=%v, want 0 (identical in both groups)", cd)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	db, groupA, groupB := twoGroupDB()
+	m, err := Extract(db, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := m.Discriminative(groupA, groupB)
+	// Classify every training sequence; all must land in their own group.
+	for _, i := range groupA {
+		isA, err := m.Classify(scored, 10, m.Column(i))
+		if err != nil || !isA {
+			t.Errorf("sequence %d misclassified (err=%v)", i, err)
+		}
+	}
+	for _, i := range groupB {
+		isA, err := m.Classify(scored, 10, m.Column(i))
+		if err != nil || isA {
+			t.Errorf("sequence %d misclassified (err=%v)", i, err)
+		}
+	}
+	if _, err := m.Classify(scored, 10, nil); err == nil {
+		t.Error("empty column accepted")
+	}
+}
+
+func TestDiscriminativeDegenerateGroups(t *testing.T) {
+	db, groupA, _ := twoGroupDB()
+	m, err := Extract(db, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Discriminative(groupA, nil); len(got) != 0 {
+		t.Errorf("empty group B produced %d scores", len(got))
+	}
+	// Same group on both sides: all scores 0.
+	for _, sp := range m.Discriminative(groupA, groupA) {
+		if sp.Score != 0 {
+			t.Errorf("identical groups scored %v", sp.Score)
+		}
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	mean, variance := meanVar([]float64{1, 2, 3, 4}, []int{0, 1, 2, 3})
+	if mean != 2.5 || math.Abs(variance-1.25) > 1e-12 {
+		t.Errorf("meanVar = %v, %v", mean, variance)
+	}
+	mean, variance = meanVar([]float64{1, 2, 3}, nil)
+	if mean != 0 || variance != 0 {
+		t.Errorf("empty index meanVar = %v, %v", mean, variance)
+	}
+}
+
+func splitChars(s string) []string {
+	out := make([]string, len(s))
+	for i := range s {
+		out[i] = string(s[i])
+	}
+	return out
+}
+
+func eq(a, b []seq.EventID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,385 @@
+// Package gapped implements the paper's second proposed future work
+// (Section V): mining repetitive gapped subsequences under a gap
+// constraint, "useful for mining subsequences from long sequences of DNA,
+// protein, and text data". An instance (i, <l1..lm>) is gap-valid when
+// every consecutive gap l_{j+1}-l_j-1 lies within [MinGap, MaxGap]; the
+// gap-constrained repetitive support of a pattern is the maximum number of
+// pairwise non-overlapping gap-valid instances (overlap as in the paper's
+// Definition 2.3).
+//
+// Two properties of the unconstrained problem break under gap constraints,
+// and this package handles both exactly rather than approximately:
+//
+//   - Greedy leftmost instance growth (INSgrow) is no longer optimal: in
+//     S = AAB with MaxGap = 0, the leftmost A cannot reach the B, but the
+//     second A can. Support is therefore computed as maximum node-disjoint
+//     paths in the gap-constrained occurrence DAG — a unit-capacity max
+//     flow per sequence, polynomial like the paper's greedy but without
+//     relying on the exchange argument that gap constraints invalidate.
+//
+//   - The full Apriori property fails: deleting a middle event of a
+//     pattern merges two gaps and can invalidate instances, so a
+//     sub-pattern can have smaller support than its super-pattern. Support
+//     IS still anti-monotone along prefix extension (dropping the last
+//     event of a gap-valid instance keeps it gap-valid), which is exactly
+//     what depth-first pattern growth needs: every frequent pattern is
+//     reachable through frequent prefixes.
+package gapped
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// Options configures a gap-constrained mining run.
+type Options struct {
+	// MinSupport is the support threshold (>= 1).
+	MinSupport int
+	// MinGap and MaxGap bound the number of events strictly between
+	// consecutive pattern events. MaxGap must be >= MinGap >= 0.
+	// (MinGap = 0, MaxGap = 0 mines contiguous substrings.)
+	MinGap, MaxGap int
+	// MaxPatternLength bounds pattern length; 0 = unbounded.
+	MaxPatternLength int
+	// MaxPatterns stops the run early; 0 = unbounded.
+	MaxPatterns int
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.MinSupport < 1 {
+		return fmt.Errorf("gapped: MinSupport must be >= 1, got %d", o.MinSupport)
+	}
+	if o.MinGap < 0 || o.MaxGap < o.MinGap {
+		return fmt.Errorf("gapped: need 0 <= MinGap <= MaxGap, got [%d, %d]", o.MinGap, o.MaxGap)
+	}
+	if o.MaxPatternLength < 0 || o.MaxPatterns < 0 {
+		return fmt.Errorf("gapped: negative length/pattern bounds")
+	}
+	return nil
+}
+
+// Pattern is a mined gap-constrained pattern.
+type Pattern struct {
+	Events  []seq.EventID
+	Support int
+}
+
+// Result is the output of Mine.
+type Result struct {
+	Patterns  []Pattern
+	Truncated bool
+	Duration  time.Duration
+	// FlowCalls counts exact support computations (max-flow runs).
+	FlowCalls int
+}
+
+// Mine returns every pattern whose gap-constrained repetitive support
+// reaches opt.MinSupport. Patterns are emitted in DFS preorder over
+// ascending event IDs.
+func Mine(db *seq.DB, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := &gapMiner{db: db, opt: opt, res: &Result{}}
+	// Seed: all distinct events with their occurrence lists. A singleton
+	// pattern has no gaps, so its support is its occurrence count.
+	occ := make(map[seq.EventID][][]int32) // event -> per-sequence end positions
+	for i, s := range db.Seqs {
+		for p := 1; p <= len(s); p++ {
+			e := s.At(p)
+			if occ[e] == nil {
+				occ[e] = make([][]int32, len(db.Seqs))
+			}
+			occ[e][i] = append(occ[e][i], int32(p))
+		}
+	}
+	events := make([]seq.EventID, 0, len(occ))
+	for e := range occ {
+		events = append(events, e)
+	}
+	sortEventIDs(events)
+	m.events = events
+	for _, e := range events {
+		ends := occ[e]
+		total := 0
+		for _, list := range ends {
+			total += len(list)
+		}
+		if total < opt.MinSupport {
+			continue
+		}
+		m.pattern = append(m.pattern[:0], e)
+		m.chain = append(m.chain[:0], ends)
+		m.grow(total)
+		if m.stopped {
+			break
+		}
+	}
+	m.res.Duration = time.Since(start)
+	return m.res, nil
+}
+
+type gapMiner struct {
+	db      *seq.DB
+	opt     Options
+	events  []seq.EventID
+	pattern []seq.EventID
+	// chain[j] holds, per sequence, the ascending gap-valid end positions
+	// of the prefix pattern[:j+1] (positions where some gap-valid instance
+	// of the prefix ends). This is the gap-constrained analogue of a
+	// projected database.
+	chain   [][][]int32
+	res     *Result
+	stopped bool
+}
+
+// grow handles the current prefix, whose per-sequence end lists are on top
+// of the chain and whose total end count is endCount (an upper bound on
+// support, since non-overlapping instances end at distinct positions).
+func (m *gapMiner) grow(endCount int) {
+	sup := m.support()
+	if sup < m.opt.MinSupport {
+		return
+	}
+	m.res.Patterns = append(m.res.Patterns, Pattern{
+		Events:  append([]seq.EventID(nil), m.pattern...),
+		Support: sup,
+	})
+	if m.opt.MaxPatterns > 0 && len(m.res.Patterns) >= m.opt.MaxPatterns {
+		m.stopped = true
+		m.res.Truncated = true
+		return
+	}
+	if m.opt.MaxPatternLength > 0 && len(m.pattern) >= m.opt.MaxPatternLength {
+		return
+	}
+	ends := m.chain[len(m.chain)-1]
+	for _, e := range m.events {
+		next, count := m.extendEnds(ends, e)
+		if count < m.opt.MinSupport {
+			continue // upper bound: support <= number of distinct ends
+		}
+		m.pattern = append(m.pattern, e)
+		m.chain = append(m.chain, next)
+		m.grow(count)
+		m.pattern = m.pattern[:len(m.pattern)-1]
+		m.chain = m.chain[:len(m.chain)-1]
+		if m.stopped {
+			return
+		}
+	}
+}
+
+// extendEnds computes the gap-valid end positions of prefix ∘ e from the
+// prefix's end positions: q is an end of the extension iff S[q] = e and
+// some prefix end p satisfies MinGap <= q-p-1 <= MaxGap. Both lists are
+// ascending; a two-pointer sweep gives O(|ends| + |seq|) per sequence.
+func (m *gapMiner) extendEnds(ends [][]int32, e seq.EventID) ([][]int32, int) {
+	out := make([][]int32, len(m.db.Seqs))
+	total := 0
+	for i, list := range ends {
+		if len(list) == 0 {
+			continue
+		}
+		s := m.db.Seqs[i]
+		lo, hi := 0, 0 // window of prefix ends reaching position q
+		var res []int32
+		for q := int(list[0]) + 1 + m.opt.MinGap; q <= len(s); q++ {
+			if s.At(q) != e {
+				continue
+			}
+			// valid p range: q-1-MaxGap <= p <= q-1-MinGap
+			loBound := int32(q - 1 - m.opt.MaxGap)
+			hiBound := int32(q - 1 - m.opt.MinGap)
+			for lo < len(list) && list[lo] < loBound {
+				lo++
+			}
+			if hi < lo {
+				hi = lo
+			}
+			for hi < len(list) && list[hi] <= hiBound {
+				hi++
+			}
+			if lo < hi {
+				res = append(res, int32(q))
+			}
+		}
+		out[i] = res
+		total += len(res)
+	}
+	return out, total
+}
+
+// support computes the exact gap-constrained repetitive support of the
+// current pattern: per sequence, maximum node-disjoint paths through the
+// layered gap-valid occurrence DAG (layer j = gap-valid end positions of
+// pattern[:j+1]); across sequences, supports add up.
+func (m *gapMiner) support() int {
+	if len(m.pattern) == 1 {
+		// No gaps to respect: every occurrence is an instance and all
+		// single-event instances are pairwise non-overlapping.
+		total := 0
+		for _, list := range m.chain[0] {
+			total += len(list)
+		}
+		return total
+	}
+	m.res.FlowCalls++
+	total := 0
+	for i := range m.db.Seqs {
+		total += m.seqFlow(i)
+	}
+	return total
+}
+
+func (m *gapMiner) seqFlow(i int) int {
+	depth := len(m.pattern)
+	layers := make([][]int32, depth)
+	for j := 0; j < depth; j++ {
+		layers[j] = m.chain[j][i]
+		if len(layers[j]) == 0 {
+			return 0
+		}
+	}
+	offset := make([]int, depth+1)
+	for j := 0; j < depth; j++ {
+		offset[j+1] = offset[j] + len(layers[j])
+	}
+	g := newFlow(2 + 2*offset[depth])
+	in := func(j, k int) int { return 2 + 2*(offset[j]+k) }
+	out := func(j, k int) int { return in(j, k) + 1 }
+	for k := range layers[0] {
+		g.edge(0, in(0, k))
+	}
+	for j := 0; j < depth; j++ {
+		for k, p := range layers[j] {
+			g.edge(in(j, k), out(j, k))
+			if j == depth-1 {
+				g.edge(out(j, k), 1)
+				continue
+			}
+			for k2, q := range layers[j+1] {
+				gap := int(q) - int(p) - 1
+				if gap < m.opt.MinGap {
+					continue
+				}
+				if gap > m.opt.MaxGap {
+					break // layers are ascending; later q only larger
+				}
+				g.edge(out(j, k), in(j+1, k2))
+			}
+		}
+	}
+	return g.maxflow(0, 1)
+}
+
+// Support computes the gap-constrained repetitive support of one pattern
+// without mining, for callers and tests.
+func Support(db *seq.DB, pattern []seq.EventID, minGap, maxGap int) (int, error) {
+	opt := Options{MinSupport: 1, MinGap: minGap, MaxGap: maxGap}
+	if err := opt.Validate(); err != nil {
+		return 0, err
+	}
+	if len(pattern) == 0 {
+		return 0, nil
+	}
+	m := &gapMiner{db: db, opt: opt, res: &Result{}}
+	// Build the chain of end lists prefix by prefix.
+	ends := make([][]int32, len(db.Seqs))
+	for i, s := range db.Seqs {
+		for p := 1; p <= len(s); p++ {
+			if s.At(p) == pattern[0] {
+				ends[i] = append(ends[i], int32(p))
+			}
+		}
+	}
+	m.pattern = pattern[:1]
+	m.chain = append(m.chain, ends)
+	for j := 1; j < len(pattern); j++ {
+		next, _ := m.extendEnds(m.chain[j-1], pattern[j])
+		m.chain = append(m.chain, next)
+		m.pattern = pattern[:j+1]
+	}
+	return m.support(), nil
+}
+
+func sortEventIDs(a []seq.EventID) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// flow is a minimal unit-capacity max-flow (BFS augmenting paths), local to
+// this package so gapped does not depend on the test oracle in verify.
+type flow struct {
+	head, next, to []int
+	cap            []int8
+}
+
+func newFlow(n int) *flow {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &flow{head: h}
+}
+
+func (g *flow) edge(u, v int) {
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, 1)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = len(g.to) - 1
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, 0)
+	g.next = append(g.next, g.head[v])
+	g.head[v] = len(g.to) - 1
+}
+
+func (g *flow) maxflow(s, t int) int {
+	total := 0
+	prev := make([]int, len(g.head))
+	for {
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[s] = -2
+		queue := []int{s}
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for e := g.head[u]; e != -1; e = g.next[e] {
+				v := g.to[e]
+				if g.cap[e] > 0 && prev[v] == -1 {
+					prev[v] = e
+					if v == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		for v := t; v != s; {
+			e := prev[v]
+			g.cap[e]--
+			g.cap[e^1]++
+			v = g.to[e^1]
+		}
+		total++
+	}
+}

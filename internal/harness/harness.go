@@ -1,0 +1,174 @@
+// Package harness drives the paper's evaluation (Section IV): the support
+// semantics comparison behind Table I / Example 1.1, the min_sup sweeps of
+// Figures 2-4, the database-size sweep of Figure 5, the sequence-length
+// sweep of Figure 6, and the JBoss case study of Section IV-B / Figure 7.
+// Each experiment returns a structured result that the CLI and
+// EXPERIMENTS.md render as the same rows/series the paper plots.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// SweepPoint is one X position of a runtime/pattern-count figure: the
+// paper's figures all plot (a) running time and (b) number of patterns for
+// GSgrow ("All") and CloGSgrow ("Closed").
+type SweepPoint struct {
+	X            float64       // min_sup, |SeqDB| or average length
+	AllTime      time.Duration // GSgrow runtime
+	ClosedTime   time.Duration // CloGSgrow runtime
+	AllCount     int           // number of frequent patterns
+	ClosedCount  int           // number of closed frequent patterns
+	AllTruncated bool          // GSgrow hit its pattern budget ("cut-off")
+	AllSkipped   bool          // GSgrow not run at this X (below cut-off)
+}
+
+// Sweep is one figure's data: a series of SweepPoints plus labels.
+type Sweep struct {
+	Name   string
+	XLabel string
+	Points []SweepPoint
+}
+
+// Table renders the sweep as an aligned text table with one row per X.
+func (s *Sweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	fmt.Fprintf(&b, "%12s %14s %14s %12s %12s\n", s.XLabel, "all-time", "closed-time", "all-count", "closed-count")
+	for _, p := range s.Points {
+		allTime, allCount := fmtDuration(p.AllTime), fmt.Sprintf("%d", p.AllCount)
+		if p.AllSkipped {
+			allTime, allCount = "-", "-"
+		} else if p.AllTruncated {
+			allTime += "*"
+			allCount += "*"
+		}
+		fmt.Fprintf(&b, "%12g %14s %14s %12s %12d\n",
+			p.X, allTime, fmtDuration(p.ClosedTime), allCount, p.ClosedCount)
+	}
+	if anyTruncated(s.Points) {
+		b.WriteString("(* = GSgrow stopped at its pattern budget, mirroring the paper's cut-off points)\n")
+	}
+	return b.String()
+}
+
+func anyTruncated(points []SweepPoint) bool {
+	for _, p := range points {
+		if p.AllTruncated {
+			return true
+		}
+	}
+	return false
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// SweepConfig controls a min_sup sweep run.
+type SweepConfig struct {
+	// MinSups are the X positions, typically descending like the paper's
+	// figures (which sweep from high support down to the cut-off).
+	MinSups []int
+	// AllBudget caps the number of patterns GSgrow may emit before being
+	// stopped (0 = unlimited). The paper stops GSgrow runs that "take too
+	// long to complete"; a pattern budget is the deterministic equivalent.
+	AllBudget int
+	// AllCutoff skips GSgrow entirely for min_sup below this value
+	// (0 = never skip), mirroring the "..." region of Figures 2-4.
+	AllCutoff int
+}
+
+// RunMinSupSweep runs GSgrow and CloGSgrow across cfg.MinSups on db
+// (Figures 2, 3, 4).
+func RunMinSupSweep(db *seq.DB, cfg SweepConfig) (*Sweep, error) {
+	ix := seq.NewIndex(db)
+	sweep := &Sweep{Name: "runtime and pattern count vs min_sup", XLabel: "min_sup"}
+	for _, ms := range cfg.MinSups {
+		pt := SweepPoint{X: float64(ms)}
+		closed, err := core.Mine(ix, core.Options{MinSupport: ms, Closed: true, DiscardPatterns: true})
+		if err != nil {
+			return nil, err
+		}
+		pt.ClosedTime = closed.Stats.Duration
+		pt.ClosedCount = closed.NumPatterns
+		if cfg.AllCutoff > 0 && ms < cfg.AllCutoff {
+			pt.AllSkipped = true
+		} else {
+			all, err := core.Mine(ix, core.Options{MinSupport: ms, DiscardPatterns: true, MaxPatterns: cfg.AllBudget})
+			if err != nil {
+				return nil, err
+			}
+			pt.AllTime = all.Stats.Duration
+			pt.AllCount = all.NumPatterns
+			pt.AllTruncated = all.Stats.Truncated
+		}
+		sweep.Points = append(sweep.Points, pt)
+	}
+	return sweep, nil
+}
+
+// RunDBSweep runs both miners over a family of databases indexed by an
+// arbitrary X (number of sequences for Figure 5, average length for
+// Figure 6). gen must return the database for xs[i].
+func RunDBSweep(name, xLabel string, xs []float64, minSup int, cfg SweepConfig,
+	gen func(x float64) (*seq.DB, error)) (*Sweep, error) {
+	sweep := &Sweep{Name: name, XLabel: xLabel}
+	for _, x := range xs {
+		db, err := gen(x)
+		if err != nil {
+			return nil, err
+		}
+		ix := seq.NewIndex(db)
+		pt := SweepPoint{X: x}
+		closed, err := core.Mine(ix, core.Options{MinSupport: minSup, Closed: true, DiscardPatterns: true})
+		if err != nil {
+			return nil, err
+		}
+		pt.ClosedTime = closed.Stats.Duration
+		pt.ClosedCount = closed.NumPatterns
+		all, err := core.Mine(ix, core.Options{MinSupport: minSup, DiscardPatterns: true, MaxPatterns: cfg.AllBudget})
+		if err != nil {
+			return nil, err
+		}
+		pt.AllTime = all.Stats.Duration
+		pt.AllCount = all.NumPatterns
+		pt.AllTruncated = all.Stats.Truncated
+		sweep.Points = append(sweep.Points, pt)
+	}
+	return sweep, nil
+}
+
+// CheckShape validates the qualitative claims the paper's figures make;
+// it returns a list of violations (empty = all claims hold).
+//
+//   - closed-count <= all-count at every point (when GSgrow completed);
+//   - closed mining emits no more patterns as min_sup grows (for min_sup
+//     sweeps, where Points are ordered by descending X the counts must be
+//     non-decreasing);
+//   - CloGSgrow completed everywhere (it never hits the budget).
+func CheckShape(s *Sweep, descendingX bool) []string {
+	var out []string
+	for i, p := range s.Points {
+		if !p.AllSkipped && !p.AllTruncated && p.ClosedCount > p.AllCount {
+			out = append(out, fmt.Sprintf("point %g: closed count %d exceeds all count %d", p.X, p.ClosedCount, p.AllCount))
+		}
+		if descendingX && i > 0 && s.Points[i-1].X > p.X && s.Points[i-1].ClosedCount > p.ClosedCount {
+			out = append(out, fmt.Sprintf("point %g: closed count decreased (%d -> %d) as min_sup dropped",
+				p.X, s.Points[i-1].ClosedCount, p.ClosedCount))
+		}
+	}
+	return out
+}

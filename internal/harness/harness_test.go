@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/seq"
+)
+
+func TestTable1GoldValues(t *testing.T) {
+	res, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index rows by definition prefix.
+	find := func(prefix string) Table1Row {
+		for _, r := range res.Rows {
+			if strings.HasPrefix(r.Definition, prefix) {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", prefix)
+		return Table1Row{}
+	}
+	cases := []struct {
+		prefix, ab, cd string
+	}{
+		{"repetitive", "4", "2"},
+		{"sequential", "2", "2"},
+		{"all occurrences", "9", "2"},
+		{"episodes, width-4", "4", "3"}, // CD fits windows [2,5],[3,6],[4,7]
+		{"episodes, minimal", "2", "1"},
+		{"interaction", "9", "2"},
+		{"iterative", "3", "2"},
+	}
+	for _, c := range cases {
+		r := find(c.prefix)
+		if r.SupAB != c.ab {
+			t.Errorf("%s: sup(AB) = %s, want %s", c.prefix, r.SupAB, c.ab)
+		}
+		if r.SupCD != c.cd {
+			t.Errorf("%s: sup(CD) = %s, want %s", c.prefix, r.SupCD, c.cd)
+		}
+	}
+	gap := find("gap requirement")
+	if !strings.HasPrefix(gap.SupAB, "4 (ratio 4/22)") {
+		t.Errorf("gap row sup(AB) = %q, want 4 (ratio 4/22)", gap.SupAB)
+	}
+	if res.LargeRepetitiveAB != 300 || res.LargeRepetitiveCD != 100 {
+		t.Errorf("large example repetitive: AB=%d CD=%d, want 300/100",
+			res.LargeRepetitiveAB, res.LargeRepetitiveCD)
+	}
+	if res.LargeSequenceAB != 100 || res.LargeSequenceCD != 100 {
+		t.Errorf("large example sequential: AB=%d CD=%d, want 100/100",
+			res.LargeSequenceAB, res.LargeSequenceCD)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "repetitive support") || !strings.Contains(out, "sup(AB)=300") {
+		t.Errorf("Render missing content:\n%s", out)
+	}
+}
+
+func TestRunMinSupSweepShape(t *testing.T) {
+	db, err := datagen.Quest(datagen.QuestParams{D: 1, C: 15, N: 1, S: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only the first 300 sequences for test speed.
+	db.Seqs = db.Seqs[:300]
+	db.Labels = db.Labels[:300]
+	sweep, err := RunMinSupSweep(db, SweepConfig{
+		MinSups:   []int{20, 10, 5},
+		AllBudget: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("points = %d", len(sweep.Points))
+	}
+	if viol := CheckShape(sweep, true); len(viol) != 0 {
+		t.Errorf("shape violations: %v", viol)
+	}
+	// Counts grow as min_sup drops.
+	if !(sweep.Points[0].ClosedCount <= sweep.Points[2].ClosedCount) {
+		t.Errorf("closed counts not monotone: %+v", sweep.Points)
+	}
+	tbl := sweep.Table()
+	if !strings.Contains(tbl, "min_sup") || !strings.Contains(tbl, "closed-count") {
+		t.Errorf("table rendering:\n%s", tbl)
+	}
+}
+
+func TestRunMinSupSweepCutoff(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "ABCABCABC")
+	db.AddChars("", "ABCABC")
+	sweep, err := RunMinSupSweep(db, SweepConfig{
+		MinSups:   []int{4, 2, 1},
+		AllCutoff: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.Points[2].AllSkipped {
+		t.Error("min_sup=1 should be below the cut-off")
+	}
+	if sweep.Points[0].AllSkipped || sweep.Points[1].AllSkipped {
+		t.Error("points at or above cut-off must run GSgrow")
+	}
+	if !strings.Contains(sweep.Table(), "-") {
+		t.Errorf("skipped point should render as '-':\n%s", sweep.Table())
+	}
+}
+
+func TestRunDBSweep(t *testing.T) {
+	sweep, err := RunDBSweep("fig5-mini", "sequences", []float64{100, 200}, 5,
+		SweepConfig{AllBudget: 20000},
+		func(x float64) (*seq.DB, error) {
+			db, err := datagen.Quest(datagen.QuestParams{D: 1, C: 10, N: 1, S: 5, Seed: 3})
+			if err != nil {
+				return nil, err
+			}
+			n := int(x)
+			db.Seqs = db.Seqs[:n]
+			db.Labels = db.Labels[:n]
+			return db, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 2 {
+		t.Fatalf("points = %d", len(sweep.Points))
+	}
+	// More sequences at the same min_sup => at least as many closed
+	// patterns (the same generator prefix is a subset).
+	if sweep.Points[1].ClosedCount < sweep.Points[0].ClosedCount {
+		t.Errorf("closed count decreased with database size: %+v", sweep.Points)
+	}
+	if viol := CheckShape(sweep, false); len(viol) != 0 {
+		t.Errorf("shape violations: %v", viol)
+	}
+}
+
+func TestCaseStudySmall(t *testing.T) {
+	// Scaled-down case study: fewer noise events and a high threshold keep
+	// the run fast while preserving the findings.
+	rep, err := RunCaseStudy(CaseStudyConfig{
+		JBoss:  datagen.JBossParams{NumTraces: 12, NoiseMean: 2, Seed: 9},
+		MinSup: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalClosed == 0 {
+		t.Fatal("no closed patterns mined")
+	}
+	if rep.AfterPipeline == 0 || rep.AfterPipeline > rep.TotalClosed {
+		t.Errorf("pipeline kept %d of %d", rep.AfterPipeline, rep.TotalClosed)
+	}
+	// The longest pattern must cover at least the canonical flow (66
+	// events): every trace embeds it, so at min_sup = NumTraces it is
+	// frequent, and the longest closed pattern can only be longer.
+	if len(rep.Longest) < 66 {
+		t.Errorf("longest pattern has %d events, want >= 66", len(rep.Longest))
+	}
+	// The dominant two-event behaviour is Lock -> Unlock.
+	if len(rep.FrequentPair) != 2 ||
+		rep.FrequentPair[0] != "TransImpl.lock" || rep.FrequentPair[1] != "TransImpl.unlock" {
+		t.Errorf("most frequent pair = %v (support %d), want TransImpl.lock -> TransImpl.unlock",
+			rep.FrequentPair, rep.FrequentPairSupport)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "longest pattern") || !strings.Contains(out, "TransImpl.lock") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{1500 * time.Millisecond, "1.50s"},
+		{2500 * time.Microsecond, "2.5ms"},
+		{900 * time.Microsecond, "900µs"},
+	}
+	for _, c := range cases {
+		if got := fmtDuration(c.d); got != c.want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/seq"
+)
+
+func TestSweepTableTruncationMarkers(t *testing.T) {
+	s := &Sweep{
+		Name:   "test sweep",
+		XLabel: "min_sup",
+		Points: []SweepPoint{
+			{X: 10, AllTime: time.Second, ClosedTime: time.Millisecond, AllCount: 100, ClosedCount: 10},
+			{X: 5, AllTime: 2 * time.Second, ClosedTime: 5 * time.Millisecond, AllCount: 5000, ClosedCount: 50, AllTruncated: true},
+			{X: 2, ClosedTime: time.Second, ClosedCount: 400, AllSkipped: true},
+		},
+	}
+	tbl := s.Table()
+	if !strings.Contains(tbl, "5000*") {
+		t.Errorf("truncated count not starred:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "2.00s*") {
+		t.Errorf("truncated time not starred:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "pattern budget") {
+		t.Errorf("truncation legend missing:\n%s", tbl)
+	}
+	// Skipped point renders '-' in both all columns.
+	var skippedLine string
+	for _, line := range strings.Split(tbl, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "2 ") {
+			skippedLine = line
+		}
+	}
+	if strings.Count(skippedLine, "-") < 2 {
+		t.Errorf("skipped point not rendered with dashes: %q", skippedLine)
+	}
+}
+
+func TestSweepTableNoLegendWithoutTruncation(t *testing.T) {
+	s := &Sweep{Name: "t", XLabel: "x", Points: []SweepPoint{{X: 1, ClosedCount: 1}}}
+	if strings.Contains(s.Table(), "pattern budget") {
+		t.Error("legend printed without truncated points")
+	}
+}
+
+func TestCheckShapeViolations(t *testing.T) {
+	bad := &Sweep{Points: []SweepPoint{
+		{X: 10, AllCount: 5, ClosedCount: 9}, // closed > all
+	}}
+	if viol := CheckShape(bad, false); len(viol) != 1 {
+		t.Errorf("violations = %v, want 1", viol)
+	}
+	// Closed count shrinking as min_sup drops is a violation in a
+	// descending sweep.
+	shrink := &Sweep{Points: []SweepPoint{
+		{X: 10, AllCount: 50, ClosedCount: 40},
+		{X: 5, AllCount: 60, ClosedCount: 30},
+	}}
+	if viol := CheckShape(shrink, true); len(viol) != 1 {
+		t.Errorf("violations = %v, want 1", viol)
+	}
+	if viol := CheckShape(shrink, false); len(viol) != 0 {
+		t.Errorf("non-descending sweep should not flag count order: %v", viol)
+	}
+	// Truncated/skipped points are exempt from the closed<=all check.
+	trunc := &Sweep{Points: []SweepPoint{
+		{X: 10, AllCount: 5, ClosedCount: 9, AllTruncated: true},
+		{X: 5, ClosedCount: 9, AllSkipped: true},
+	}}
+	if viol := CheckShape(trunc, true); len(viol) != 0 {
+		t.Errorf("truncated points flagged: %v", viol)
+	}
+}
+
+func TestRunMinSupSweepBudgetMarksTruncation(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("", "ABCDEFGHIJ") // 1023 patterns at min_sup 1
+	sweep, err := RunMinSupSweep(db, SweepConfig{MinSups: []int{1}, AllBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.Points[0].AllTruncated || sweep.Points[0].AllCount != 10 {
+		t.Errorf("point: %+v", sweep.Points[0])
+	}
+	if sweep.Points[0].ClosedCount != 1 {
+		t.Errorf("closed count = %d, want 1 (only the full sequence)", sweep.Points[0].ClosedCount)
+	}
+}

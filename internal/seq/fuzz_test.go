@@ -1,0 +1,82 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: no input may panic any parser; whatever parses successfully
+// must validate and round-trip through its own writer.
+func FuzzParse(f *testing.F) {
+	f.Add("S1: ABCACBDDB\nS2: ACDBACADD\n", int(FormatChars))
+	f.Add("a b c\nb c a\n", int(FormatTokens))
+	f.Add("1 -1 2 -1 -2\n", int(FormatSPMF))
+	f.Add("# comment\n\n", int(FormatTokens))
+	f.Add("1 2 -1 -2", int(FormatSPMF))
+	f.Add("-2", int(FormatSPMF))
+	f.Add(":", int(FormatTokens)) // empty labeled sequence (regression)
+	f.Fuzz(func(t *testing.T, input string, format int) {
+		fm := Format(format % 3)
+		if format < 0 {
+			fm = FormatTokens
+		}
+		db, err := ParseString(input, fm)
+		if err != nil {
+			return
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("parsed database invalid: %v", err)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, db, fm); err != nil {
+			// Char format can reject multi-byte event names that token
+			// parsing would have allowed; only chars-from-chars must
+			// round-trip.
+			if fm == FormatChars {
+				t.Fatalf("chars DB failed to write as chars: %v", err)
+			}
+			return
+		}
+		back, err := ParseString(sb.String(), fm)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\noutput: %q", err, sb.String())
+		}
+		if back.NumSequences() != db.NumSequences() {
+			t.Fatalf("round-trip sequence count %d != %d", back.NumSequences(), db.NumSequences())
+		}
+		if back.TotalLength() != db.TotalLength() {
+			t.Fatalf("round-trip total length %d != %d", back.TotalLength(), db.TotalLength())
+		}
+	})
+}
+
+// FuzzIndexNext: Next never panics and always returns either -1 or a
+// position of the requested event strictly greater than lowest.
+func FuzzIndexNext(f *testing.F) {
+	f.Add("ABCACBDDB", uint8(0), int32(0))
+	f.Add("", uint8(1), int32(5))
+	f.Add("AAAA", uint8(0), int32(-3))
+	f.Fuzz(func(t *testing.T, events string, eventByte uint8, lowest int32) {
+		db := NewDB()
+		names := make([]string, 0, len(events))
+		for i := 0; i < len(events) && i < 64; i++ {
+			names = append(names, string('A'+events[i]%4))
+		}
+		db.Add("", names)
+		ix := NewIndex(db)
+		e := EventID(eventByte % 8) // may be out of dictionary range
+		got := ix.Next(0, e, lowest)
+		if got == -1 {
+			return
+		}
+		if got <= lowest {
+			t.Fatalf("Next returned %d <= lowest %d", got, lowest)
+		}
+		if int(got) < 1 || int(got) > len(db.Seqs[0]) {
+			t.Fatalf("Next returned out-of-range position %d", got)
+		}
+		if db.Seqs[0].At(int(got)) != e {
+			t.Fatalf("Next returned position of wrong event")
+		}
+	})
+}

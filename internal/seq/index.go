@@ -1,0 +1,151 @@
+package seq
+
+import "sort"
+
+// Index is the inverted event index of Section III-D: for each sequence Si
+// and event e, the ordered list L(e,Si) of 1-based positions where e occurs.
+// It answers the paper's next(S, e, lowest) query — the smallest position
+// l > lowest with S[l] = e — by binary search in O(log L) time, and it
+// exposes the per-sequence distinct-event lists used to build the candidate
+// event lists that keep GSgrow's branching factor below |E|.
+type Index struct {
+	db *DB
+	// For sequence i, events[i] lists the distinct events of Si in
+	// ascending EventID order and lists[i][k] holds the ascending 1-based
+	// positions of events[i][k].
+	events [][]EventID
+	lists  [][][]int32
+	// slot[i] maps an EventID to its index in events[i], or -1.
+	slot [][]int32
+	// total[e] is the total number of occurrences of e across the
+	// database, i.e. the repetitive support of the singleton pattern e.
+	total []int
+}
+
+// NewIndex builds the inverted event index for db. Construction is
+// O(total database length).
+func NewIndex(db *DB) *Index {
+	nEvents := db.Dict.Size()
+	ix := &Index{
+		db:     db,
+		events: make([][]EventID, len(db.Seqs)),
+		lists:  make([][][]int32, len(db.Seqs)),
+		slot:   make([][]int32, len(db.Seqs)),
+		total:  make([]int, nEvents),
+	}
+	for i, s := range db.Seqs {
+		// Count occurrences per event in this sequence.
+		counts := make(map[EventID]int, 16)
+		for _, e := range s {
+			counts[e]++
+			ix.total[e]++
+		}
+		evs := make([]EventID, 0, len(counts))
+		for e := range counts {
+			evs = append(evs, e)
+		}
+		sort.Slice(evs, func(a, b int) bool { return evs[a] < evs[b] })
+		slot := make([]int32, nEvents)
+		for k := range slot {
+			slot[k] = -1
+		}
+		lists := make([][]int32, len(evs))
+		for k, e := range evs {
+			lists[k] = make([]int32, 0, counts[e])
+			slot[e] = int32(k)
+		}
+		for pos, e := range s {
+			k := slot[e]
+			lists[k] = append(lists[k], int32(pos+1))
+		}
+		ix.events[i] = evs
+		ix.lists[i] = lists
+		ix.slot[i] = slot
+	}
+	return ix
+}
+
+// DB returns the database this index was built over.
+func (ix *Index) DB() *DB { return ix.db }
+
+// Next implements the paper's next(Si, e, lowest) subroutine: the minimum
+// 1-based position l in sequence i with l > lowest and Si[l] = e, or -1 when
+// no such position exists (the paper's ∞).
+func (ix *Index) Next(i int, e EventID, lowest int32) int32 {
+	if int(e) >= len(ix.slot[i]) {
+		return -1
+	}
+	k := ix.slot[i][e]
+	if k < 0 {
+		return -1
+	}
+	list := ix.lists[i][k]
+	// Binary search for the first element > lowest.
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] <= lowest {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(list) {
+		return -1
+	}
+	return list[lo]
+}
+
+// Positions returns the ascending 1-based positions of e in sequence i.
+// The returned slice is shared with the index and must not be modified.
+func (ix *Index) Positions(i int, e EventID) []int32 {
+	if int(e) >= len(ix.slot[i]) {
+		return nil
+	}
+	k := ix.slot[i][e]
+	if k < 0 {
+		return nil
+	}
+	return ix.lists[i][k]
+}
+
+// Events returns the distinct events of sequence i in ascending ID order.
+// The returned slice is shared with the index and must not be modified.
+func (ix *Index) Events(i int) []EventID { return ix.events[i] }
+
+// LastPos returns the last (largest) 1-based position of e in sequence i,
+// or -1 when e does not occur in Si. This is the O(1) test used by
+// candidate-event generation: e can extend some instance whose last landmark
+// is p only if LastPos(i, e) > p.
+func (ix *Index) LastPos(i int, e EventID) int32 {
+	list := ix.Positions(i, e)
+	if len(list) == 0 {
+		return -1
+	}
+	return list[len(list)-1]
+}
+
+// Count returns the number of occurrences of e in sequence i.
+func (ix *Index) Count(i int, e EventID) int { return len(ix.Positions(i, e)) }
+
+// SingletonSupport returns the repetitive support of the single-event
+// pattern e, which equals the total number of occurrences of e in the
+// database (all single-event instances are pairwise non-overlapping).
+func (ix *Index) SingletonSupport(e EventID) int {
+	if int(e) >= len(ix.total) {
+		return 0
+	}
+	return ix.total[int(e)]
+}
+
+// FrequentEvents returns, in ascending ID order, every event whose
+// singleton support is at least minSup.
+func (ix *Index) FrequentEvents(minSup int) []EventID {
+	var out []EventID
+	for e, c := range ix.total {
+		if c >= minSup {
+			out = append(out, EventID(e))
+		}
+	}
+	return out
+}

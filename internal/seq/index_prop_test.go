@@ -1,0 +1,128 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveNext is the specification of Index.Next: linear scan.
+func naiveNext(s Sequence, e EventID, lowest int32) int32 {
+	start := int(lowest) + 1
+	if start < 1 {
+		start = 1
+	}
+	for p := start; p <= len(s); p++ {
+		if s.At(p) == e {
+			return int32(p)
+		}
+	}
+	return -1
+}
+
+// TestPropertyNextMatchesNaive: the binary-searched next(S, e, lowest)
+// agrees with a linear scan for every event and every lowest bound.
+func TestPropertyNextMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		n := r.Intn(30)
+		ev := make([]string, n)
+		names := []string{"A", "B", "C", "D", "E"}
+		for j := range ev {
+			ev[j] = names[r.Intn(len(names))]
+		}
+		db.Add("", ev)
+		ix := NewIndex(db)
+		s := db.Seqs[0]
+		for e := EventID(0); int(e) < db.Dict.Size(); e++ {
+			for lowest := int32(-1); int(lowest) <= n+1; lowest++ {
+				if got, want := ix.Next(0, e, lowest), naiveNext(s, e, lowest); got != want {
+					t.Logf("seed=%d e=%d lowest=%d: got %d want %d", seed, e, lowest, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyIndexConsistency: Positions lists are ascending, Count and
+// LastPos agree with them, and SingletonSupport sums per-sequence counts.
+func TestPropertyIndexConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		names := []string{"A", "B", "C"}
+		nSeq := 1 + r.Intn(4)
+		for i := 0; i < nSeq; i++ {
+			n := r.Intn(15)
+			ev := make([]string, n)
+			for j := range ev {
+				ev[j] = names[r.Intn(3)]
+			}
+			db.Add("", ev)
+		}
+		ix := NewIndex(db)
+		for e := EventID(0); int(e) < db.Dict.Size(); e++ {
+			total := 0
+			for i := range db.Seqs {
+				pos := ix.Positions(i, e)
+				for k := 1; k < len(pos); k++ {
+					if pos[k-1] >= pos[k] {
+						return false
+					}
+				}
+				for _, p := range pos {
+					if db.Seqs[i].At(int(p)) != e {
+						return false
+					}
+				}
+				if ix.Count(i, e) != len(pos) {
+					return false
+				}
+				if len(pos) > 0 && ix.LastPos(i, e) != pos[len(pos)-1] {
+					return false
+				}
+				if len(pos) == 0 && ix.LastPos(i, e) != -1 {
+					return false
+				}
+				total += len(pos)
+			}
+			if ix.SingletonSupport(e) != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexEventsCoverSequence: Events(i) lists exactly the distinct events
+// of sequence i.
+func TestIndexEventsCoverSequence(t *testing.T) {
+	db := NewDB()
+	db.AddChars("", "ABCACBDDB")
+	db.AddChars("", "")
+	ix := NewIndex(db)
+	if got := len(ix.Events(0)); got != 4 {
+		t.Errorf("Events(S1) = %d distinct, want 4", got)
+	}
+	if got := len(ix.Events(1)); got != 0 {
+		t.Errorf("Events(empty) = %d, want 0", got)
+	}
+	seen := map[EventID]bool{}
+	for _, e := range ix.Events(0) {
+		seen[e] = true
+	}
+	for _, e := range db.Seqs[0] {
+		if !seen[e] {
+			t.Errorf("event %d missing from Events(0)", e)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("A")
+	b := d.Intern("B")
+	if a == b {
+		t.Fatal("distinct names share an ID")
+	}
+	if d.Intern("A") != a {
+		t.Error("re-interning changed the ID")
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+	if d.Lookup("A") != a || d.Lookup("missing") != NoEvent {
+		t.Error("Lookup misbehaves")
+	}
+	if d.Name(a) != "A" || d.Name(b) != "B" {
+		t.Error("Name roundtrip failed")
+	}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v", names)
+	}
+	names[0] = "mutated"
+	if d.Name(a) != "A" {
+		t.Error("Names() exposed internal storage")
+	}
+}
+
+func TestDBAddAndAccessors(t *testing.T) {
+	db := NewDB()
+	i := db.AddChars("S1", "AABCDABB")
+	j := db.Add("S2", []string{"A", "B", "C", "D"})
+	if i != 0 || j != 1 {
+		t.Fatalf("indices %d,%d", i, j)
+	}
+	if db.NumSequences() != 2 {
+		t.Errorf("NumSequences = %d", db.NumSequences())
+	}
+	if db.NumEvents() != 4 {
+		t.Errorf("NumEvents = %d", db.NumEvents())
+	}
+	if db.TotalLength() != 12 {
+		t.Errorf("TotalLength = %d", db.TotalLength())
+	}
+	if db.MaxLength() != 8 {
+		t.Errorf("MaxLength = %d", db.MaxLength())
+	}
+	if db.AvgLength() != 6 {
+		t.Errorf("AvgLength = %v", db.AvgLength())
+	}
+	if db.Label(0) != "S1" || db.Label(1) != "S2" {
+		t.Error("labels wrong")
+	}
+	// 1-based access: S1[3] = B.
+	if db.Dict.Name(db.Seqs[0].At(3)) != "B" {
+		t.Errorf("S1[3] = %s, want B", db.Dict.Name(db.Seqs[0].At(3)))
+	}
+	if db.Seqs[0].Len() != 8 {
+		t.Errorf("S1 length = %d", db.Seqs[0].Len())
+	}
+}
+
+func TestDBLabelSynthesis(t *testing.T) {
+	db := NewDB()
+	db.AddChars("", "AB")
+	if db.Label(0) != "S1" {
+		t.Errorf("Label(0) = %q, want S1", db.Label(0))
+	}
+}
+
+func TestEventSeq(t *testing.T) {
+	db := NewDB()
+	db.AddChars("", "ABC")
+	ids, err := db.EventSeq([]string{"A", "C"})
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("EventSeq: %v %v", ids, err)
+	}
+	if _, err := db.EventSeq([]string{"A", "Z"}); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	db := NewDB()
+	db.AddChars("", "AB")
+	ids, _ := db.EventSeq([]string{"A", "B"})
+	if got := db.PatternString(ids); got != "AB" {
+		t.Errorf("PatternString = %q, want AB", got)
+	}
+	db2 := NewDB()
+	db2.Add("", []string{"lock", "unlock"})
+	ids2, _ := db2.EventSeq([]string{"lock", "unlock"})
+	if got := db2.PatternString(ids2); got != "lock unlock" {
+		t.Errorf("PatternString = %q, want %q", got, "lock unlock")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	db := NewDB()
+	db.AddChars("S1", "AB")
+	if err := db.Validate(); err != nil {
+		t.Errorf("valid DB rejected: %v", err)
+	}
+	db.Seqs[0][0] = 99
+	if err := db.Validate(); err == nil {
+		t.Error("out-of-range event accepted")
+	}
+	bad := &DB{}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil dictionary accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	db := NewDB()
+	db.AddChars("S1", "ABC")
+	cp := db.Clone()
+	cp.Seqs[0][0] = cp.Dict.Intern("Z")
+	if db.Dict.Size() != 3 {
+		t.Error("clone shares dictionary")
+	}
+	if db.Dict.Name(db.Seqs[0][0]) != "A" {
+		t.Error("clone shares sequence storage")
+	}
+	if cp.Label(0) != "S1" {
+		t.Error("clone lost labels")
+	}
+}
+
+func TestAddIDs(t *testing.T) {
+	db := NewDB()
+	a := db.Dict.Intern("A")
+	b := db.Dict.Intern("B")
+	src := []EventID{a, b, a}
+	db.AddIDs("S1", src)
+	src[0] = b // must not alias
+	if db.Seqs[0][0] != a {
+		t.Error("AddIDs aliases caller slice")
+	}
+}
+
+func TestIndexNext(t *testing.T) {
+	db := NewDB()
+	db.AddChars("S1", "ABCACBDDB") // paper Table III S1
+	ix := NewIndex(db)
+	b := db.Dict.Lookup("B")
+	cases := []struct {
+		lowest int32
+		want   int32
+	}{
+		{0, 2}, {1, 2}, {2, 6}, {5, 6}, {6, 9}, {8, 9}, {9, -1}, {100, -1},
+	}
+	for _, c := range cases {
+		if got := ix.Next(0, b, c.lowest); got != c.want {
+			t.Errorf("Next(S1, B, %d) = %d, want %d", c.lowest, got, c.want)
+		}
+	}
+	// Event absent from the sequence.
+	z := db.Dict.Intern("Z")
+	if got := ix.Next(0, z, 0); got != -1 {
+		t.Errorf("Next for absent event = %d, want -1", got)
+	}
+	// Event ID beyond the slot table (interned after index build).
+	if got := ix.Next(0, z+1, 0); got != -1 {
+		t.Errorf("Next for unknown event = %d, want -1", got)
+	}
+}
+
+func TestIndexPositionsEventsLastPos(t *testing.T) {
+	db := NewDB()
+	db.AddChars("S1", "ABCACBDDB")
+	db.AddChars("S2", "ACDBACADD")
+	ix := NewIndex(db)
+	a := db.Dict.Lookup("A")
+	d := db.Dict.Lookup("D")
+	wantA := []int32{1, 4}
+	gotA := ix.Positions(0, a)
+	if len(gotA) != len(wantA) || gotA[0] != 1 || gotA[1] != 4 {
+		t.Errorf("Positions(S1, A) = %v, want %v", gotA, wantA)
+	}
+	if got := ix.LastPos(0, a); got != 4 {
+		t.Errorf("LastPos(S1, A) = %d, want 4", got)
+	}
+	if got := ix.LastPos(1, d); got != 9 {
+		t.Errorf("LastPos(S2, D) = %d, want 9", got)
+	}
+	if got := ix.Count(1, a); got != 3 {
+		t.Errorf("Count(S2, A) = %d, want 3", got)
+	}
+	evs := ix.Events(0)
+	if len(evs) != 4 {
+		t.Errorf("Events(S1) = %v, want 4 distinct", evs)
+	}
+	for k := 1; k < len(evs); k++ {
+		if evs[k-1] >= evs[k] {
+			t.Error("Events not sorted")
+		}
+	}
+}
+
+func TestIndexSingletonSupportAndFrequentEvents(t *testing.T) {
+	db := NewDB()
+	db.AddChars("S1", "ABCACBDDB")
+	db.AddChars("S2", "ACDBACADD")
+	ix := NewIndex(db)
+	want := map[string]int{"A": 5, "B": 4, "C": 4, "D": 5}
+	for name, sup := range want {
+		if got := ix.SingletonSupport(db.Dict.Lookup(name)); got != sup {
+			t.Errorf("SingletonSupport(%s) = %d, want %d", name, got, sup)
+		}
+	}
+	if got := ix.SingletonSupport(EventID(99)); got != 0 {
+		t.Errorf("SingletonSupport(unknown) = %d", got)
+	}
+	if got := len(ix.FrequentEvents(5)); got != 2 {
+		t.Errorf("FrequentEvents(5) has %d events, want 2 (A, D)", got)
+	}
+	if got := len(ix.FrequentEvents(1)); got != 4 {
+		t.Errorf("FrequentEvents(1) has %d events, want 4", got)
+	}
+	if got := len(ix.FrequentEvents(6)); got != 0 {
+		t.Errorf("FrequentEvents(6) has %d events, want 0", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db := NewDB()
+	db.AddChars("S1", "AABCDABB")
+	db.AddChars("S2", "ABCD")
+	st := ComputeStats(db)
+	if st.NumSequences != 2 || st.DistinctEvents != 4 || st.TotalLength != 12 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MinLength != 4 || st.MaxLength != 8 || st.AvgLength != 6 || st.MedianLength != 8 {
+		t.Errorf("length stats: %+v", st)
+	}
+	if st.MaxEventFreq != 4 { // B occurs 4 times total
+		t.Errorf("MaxEventFreq = %d, want 4", st.MaxEventFreq)
+	}
+	if !strings.Contains(st.String(), "sequences=2") {
+		t.Errorf("String() = %q", st.String())
+	}
+	if !strings.Contains(st.Table(), "distinct events") {
+		t.Errorf("Table() = %q", st.Table())
+	}
+	empty := ComputeStats(NewDB())
+	if empty.NumSequences != 0 || empty.AvgLength != 0 {
+		t.Errorf("empty stats: %+v", empty)
+	}
+}
+
+func TestEventFrequencies(t *testing.T) {
+	db := NewDB()
+	db.AddChars("S1", "AABCDABB")
+	db.AddChars("S2", "ABCD")
+	freqs := EventFrequencies(db)
+	if len(freqs) != 4 {
+		t.Fatalf("got %d events", len(freqs))
+	}
+	// A and B both occur 4 times; A has the smaller ID and must come first.
+	if db.Dict.Name(freqs[0].Event) != "A" || freqs[0].Count != 4 {
+		t.Errorf("first = %s/%d", db.Dict.Name(freqs[0].Event), freqs[0].Count)
+	}
+	if db.Dict.Name(freqs[1].Event) != "B" || freqs[1].Count != 4 {
+		t.Errorf("second = %s/%d", db.Dict.Name(freqs[1].Event), freqs[1].Count)
+	}
+	for k := 1; k < len(freqs); k++ {
+		if freqs[k-1].Count < freqs[k].Count {
+			t.Error("not sorted by descending count")
+		}
+	}
+}

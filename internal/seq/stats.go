@@ -1,0 +1,110 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a sequence database. It is what the paper reports when
+// introducing each evaluation dataset (number of sequences, distinct
+// events, average and maximum sequence length).
+type Stats struct {
+	NumSequences   int
+	DistinctEvents int
+	TotalLength    int
+	MinLength      int
+	MaxLength      int
+	AvgLength      float64
+	MedianLength   int
+	// MaxEventFreq is the largest total occurrence count of any single
+	// event, i.e. sup_max for size-1 patterns (used in the paper's space
+	// bound, Theorem 7).
+	MaxEventFreq int
+}
+
+// ComputeStats scans db once and returns its summary statistics.
+func ComputeStats(db *DB) Stats {
+	st := Stats{NumSequences: len(db.Seqs)}
+	if len(db.Seqs) == 0 {
+		return st
+	}
+	lens := make([]int, len(db.Seqs))
+	freq := make(map[EventID]int)
+	st.MinLength = len(db.Seqs[0])
+	for i, s := range db.Seqs {
+		lens[i] = len(s)
+		st.TotalLength += len(s)
+		if len(s) > st.MaxLength {
+			st.MaxLength = len(s)
+		}
+		if len(s) < st.MinLength {
+			st.MinLength = len(s)
+		}
+		for _, e := range s {
+			freq[e]++
+		}
+	}
+	st.DistinctEvents = len(freq)
+	for _, c := range freq {
+		if c > st.MaxEventFreq {
+			st.MaxEventFreq = c
+		}
+	}
+	st.AvgLength = float64(st.TotalLength) / float64(len(db.Seqs))
+	sort.Ints(lens)
+	st.MedianLength = lens[len(lens)/2]
+	return st
+}
+
+// String renders the statistics as a one-line summary.
+func (st Stats) String() string {
+	return fmt.Sprintf("sequences=%d events=%d total=%d len[min=%d med=%d avg=%.2f max=%d] maxEventFreq=%d",
+		st.NumSequences, st.DistinctEvents, st.TotalLength,
+		st.MinLength, st.MedianLength, st.AvgLength, st.MaxLength, st.MaxEventFreq)
+}
+
+// Table renders the statistics as an aligned multi-line table, as used by
+// cmd/gsgrow -stats and the experiment reports.
+func (st Stats) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %d\n", "sequences", st.NumSequences)
+	fmt.Fprintf(&b, "%-18s %d\n", "distinct events", st.DistinctEvents)
+	fmt.Fprintf(&b, "%-18s %d\n", "total events", st.TotalLength)
+	fmt.Fprintf(&b, "%-18s %d\n", "min length", st.MinLength)
+	fmt.Fprintf(&b, "%-18s %d\n", "median length", st.MedianLength)
+	fmt.Fprintf(&b, "%-18s %.2f\n", "avg length", st.AvgLength)
+	fmt.Fprintf(&b, "%-18s %d\n", "max length", st.MaxLength)
+	fmt.Fprintf(&b, "%-18s %d\n", "max event freq", st.MaxEventFreq)
+	return b.String()
+}
+
+// EventFrequencies returns (event, total occurrences) pairs sorted by
+// descending frequency, ties broken by ascending event ID. The total
+// occurrence count of an event equals the repetitive support of its
+// singleton pattern.
+func EventFrequencies(db *DB) []EventCount {
+	freq := make(map[EventID]int)
+	for _, s := range db.Seqs {
+		for _, e := range s {
+			freq[e]++
+		}
+	}
+	out := make([]EventCount, 0, len(freq))
+	for e, c := range freq {
+		out = append(out, EventCount{Event: e, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Event < out[b].Event
+	})
+	return out
+}
+
+// EventCount pairs an event with an occurrence count.
+type EventCount struct {
+	Event EventID
+	Count int
+}

@@ -1,0 +1,406 @@
+// Package verify provides brute-force reference implementations used to
+// validate the miner: repetitive support computed as maximum node-disjoint
+// paths (a max-flow formulation independent of the paper's greedy instance
+// growth), exhaustive landmark enumeration, exhaustive frequent/closed
+// pattern enumeration, and leftmost-dominance checks. Everything here is
+// exponential or polynomial-but-slow on purpose; use only on small inputs.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// Support returns the repetitive support of pattern in db, computed
+// independently of instance growth: per sequence, the maximum number of
+// pairwise non-overlapping instances equals the maximum number of
+// node-disjoint paths through the layered occurrence DAG (layer j holds the
+// positions of pattern[j]; edges go to strictly larger positions in the
+// next layer; "non-overlapping" = no shared node within a layer), which is
+// a unit-node-capacity max flow. Supports of different sequences add up
+// because instances in different sequences never overlap (Definition 2.3).
+func Support(db *seq.DB, pattern []seq.EventID) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range db.Seqs {
+		total += MaxNonOverlapping(db, i, pattern)
+	}
+	return total
+}
+
+// MaxNonOverlapping returns the maximum size of a non-redundant instance
+// set of pattern within sequence i of db, via max flow.
+func MaxNonOverlapping(db *seq.DB, i int, pattern []seq.EventID) int {
+	s := db.Seqs[i]
+	m := len(pattern)
+	// positions[j] lists 1-based occurrences of pattern[j].
+	positions := make([][]int32, m)
+	for j, e := range pattern {
+		for p := 1; p <= len(s); p++ {
+			if s.At(p) == e {
+				positions[j] = append(positions[j], int32(p))
+			}
+		}
+		if len(positions[j]) == 0 {
+			return 0
+		}
+	}
+	// Node-split graph: node (j,k) becomes in/out pair. IDs:
+	// 0 = source, 1 = sink, then 2 + 2*(offset(j)+k) for in, +1 for out.
+	offset := make([]int, m+1)
+	for j := 0; j < m; j++ {
+		offset[j+1] = offset[j] + len(positions[j])
+	}
+	numOcc := offset[m]
+	g := newFlowGraph(2 + 2*numOcc)
+	in := func(j, k int) int { return 2 + 2*(offset[j]+k) }
+	out := func(j, k int) int { return in(j, k) + 1 }
+	for k := range positions[0] {
+		g.addEdge(0, in(0, k))
+	}
+	for j := 0; j < m; j++ {
+		for k := range positions[j] {
+			g.addEdge(in(j, k), out(j, k))
+			if j == m-1 {
+				g.addEdge(out(j, k), 1)
+			} else {
+				for k2, q := range positions[j+1] {
+					if q > positions[j][k] {
+						g.addEdge(out(j, k), in(j+1, k2))
+					}
+				}
+			}
+		}
+	}
+	return g.maxFlow(0, 1)
+}
+
+// flowGraph is a minimal unit-capacity max-flow implementation
+// (BFS augmenting paths).
+type flowGraph struct {
+	head []int
+	next []int
+	to   []int
+	cap  []int8
+}
+
+func newFlowGraph(n int) *flowGraph {
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	return &flowGraph{head: h}
+}
+
+func (g *flowGraph) addEdge(u, v int) {
+	g.to = append(g.to, v)
+	g.cap = append(g.cap, 1)
+	g.next = append(g.next, g.head[u])
+	g.head[u] = len(g.to) - 1
+	// reverse edge
+	g.to = append(g.to, u)
+	g.cap = append(g.cap, 0)
+	g.next = append(g.next, g.head[v])
+	g.head[v] = len(g.to) - 1
+}
+
+func (g *flowGraph) maxFlow(s, t int) int {
+	flow := 0
+	prevEdge := make([]int, len(g.head))
+	for {
+		for i := range prevEdge {
+			prevEdge[i] = -1
+		}
+		queue := []int{s}
+		prevEdge[s] = -2
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for e := g.head[u]; e != -1; e = g.next[e] {
+				v := g.to[e]
+				if g.cap[e] > 0 && prevEdge[v] == -1 {
+					prevEdge[v] = e
+					if v == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			return flow
+		}
+		// All capacities are 1, so the bottleneck is 1.
+		for v := t; v != s; {
+			e := prevEdge[v]
+			g.cap[e]--
+			g.cap[e^1]++
+			v = g.to[e^1]
+		}
+		flow++
+	}
+}
+
+// EnumLandmarks returns every landmark of pattern in sequence i of db, in
+// lexicographic order, or an error if more than limit landmarks exist
+// (guard against combinatorial explosion in tests).
+func EnumLandmarks(db *seq.DB, i int, pattern []seq.EventID, limit int) ([][]int32, error) {
+	s := db.Seqs[i]
+	var out [][]int32
+	land := make([]int32, 0, len(pattern))
+	var rec func(j int, from int32) error
+	rec = func(j int, from int32) error {
+		if j == len(pattern) {
+			if len(out) >= limit {
+				return fmt.Errorf("verify: more than %d landmarks", limit)
+			}
+			out = append(out, append([]int32(nil), land...))
+			return nil
+		}
+		for p := from + 1; int(p) <= len(s); p++ {
+			if s.At(int(p)) == pattern[j] {
+				land = append(land, p)
+				if err := rec(j+1, p); err != nil {
+					return err
+				}
+				land = land[:len(land)-1]
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountOccurrences returns the total number of landmarks (all instances,
+// overlapping or not) of pattern in db — the naive sup_all of Section II-A
+// — computed by dynamic programming in O(len(S)·len(pattern)) per sequence,
+// so it is safe on large inputs.
+func CountOccurrences(db *seq.DB, pattern []seq.EventID) uint64 {
+	if len(pattern) == 0 {
+		return 0
+	}
+	var total uint64
+	m := len(pattern)
+	for _, s := range db.Seqs {
+		// ways[j] = number of landmarks of pattern[:j] ending at or before
+		// the current scan position; classic distinct-subsequence DP.
+		ways := make([]uint64, m+1)
+		ways[0] = 1
+		for p := 1; p <= len(s); p++ {
+			e := s.At(p)
+			for j := m; j >= 1; j-- {
+				if pattern[j-1] == e {
+					ways[j] += ways[j-1]
+				}
+			}
+		}
+		total += ways[m]
+	}
+	return total
+}
+
+// PatternSupport pairs a pattern with its support, for exhaustive
+// enumeration results.
+type PatternSupport struct {
+	Pattern []seq.EventID
+	Support int
+}
+
+// Frequent exhaustively enumerates every pattern of length <= maxLen with
+// repetitive support >= minSup, using flow-based support and Apriori
+// pruning (which the flow-based support provably satisfies). Results are in
+// DFS preorder over ascending event IDs — the same order GSgrow emits.
+func Frequent(db *seq.DB, minSup, maxLen int) []PatternSupport {
+	events := distinctEvents(db)
+	var out []PatternSupport
+	var pattern []seq.EventID
+	var rec func()
+	rec = func() {
+		for _, e := range events {
+			pattern = append(pattern, e)
+			sup := Support(db, pattern)
+			if sup >= minSup {
+				out = append(out, PatternSupport{append([]seq.EventID(nil), pattern...), sup})
+				if len(pattern) < maxLen {
+					rec()
+				}
+			}
+			pattern = pattern[:len(pattern)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// Closed filters Frequent(db, minSup, maxLen) down to closed patterns,
+// checking closedness directly from Definition 2.6 via single-event
+// extensions at every position over the full alphabet (equivalent to
+// checking all super-patterns, by the Apriori property). Patterns at the
+// maxLen boundary are still checked against their length-(maxLen+1)
+// extensions.
+func Closed(db *seq.DB, minSup, maxLen int) []PatternSupport {
+	events := distinctEvents(db)
+	var out []PatternSupport
+	for _, ps := range Frequent(db, minSup, maxLen) {
+		if IsClosed(db, events, ps.Pattern, ps.Support) {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+// IsClosed reports whether pattern (with the given support) is closed in
+// db, by trying every single-event extension at every position.
+func IsClosed(db *seq.DB, events []seq.EventID, pattern []seq.EventID, support int) bool {
+	ext := make([]seq.EventID, len(pattern)+1)
+	for pos := 0; pos <= len(pattern); pos++ {
+		copy(ext[:pos], pattern[:pos])
+		copy(ext[pos+1:], pattern[pos:])
+		for _, e := range events {
+			ext[pos] = e
+			if Support(db, ext) == support {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllMaxSets enumerates every support set (maximum non-redundant instance
+// set) of pattern within sequence i, or an error when the landmark count
+// exceeds limit. Used to verify leftmost dominance (Definition 3.2) on tiny
+// inputs.
+func AllMaxSets(db *seq.DB, i int, pattern []seq.EventID, limit int) ([][]core.Instance, error) {
+	lands, err := EnumLandmarks(db, i, pattern, limit)
+	if err != nil {
+		return nil, err
+	}
+	maxSize := MaxNonOverlapping(db, i, pattern)
+	var out [][]core.Instance
+	var chosen []int
+	conflicts := func(a, b []int32) bool {
+		for j := range a {
+			if a[j] == b[j] {
+				return true
+			}
+		}
+		return false
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if len(chosen) == maxSize {
+			set := make([]core.Instance, len(chosen))
+			for x, idx := range chosen {
+				set[x] = core.Instance{Seq: int32(i), Land: append([]int32(nil), lands[idx]...)}
+			}
+			core.SortRightShift(set)
+			out = append(out, set)
+			return
+		}
+		if k == len(lands) || len(chosen)+(len(lands)-k) < maxSize {
+			return
+		}
+		// choose lands[k] if compatible
+		ok := true
+		for _, idx := range chosen {
+			if conflicts(lands[idx], lands[k]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			chosen = append(chosen, k)
+			rec(k + 1)
+			chosen = chosen[:len(chosen)-1]
+		}
+		rec(k + 1)
+	}
+	rec(0)
+	return out, nil
+}
+
+// normalizeColumns sorts each landmark coordinate column of a
+// single-sequence support set independently. By the swap argument in the
+// proof of Lemma 4 ("if l'^(k-1)_j > l'^(k)_j we can safely swap ... and the
+// set is still non-redundant"), the result is again a valid support set of
+// the same size, now with every column ascending. Definition 3.2's
+// leftmost dominance is over these normalized sets.
+func normalizeColumns(set []core.Instance) []core.Instance {
+	if len(set) == 0 {
+		return set
+	}
+	m := len(set[0].Land)
+	out := make([]core.Instance, len(set))
+	for k := range set {
+		out[k] = core.Instance{Seq: set[k].Seq, Land: make([]int32, m)}
+	}
+	col := make([]int32, len(set))
+	for j := 0; j < m; j++ {
+		for k := range set {
+			col[k] = set[k].Land[j]
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+		for k := range out {
+			out[k].Land[j] = col[k]
+		}
+	}
+	return out
+}
+
+// CheckLeftmostDominance verifies Definition 3.2 for the per-sequence slice
+// of a support set: got (sorted right-shift) must dominate coordinate-wise
+// (<=) every column-normalized support set of pattern in sequence i.
+func CheckLeftmostDominance(db *seq.DB, i int, pattern []seq.EventID, got []core.Instance, limit int) error {
+	sets, err := AllMaxSets(db, i, pattern, limit)
+	if err != nil {
+		return err
+	}
+	for k := range sets {
+		sets[k] = normalizeColumns(sets[k])
+	}
+	if len(sets) == 0 {
+		if len(got) != 0 {
+			return fmt.Errorf("verify: got %d instances, expected none", len(got))
+		}
+		return nil
+	}
+	for _, other := range sets {
+		if len(other) != len(got) {
+			return fmt.Errorf("verify: got %d instances, a support set has %d", len(got), len(other))
+		}
+		for k := range got {
+			for j := range got[k].Land {
+				if got[k].Land[j] > other[k].Land[j] {
+					return fmt.Errorf("verify: instance %d coordinate %d: got %d > %d in %v", k, j, got[k].Land[j], other[k].Land[j], other)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func distinctEvents(db *seq.DB) []seq.EventID {
+	set := make(map[seq.EventID]bool)
+	for _, s := range db.Seqs {
+		for _, e := range s {
+			set[e] = true
+		}
+	}
+	out := make([]seq.EventID, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

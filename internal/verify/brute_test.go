@@ -1,0 +1,227 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func mkDB(seqs ...string) *seq.DB {
+	db := seq.NewDB()
+	for _, s := range seqs {
+		db.AddChars("", s)
+	}
+	return db
+}
+
+func mkPat(t *testing.T, db *seq.DB, s string) []seq.EventID {
+	t.Helper()
+	names := make([]string, len(s))
+	for i := range s {
+		names[i] = string(s[i])
+	}
+	ids, err := db.EventSeq(names)
+	if err != nil {
+		t.Fatalf("pattern %q: %v", s, err)
+	}
+	return ids
+}
+
+func TestFlowSupportGoldValues(t *testing.T) {
+	cases := []struct {
+		seqs    []string
+		pattern string
+		want    int
+	}{
+		{[]string{"AABCDABB", "ABCD"}, "AB", 4}, // Example 1.1
+		{[]string{"AABCDABB", "ABCD"}, "CD", 2},
+		{[]string{"ABCABCA", "AABBCCC"}, "AB", 4},  // Example 2.2
+		{[]string{"ABCABCA", "AABBCCC"}, "ABA", 2}, // Example 2.2
+		{[]string{"ABCABCA", "AABBCCC"}, "ABC", 4}, // Example 2.3
+		{[]string{"ABCACBDDB", "ACDBACADD"}, "ACB", 3},
+		{[]string{"ABCACBDDB", "ACDBACADD"}, "ACA", 3},
+		{[]string{"ABCACBDDB", "ACDBACADD"}, "A", 5},
+		{[]string{"AAAA"}, "AA", 3},
+		{[]string{"AAAA"}, "AAA", 2},
+		{[]string{"AAAA"}, "AAAAA", 0},
+		{[]string{""}, "A", 0},
+	}
+	for _, c := range cases {
+		db := mkDB(c.seqs...)
+		var p []seq.EventID
+		if c.pattern != "" {
+			// Events may be absent from tiny databases; intern manually.
+			for i := range c.pattern {
+				p = append(p, db.Dict.Intern(string(c.pattern[i])))
+			}
+		}
+		if got := Support(db, p); got != c.want {
+			t.Errorf("Support(%v, %s) = %d, want %d", c.seqs, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestSupportEmptyPattern(t *testing.T) {
+	db := mkDB("ABC")
+	if got := Support(db, nil); got != 0 {
+		t.Errorf("Support(empty) = %d, want 0", got)
+	}
+}
+
+func TestEnumLandmarks(t *testing.T) {
+	db := mkDB("ABAB")
+	p := mkPat(t, db, "AB")
+	lands, err := EnumLandmarks(db, 0, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A at 1,3; B at 2,4: landmarks (1,2), (1,4), (3,4).
+	if len(lands) != 3 {
+		t.Fatalf("got %d landmarks: %v", len(lands), lands)
+	}
+	want := [][]int32{{1, 2}, {1, 4}, {3, 4}}
+	for i := range want {
+		if lands[i][0] != want[i][0] || lands[i][1] != want[i][1] {
+			t.Errorf("landmark %d = %v, want %v", i, lands[i], want[i])
+		}
+	}
+	// Limit guard.
+	if _, err := EnumLandmarks(db, 0, p, 2); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestCountOccurrencesGoldValues(t *testing.T) {
+	// Section II-A: SeqDB = {AABBCC...ZZ}: sup_all(AB) = 4,
+	// sup_all(ABC...Z) = 2^26.
+	var events string
+	for c := byte('A'); c <= 'Z'; c++ {
+		events += string(c) + string(c)
+	}
+	db := mkDB(events)
+	if got := CountOccurrences(db, mkPat(t, db, "AB")); got != 4 {
+		t.Errorf("sup_all(AB) = %d, want 4", got)
+	}
+	alphabet := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if got := CountOccurrences(db, mkPat(t, db, alphabet)); got != 1<<26 {
+		t.Errorf("sup_all(A..Z) = %d, want %d", got, 1<<26)
+	}
+	// Example 2.1: AB has 3 landmarks in S1 and 4 in S2.
+	db2 := mkDB("ABCABCA", "AABBCCC")
+	if got := CountOccurrences(db2, mkPat(t, db2, "AB")); got != 7 {
+		t.Errorf("sup_all(AB) on Table II = %d, want 7", got)
+	}
+	if got := CountOccurrences(db2, nil); got != 0 {
+		t.Errorf("sup_all(empty) = %d, want 0", got)
+	}
+}
+
+func TestFrequentAndClosedOracle(t *testing.T) {
+	db := mkDB("ABCACBDDB", "ACDBACADD")
+	freq := Frequent(db, 3, 5)
+	supports := make(map[string]int)
+	for _, ps := range freq {
+		supports[db.PatternString(ps.Pattern)] = ps.Support
+	}
+	for p, want := range map[string]int{
+		"A": 5, "D": 5, "AC": 4, "ACB": 3, "ACAD": 3, "AA": 3,
+	} {
+		if supports[p] != want {
+			t.Errorf("oracle sup(%s) = %d, want %d", p, supports[p], want)
+		}
+	}
+	if _, ok := supports["AAA"]; ok {
+		t.Error("AAA must not be frequent at min_sup=3")
+	}
+
+	closed := Closed(db, 3, 5)
+	closedSet := make(map[string]bool)
+	for _, ps := range closed {
+		closedSet[db.PatternString(ps.Pattern)] = true
+	}
+	for _, want := range []string{"ABD", "ACB", "ACAD"} {
+		if !closedSet[want] {
+			t.Errorf("oracle missing closed pattern %s", want)
+		}
+	}
+	for _, nonClosed := range []string{"AB", "AA", "AAD", "AC"} {
+		if closedSet[nonClosed] {
+			t.Errorf("oracle reports %s closed", nonClosed)
+		}
+	}
+}
+
+func TestIsClosed(t *testing.T) {
+	db := mkDB("ABCACBDDB", "ACDBACADD")
+	events := distinctEvents(db)
+	ab := mkPat(t, db, "AB")
+	if IsClosed(db, events, ab, Support(db, ab)) {
+		t.Error("AB reported closed; ACB has equal support")
+	}
+	abd := mkPat(t, db, "ABD")
+	if !IsClosed(db, events, abd, Support(db, abd)) {
+		t.Error("ABD reported non-closed")
+	}
+}
+
+func TestAllMaxSets(t *testing.T) {
+	db := mkDB("CABACBCC")
+	p := mkPat(t, db, "BC")
+	sets, err := AllMaxSets(db, 0, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B at 3,6; C at 1,5,7,8. Instances: (3,5),(3,7),(3,8),(6,7),(6,8).
+	// Max sets of size 2 with distinct l1 and distinct l2:
+	// {(3,5),(6,7)}, {(3,5),(6,8)}, {(3,7),(6,8)}, {(3,8),(6,7)}.
+	if len(sets) != 4 {
+		t.Fatalf("got %d max sets, want 4: %v", len(sets), sets)
+	}
+	for _, s := range sets {
+		if len(s) != 2 {
+			t.Errorf("max set %v has size %d, want 2", s, len(s))
+		}
+	}
+}
+
+func TestNormalizeColumns(t *testing.T) {
+	db := mkDB("CABACBCC")
+	p := mkPat(t, db, "BC")
+	sets, err := AllMaxSets(db, 0, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		n := normalizeColumns(s)
+		// Every normalized set must still have strictly increasing rows
+		// and ascending columns.
+		for k := range n {
+			for j := 1; j < len(n[k].Land); j++ {
+				if n[k].Land[j] <= n[k].Land[j-1] {
+					t.Errorf("normalized instance %v not increasing", n[k])
+				}
+			}
+			if k > 0 {
+				for j := range n[k].Land {
+					if n[k].Land[j] <= n[k-1].Land[j] {
+						t.Errorf("normalized column %d not ascending: %v", j, n)
+					}
+				}
+			}
+		}
+	}
+	if got := normalizeColumns(nil); got != nil {
+		t.Errorf("normalizeColumns(nil) = %v", got)
+	}
+}
+
+func TestMaxNonOverlappingPerSequence(t *testing.T) {
+	db := mkDB("AABCDABB", "ABCD")
+	p := mkPat(t, db, "AB")
+	if got := MaxNonOverlapping(db, 0, p); got != 3 {
+		t.Errorf("S1 max non-overlapping AB = %d, want 3", got)
+	}
+	if got := MaxNonOverlapping(db, 1, p); got != 1 {
+		t.Errorf("S2 max non-overlapping AB = %d, want 1", got)
+	}
+}

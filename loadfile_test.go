@@ -1,0 +1,55 @@
+package repro
+
+import "testing"
+
+func TestLoadFileChars(t *testing.T) {
+	db, err := LoadFile("testdata/example11.chars", Chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 2 {
+		t.Fatalf("sequences = %d", db.NumSequences())
+	}
+	if got := db.Support([]string{"A", "B"}); got != 4 {
+		t.Errorf("sup(AB) = %d, want 4", got)
+	}
+	set := db.SupportSet([]string{"A", "B"})
+	if len(set) != 4 || set[0].Sequence != "S1" {
+		t.Errorf("support set: %+v", set)
+	}
+}
+
+func TestLoadFileTokens(t *testing.T) {
+	db, err := LoadFile("testdata/traces.tokens", Tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 2 || db.NumEvents() != 6 {
+		t.Fatalf("shape: %d sequences, %d events", db.NumSequences(), db.NumEvents())
+	}
+	if got := db.Support([]string{"request", "response"}); got != 2 {
+		t.Errorf("sup(request response) = %d, want 2", got)
+	}
+	res, err := db.MineClosed(Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full shared flow open auth request response close is frequent
+	// in both traces; it must appear among the closed patterns.
+	found := false
+	for _, p := range res.Patterns {
+		if len(p.Events) == 5 && p.Events[0] == "open" && p.Events[4] == "close" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("shared flow missing from closed patterns: %v", res.Patterns)
+	}
+}
+
+func TestLoadFileWrongFormat(t *testing.T) {
+	// chars file parsed as SPMF must fail loudly.
+	if _, err := LoadFile("testdata/example11.chars", SPMF); err == nil {
+		t.Error("chars file accepted as SPMF")
+	}
+}

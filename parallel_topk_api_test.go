@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicWorkers(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("S1", "ABCACBDDB")
+	db.AddString("S2", "ACDBACADD")
+	seqRes, err := db.MineClosed(Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := db.MineClosed(Options{MinSupport: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRes.Patterns) != len(parRes.Patterns) {
+		t.Fatalf("sequential %d vs parallel %d patterns", len(seqRes.Patterns), len(parRes.Patterns))
+	}
+	for i := range seqRes.Patterns {
+		a := strings.Join(seqRes.Patterns[i].Events, "")
+		b := strings.Join(parRes.Patterns[i].Events, "")
+		if a != b || seqRes.Patterns[i].Support != parRes.Patterns[i].Support {
+			t.Errorf("pattern %d: %s/%d vs %s/%d", i, a, seqRes.Patterns[i].Support, b, parRes.Patterns[i].Support)
+		}
+	}
+}
+
+func TestPublicMineTopK(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("S1", "ABCACBDDB")
+	db.AddString("S2", "ACDBACADD")
+	res, err := db.MineTopK(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 3 {
+		t.Fatalf("got %d patterns", len(res.Patterns))
+	}
+	if strings.Join(res.Patterns[0].Events, "") != "AD" || res.Patterns[0].Support != 5 {
+		t.Errorf("top closed pattern = %v/%d, want AD/5", res.Patterns[0].Events, res.Patterns[0].Support)
+	}
+	for i := 1; i < len(res.Patterns); i++ {
+		if res.Patterns[i-1].Support < res.Patterns[i].Support {
+			t.Error("top-k not in support order")
+		}
+	}
+	if _, err := db.MineTopK(0, false); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestPublicTopKBeyondTotal(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("", "AB")
+	res, err := db.MineTopK(100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patterns of AB: A, B, AB.
+	if len(res.Patterns) != 3 {
+		t.Errorf("got %d patterns, want 3", len(res.Patterns))
+	}
+}

@@ -1,0 +1,297 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// Format identifies an on-disk database encoding accepted by Load.
+type Format int
+
+// Supported formats. See internal/seq for the grammar of each.
+const (
+	// Tokens: one sequence per line, whitespace-separated event names,
+	// optional "label:" prefix, '#' comments.
+	Tokens Format = iota
+	// Chars: one sequence per line, each byte a single-character event.
+	Chars
+	// SPMF: the SPMF sequence format (integer items, -1/-2 separators)
+	// restricted to single-item itemsets.
+	SPMF
+)
+
+func (f Format) internal() (seq.Format, error) {
+	switch f {
+	case Tokens:
+		return seq.FormatTokens, nil
+	case Chars:
+		return seq.FormatChars, nil
+	case SPMF:
+		return seq.FormatSPMF, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown format %d", f)
+	}
+}
+
+// Database is a sequence database under construction and the handle on
+// which mining runs. Not safe for concurrent mutation; concurrent mining
+// of an unchanging database is safe.
+type Database struct {
+	db    *seq.DB
+	ix    *seq.Index
+	dirty bool
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{db: seq.NewDB(), dirty: true}
+}
+
+// Load reads a database from r in the given format.
+func Load(r io.Reader, format Format) (*Database, error) {
+	f, err := format.internal()
+	if err != nil {
+		return nil, err
+	}
+	db, err := seq.Parse(r, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db, dirty: true}, nil
+}
+
+// LoadFile reads a database from the named file.
+func LoadFile(path string, format Format) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, format)
+}
+
+// Add appends a sequence of event names under the given label (empty label
+// auto-names the sequence "S<n>").
+func (d *Database) Add(label string, events []string) {
+	d.db.Add(label, events)
+	d.dirty = true
+}
+
+// AddString appends a sequence where each byte of events is one
+// single-character event — handy for examples and tests.
+func (d *Database) AddString(label, events string) {
+	d.db.AddChars(label, events)
+	d.dirty = true
+}
+
+// NumSequences returns the number of sequences added so far.
+func (d *Database) NumSequences() int { return d.db.NumSequences() }
+
+// NumEvents returns the number of distinct event names seen so far.
+func (d *Database) NumEvents() int { return d.db.NumEvents() }
+
+// Stats returns summary statistics of the database.
+func (d *Database) Stats() Stats {
+	st := seq.ComputeStats(d.db)
+	return Stats{
+		NumSequences:   st.NumSequences,
+		DistinctEvents: st.DistinctEvents,
+		TotalLength:    st.TotalLength,
+		MinLength:      st.MinLength,
+		MaxLength:      st.MaxLength,
+		AvgLength:      st.AvgLength,
+	}
+}
+
+// Stats summarizes a database.
+type Stats struct {
+	NumSequences   int
+	DistinctEvents int
+	TotalLength    int
+	MinLength      int
+	MaxLength      int
+	AvgLength      float64
+}
+
+func (d *Database) index() *seq.Index {
+	if d.dirty || d.ix == nil {
+		d.ix = seq.NewIndex(d.db)
+		d.dirty = false
+	}
+	return d.ix
+}
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the repetitive-support threshold (>= 1).
+	MinSupport int
+	// MaxPatternLength bounds pattern length; 0 = unbounded.
+	MaxPatternLength int
+	// MaxPatterns stops the run after that many patterns (0 = unbounded);
+	// Result.Truncated reports whether the cap was hit.
+	MaxPatterns int
+	// CollectInstances attaches each pattern's leftmost support set.
+	CollectInstances bool
+	// Workers > 1 fans the mining DFS out over that many goroutines
+	// (seed-event parallelism). The result is identical to the sequential
+	// run; under MaxPatterns, exactly that many patterns are returned but
+	// which ones depends on scheduling.
+	Workers int
+}
+
+// Instance is one occurrence of a pattern: the sequence it lives in and
+// the 1-based positions of its events (the landmark).
+type Instance struct {
+	SequenceIndex int    // 0-based index into the database
+	Sequence      string // label of the sequence
+	Positions     []int  // 1-based landmark, strictly increasing
+}
+
+// Pattern is a mined pattern.
+type Pattern struct {
+	// Events is the pattern as event names.
+	Events []string
+	// Support is its repetitive support: the maximum number of pairwise
+	// non-overlapping occurrences in the database.
+	Support int
+	// Instances is a maximum set of non-overlapping occurrences (the
+	// leftmost support set); nil unless Options.CollectInstances was set.
+	Instances []Instance
+}
+
+// Result is the output of Mine or MineClosed.
+type Result struct {
+	Patterns []Pattern
+	// Truncated reports that MaxPatterns stopped the run early.
+	Truncated bool
+	// Elapsed is the wall-clock mining time.
+	Elapsed time.Duration
+}
+
+// Mine returns every pattern with repetitive support at least
+// opt.MinSupport (the paper's GSgrow).
+func (d *Database) Mine(opt Options) (*Result, error) {
+	return d.mine(opt, false)
+}
+
+// MineClosed returns every closed frequent pattern: those with no
+// super-pattern of equal support (the paper's CloGSgrow). The closed set
+// is typically orders of magnitude smaller than the full frequent set and
+// loses no information: every frequent pattern is a sub-pattern of some
+// closed pattern with the same support.
+func (d *Database) MineClosed(opt Options) (*Result, error) {
+	return d.mine(opt, true)
+}
+
+func (d *Database) mine(opt Options, closed bool) (*Result, error) {
+	copt := core.Options{
+		MinSupport:       opt.MinSupport,
+		Closed:           closed,
+		MaxPatternLength: opt.MaxPatternLength,
+		MaxPatterns:      opt.MaxPatterns,
+		CollectInstances: opt.CollectInstances,
+	}
+	var res *core.Result
+	var err error
+	if opt.Workers > 1 {
+		res, err = core.MineParallel(d.index(), copt, opt.Workers)
+	} else {
+		res, err = core.Mine(d.index(), copt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Truncated: res.Stats.Truncated,
+		Elapsed:   res.Stats.Duration,
+	}
+	out.Patterns = make([]Pattern, len(res.Patterns))
+	for i, p := range res.Patterns {
+		out.Patterns[i] = d.exportPattern(p)
+	}
+	return out, nil
+}
+
+func (d *Database) exportPattern(p core.Pattern) Pattern {
+	events := make([]string, len(p.Events))
+	for j, e := range p.Events {
+		events[j] = d.db.Dict.Name(e)
+	}
+	out := Pattern{Events: events, Support: p.Support}
+	if p.Instances != nil {
+		out.Instances = d.exportInstances(p.Instances)
+	}
+	return out
+}
+
+func (d *Database) exportInstances(set core.FullSet) []Instance {
+	out := make([]Instance, len(set))
+	for k, ins := range set {
+		positions := make([]int, len(ins.Land))
+		for j, l := range ins.Land {
+			positions[j] = int(l)
+		}
+		out[k] = Instance{
+			SequenceIndex: int(ins.Seq),
+			Sequence:      d.db.Label(int(ins.Seq)),
+			Positions:     positions,
+		}
+	}
+	return out
+}
+
+// MineTopK returns the k highest-support patterns (closed patterns when
+// closed is set) without requiring a support threshold, via best-first
+// search over the pattern-growth tree. Patterns come back in
+// non-increasing support order, ties broken lexicographically. Intended
+// for exploration; on dense data prefer Mine with a threshold.
+func (d *Database) MineTopK(k int, closed bool) (*Result, error) {
+	res, err := core.MineTopK(d.index(), k, closed, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Elapsed: res.Stats.Duration}
+	out.Patterns = make([]Pattern, len(res.Patterns))
+	for i, p := range res.Patterns {
+		out.Patterns[i] = d.exportPattern(p)
+	}
+	return out, nil
+}
+
+// Support computes the repetitive support of one pattern, given as event
+// names. Unknown event names yield support 0.
+func (d *Database) Support(pattern []string) int {
+	return core.SupportOfNames(d.index(), pattern)
+}
+
+// SupportSet computes a maximum set of non-overlapping occurrences of
+// pattern (the leftmost support set). Unknown event names yield an empty
+// set.
+func (d *Database) SupportSet(pattern []string) []Instance {
+	ids := make([]seq.EventID, len(pattern))
+	for i, n := range pattern {
+		id := d.db.Dict.Lookup(n)
+		if id == seq.NoEvent {
+			return nil
+		}
+		ids[i] = id
+	}
+	return d.exportInstances(core.ComputeSupportSet(d.index(), ids))
+}
+
+// PerSequenceSupport returns, for each sequence, the number of
+// non-overlapping occurrences of pattern inside it — the feature values
+// the paper proposes for sequence classification (Section V). The slice is
+// indexed by sequence index; its sum equals Support(pattern).
+func (d *Database) PerSequenceSupport(pattern []string) []int {
+	out := make([]int, d.db.NumSequences())
+	for _, ins := range d.SupportSet(pattern) {
+		out[ins.SequenceIndex]++
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func example11(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	db.AddString("S1", "AABCDABB")
+	db.AddString("S2", "ABCD")
+	return db
+}
+
+func TestPublicSupport(t *testing.T) {
+	db := example11(t)
+	if got := db.Support([]string{"A", "B"}); got != 4 {
+		t.Errorf("Support(AB) = %d, want 4", got)
+	}
+	if got := db.Support([]string{"C", "D"}); got != 2 {
+		t.Errorf("Support(CD) = %d, want 2", got)
+	}
+	if got := db.Support([]string{"Z"}); got != 0 {
+		t.Errorf("Support(unknown) = %d, want 0", got)
+	}
+	if got := db.Support(nil); got != 0 {
+		t.Errorf("Support(empty) = %d, want 0", got)
+	}
+}
+
+func TestPublicSupportSet(t *testing.T) {
+	db := example11(t)
+	set := db.SupportSet([]string{"A", "B"})
+	if len(set) != 4 {
+		t.Fatalf("|support set| = %d, want 4", len(set))
+	}
+	for _, ins := range set {
+		if len(ins.Positions) != 2 {
+			t.Errorf("instance %v has %d positions", ins, len(ins.Positions))
+		}
+		if ins.Positions[0] >= ins.Positions[1] {
+			t.Errorf("landmark not increasing: %v", ins)
+		}
+		if ins.Sequence != "S1" && ins.Sequence != "S2" {
+			t.Errorf("unknown sequence label %q", ins.Sequence)
+		}
+	}
+	if got := db.SupportSet([]string{"missing"}); got != nil {
+		t.Errorf("SupportSet(unknown) = %v", got)
+	}
+}
+
+func TestPublicMine(t *testing.T) {
+	db := example11(t)
+	res, err := db.Mine(Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, p := range res.Patterns {
+		got[strings.Join(p.Events, "")] = p.Support
+	}
+	if got["AB"] != 4 || got["CD"] != 2 || got["A"] != 4 {
+		t.Errorf("mined supports: %v", got)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not set")
+	}
+}
+
+func TestPublicMineClosed(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("S1", "ABCACBDDB")
+	db.AddString("S2", "ACDBACADD")
+	all, err := db.Mine(Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := db.MineClosed(Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed.Patterns) >= len(all.Patterns) {
+		t.Errorf("closed %d not smaller than all %d", len(closed.Patterns), len(all.Patterns))
+	}
+	names := map[string]bool{}
+	for _, p := range closed.Patterns {
+		names[strings.Join(p.Events, "")] = true
+	}
+	if names["AB"] || names["AA"] {
+		t.Errorf("non-closed pattern in closed result: %v", names)
+	}
+	if !names["ABD"] {
+		t.Errorf("ABD missing from closed result: %v", names)
+	}
+}
+
+func TestPublicCollectInstances(t *testing.T) {
+	db := example11(t)
+	res, err := db.MineClosed(Options{MinSupport: 2, CollectInstances: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if len(p.Instances) != p.Support {
+			t.Errorf("pattern %v: %d instances for support %d", p.Events, len(p.Instances), p.Support)
+		}
+	}
+	res2, err := db.MineClosed(Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res2.Patterns {
+		if p.Instances != nil {
+			t.Error("instances attached without CollectInstances")
+		}
+	}
+}
+
+func TestPublicMaxPatterns(t *testing.T) {
+	db := example11(t)
+	res, err := db.Mine(Options{MinSupport: 1, MaxPatterns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 2 || !res.Truncated {
+		t.Errorf("patterns=%d truncated=%v", len(res.Patterns), res.Truncated)
+	}
+}
+
+func TestPublicOptionsValidation(t *testing.T) {
+	db := example11(t)
+	if _, err := db.Mine(Options{MinSupport: 0}); err == nil {
+		t.Error("MinSupport=0 accepted")
+	}
+	if _, err := db.MineClosed(Options{MinSupport: -3}); err == nil {
+		t.Error("negative MinSupport accepted")
+	}
+}
+
+func TestPublicPerSequenceSupport(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("heavy", "CABABABABABD")
+	db.AddString("light", "ABCD")
+	per := db.PerSequenceSupport([]string{"A", "B"})
+	if len(per) != 2 || per[0] != 5 || per[1] != 1 {
+		t.Errorf("per-sequence = %v, want [5 1]", per)
+	}
+	total := db.Support([]string{"A", "B"})
+	if per[0]+per[1] != total {
+		t.Errorf("per-sequence sum %d != support %d", per[0]+per[1], total)
+	}
+}
+
+func TestPublicLoad(t *testing.T) {
+	input := "S1: AABCDABB\nS2: ABCD\n"
+	db, err := Load(strings.NewReader(input), Chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != 2 || db.NumEvents() != 4 {
+		t.Errorf("loaded %d sequences, %d events", db.NumSequences(), db.NumEvents())
+	}
+	if got := db.Support([]string{"A", "B"}); got != 4 {
+		t.Errorf("Support(AB) = %d, want 4", got)
+	}
+	if _, err := Load(strings.NewReader("x"), Format(99)); err == nil {
+		t.Error("unknown format accepted")
+	}
+	tokens := "login view buy\nlogin logout\n"
+	db2, err := Load(strings.NewReader(tokens), Tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Support([]string{"login"}); got != 2 {
+		t.Errorf("Support(login) = %d", got)
+	}
+	spmf := "1 -1 2 -1 -2\n"
+	db3, err := Load(strings.NewReader(spmf), SPMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db3.Support([]string{"1", "2"}); got != 1 {
+		t.Errorf("SPMF Support(1 2) = %d", got)
+	}
+}
+
+func TestPublicLoadFile(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path.db", Chars); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	db := example11(t)
+	st := db.Stats()
+	if st.NumSequences != 2 || st.DistinctEvents != 4 || st.TotalLength != 12 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.MinLength != 4 || st.MaxLength != 8 || st.AvgLength != 6 {
+		t.Errorf("length stats: %+v", st)
+	}
+}
+
+func TestPublicIncrementalAdd(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("", "AB")
+	if got := db.Support([]string{"A", "B"}); got != 1 {
+		t.Fatalf("initial support = %d", got)
+	}
+	// Adding more data must invalidate the cached index.
+	db.AddString("", "AB")
+	if got := db.Support([]string{"A", "B"}); got != 2 {
+		t.Errorf("support after add = %d, want 2", got)
+	}
+	db.Add("", []string{"A", "B"})
+	if got := db.Support([]string{"A", "B"}); got != 3 {
+		t.Errorf("support after Add = %d, want 3", got)
+	}
+}
