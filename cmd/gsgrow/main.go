@@ -12,18 +12,32 @@
 // nothing and instead reports the repetitive support of one pattern given
 // as comma-separated events. -density applies the paper's case-study
 // post-processing (density filter, maximality, rank by length).
+// The serve subcommand starts the long-running mining service instead
+// (same daemon as cmd/reprod):
+//
+//	gsgrow serve -addr :8372
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cli"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "gsgrow serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		input = flag.String("input", "", "input database file ('-' for stdin)")
 		cfg   cli.MineConfig
@@ -46,6 +60,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gsgrow:", err)
 		os.Exit(1)
 	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var cfg cli.ServeConfig
+	fs.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
+	fs.IntVar(&cfg.CacheSize, "cache", 0, "result-cache entries (0 = default, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return cli.Serve(ctx, cfg, os.Stderr)
 }
 
 func run(input string, cfg cli.MineConfig) error {

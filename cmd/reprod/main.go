@@ -1,0 +1,39 @@
+// Command reprod is the long-running mining service: it hosts named
+// sequence databases uploaded over HTTP and serves concurrent
+// GSgrow/CloGSgrow/top-k mining requests, with client-cancellation support
+// and an LRU result cache. See internal/server for the API.
+//
+// Usage:
+//
+//	reprod -addr :8372 -cache 64
+//
+// Then, from a client:
+//
+//	curl -X POST --data-binary @db.txt 'localhost:8372/v1/databases/mydb?format=tokens'
+//	curl -X POST -d '{"closed":true,"minSupport":10}' localhost:8372/v1/databases/mydb/mine
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	var cfg cli.ServeConfig
+	flag.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
+	flag.IntVar(&cfg.CacheSize, "cache", 0, "result-cache entries (0 = default, negative disables)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cli.Serve(ctx, cfg, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "reprod:", err)
+		os.Exit(1)
+	}
+}

@@ -22,6 +22,20 @@
 //		fmt.Println(p.Events, p.Support)
 //	}
 //
+// Long-running or interactive callers can bound and observe mining runs:
+// Options.Ctx cancels a run in flight (the DFS polls the context and
+// returns the patterns found so far with Result.Truncated set),
+// Options.OnPattern streams patterns as they are emitted, and
+// Options.Workers fans the search out over a worker pool with output
+// identical to the sequential run. Call Database.Prepare once after
+// loading to make subsequent concurrent mining race-free.
+//
+// The same capabilities are exposed over HTTP by the mining service
+// (internal/server, started with `gsgrow serve` or cmd/reprod): named
+// databases are uploaded once and mined concurrently by many clients,
+// with NDJSON streaming, client-disconnect cancellation, and an LRU
+// result cache keyed by database generation and canonical options.
+//
 // The subpackages under internal implement the substrate (sequence
 // database, inverted index, generators, baselines, brute-force oracles,
 // experiment harness); this package is the stable public surface.

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ServeConfig mirrors the flags of `gsgrow serve` and cmd/reprod.
+type ServeConfig struct {
+	Addr      string // listen address, e.g. ":8372"
+	CacheSize int    // result-cache entries; 0 = default, < 0 disables
+}
+
+// Serve runs the mining HTTP service until ctx is cancelled, then shuts
+// down gracefully (in-flight mining requests are aborted through their own
+// request contexts). The bound address is reported on out before serving,
+// so callers binding ":0" can discover the port.
+func Serve(ctx context.Context, cfg ServeConfig, out io.Writer) error {
+	srv := server.New(server.Config{CacheSize: cfg.CacheSize})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Request contexts derive from ctx, so cancelling it aborts
+		// in-flight mining DFS runs and lets Shutdown drain quickly.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "reprod listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutCtx)
+	}
+}

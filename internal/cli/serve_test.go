@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle boots the service on an ephemeral port, round-trips
+// one upload + mine over real HTTP, and shuts down via context cancel.
+func TestServeLifecycle(t *testing.T) {
+	addrc := make(chan string, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(ctx, ServeConfig{Addr: "127.0.0.1:0"}, addrWriter{addrc})
+	}()
+
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not report its address")
+	}
+
+	resp, err := http.Post(base+"/v1/databases/ex?format=chars", "text/plain",
+		strings.NewReader("S1: AABCDABB\nS2: ABCD\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/databases/ex/mine", "application/json",
+		strings.NewReader(`{"closed":true,"minSupport":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"algorithm":"CloGSgrow"`) {
+		t.Fatalf("mine: %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// addrWriter extracts the listen address from Serve's banner line.
+type addrWriter struct{ c chan string }
+
+func (w addrWriter) Write(p []byte) (int, error) {
+	line := string(p)
+	if i := strings.LastIndex(line, " on "); i >= 0 {
+		select {
+		case w.c <- strings.TrimSpace(line[i+4:]):
+		default:
+		}
+	}
+	return len(p), nil
+}

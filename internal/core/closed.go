@@ -16,6 +16,9 @@ import "repro/internal/seq"
 //  3. emits P only if no extension of equal support was found anywhere.
 func (m *miner) growClosed(I Set) {
 	m.enterNode()
+	if m.stopped {
+		return
+	}
 	m.res.Stats.ClosureChecks++
 	equalFound, prune := m.checkNonAppend(I)
 	if prune {

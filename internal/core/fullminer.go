@@ -23,12 +23,16 @@ func MineAllFull(ix *seq.Index, opt Options) (*Result, error) {
 		seen: make([]bool, ix.DB().Dict.Size()),
 		res:  &Result{},
 	}
+	if ctxDone(opt.Ctx) {
+		f.res.Stats.Truncated = true
+		f.stopped = true
+	}
 	for _, e := range ix.FrequentEvents(opt.MinSupport) {
-		f.pattern = append(f.pattern[:0], e)
-		f.grow(singletonFullSet(ix, e))
 		if f.stopped {
 			break
 		}
+		f.pattern = append(f.pattern[:0], e)
+		f.grow(singletonFullSet(ix, e))
 	}
 	f.res.Stats.Duration = time.Since(start)
 	return f.res, nil
@@ -39,6 +43,7 @@ type fullMiner struct {
 	opt     Options
 	pattern []seq.EventID
 	seen    []bool
+	ctxTick int
 	res     *Result
 	stopped bool
 }
@@ -47,6 +52,11 @@ func (f *fullMiner) grow(I FullSet) {
 	f.res.Stats.NodesVisited++
 	if d := len(f.pattern); d > f.res.Stats.MaxDepth {
 		f.res.Stats.MaxDepth = d
+	}
+	if ctxPoll(f.opt.Ctx, &f.ctxTick) {
+		f.stopped = true
+		f.res.Stats.Truncated = true
+		return
 	}
 	p := Pattern{Events: append([]seq.EventID(nil), f.pattern...), Support: len(I)}
 	if f.opt.CollectInstances {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -37,6 +38,8 @@ type miner struct {
 	budget  *int64
 	stopAll *atomic.Bool
 
+	ctxTick int // nodes since the last Options.Ctx poll
+
 	res     *Result
 	stopped bool
 }
@@ -65,7 +68,14 @@ func Mine(ix *seq.Index, opt Options) (*Result, error) {
 		counts:     make([]int, numEvents),
 		res:        &Result{},
 	}
+	if ctxDone(opt.Ctx) {
+		m.res.Stats.Truncated = true
+		m.stopped = true
+	}
 	for _, e := range m.freqEvents {
+		if m.stopped {
+			break
+		}
 		I := singletonSet(ix, e)
 		m.pattern = append(m.pattern[:0], e)
 		m.chain = append(m.chain[:0], I)
@@ -73,9 +83,6 @@ func Mine(ix *seq.Index, opt Options) (*Result, error) {
 			m.growClosed(I)
 		} else {
 			m.grow(I)
-		}
-		if m.stopped {
-			break
 		}
 	}
 	m.res.Stats.Duration = time.Since(start)
@@ -86,6 +93,9 @@ func Mine(ix *seq.Index, opt Options) (*Result, error) {
 // frequent with support set I; emit it and extend depth-first.
 func (m *miner) grow(I Set) {
 	m.enterNode()
+	if m.stopped {
+		return
+	}
 	m.emit(I)
 	if m.stopped {
 		return
@@ -118,10 +128,51 @@ func (m *miner) grow(I Set) {
 	m.candStack = m.candStack[:len(m.candStack)-1]
 }
 
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// ctxCheckInterval is how many DFS nodes pass between context polls. The
+// poll is two atomic loads, but amortizing it keeps cancellation cost
+// unmeasurable on the hot path while still bounding the abort latency to a
+// few hundred instance growths.
+const ctxCheckInterval = 64
+
+// ctxPoll is the amortized cancellation check shared by every miner: it
+// bumps *tick and polls ctx only every ctxCheckInterval calls, reporting
+// whether the run should stop. Callers apply their own stop side effects.
+func ctxPoll(ctx context.Context, tick *int) bool {
+	if ctx == nil {
+		return false
+	}
+	*tick++
+	if *tick < ctxCheckInterval {
+		return false
+	}
+	*tick = 0
+	return ctxDone(ctx)
+}
+
 func (m *miner) enterNode() {
 	m.res.Stats.NodesVisited++
 	if d := len(m.pattern); d > m.res.Stats.MaxDepth {
 		m.res.Stats.MaxDepth = d
+	}
+	if ctxPoll(m.opt.Ctx, &m.ctxTick) {
+		m.stopped = true
+		m.res.Stats.Truncated = true
+		if m.stopAll != nil {
+			m.stopAll.Store(true)
+		}
 	}
 }
 

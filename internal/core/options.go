@@ -1,11 +1,21 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Options configures a mining run.
 type Options struct {
 	// MinSupport is the repetitive-support threshold min_sup (>= 1).
 	MinSupport int
+
+	// Ctx, when non-nil, cancels the mining run: the DFS polls the context
+	// every ctxCheckInterval nodes and stops early once it is done. A
+	// cancelled run returns the patterns found so far with Stats.Truncated
+	// set — the same contract as MaxPatterns — and no error, so partial
+	// results remain usable.
+	Ctx context.Context
 
 	// Closed selects CloGSgrow (mine closed frequent patterns) instead of
 	// GSgrow (mine all frequent patterns).

@@ -88,7 +88,13 @@ func MineParallel(ix *seq.Index, opt Options, workers int) (*Result, error) {
 	}
 	// Feed heavier seeds first (descending singleton support) so the tail
 	// of the run is not dominated by one straggler subtree.
+	fedAll := true
 	for _, job := range sortSeedsByWork(ix, seeds) {
+		if ctxDone(opt.Ctx) {
+			stop.Store(true)
+			fedAll = false
+			break
+		}
 		jobs <- job
 	}
 	close(jobs)
@@ -104,6 +110,13 @@ func MineParallel(ix *seq.Index, opt Options, workers int) (*Result, error) {
 		mergeStats(&merged.Stats, &r.Stats)
 	}
 	if opt.MaxPatterns > 0 && merged.NumPatterns >= opt.MaxPatterns {
+		merged.Stats.Truncated = true
+	}
+	// Truncation is about the result, not the context: a cancellation that
+	// landed after every seed was fed and every worker finished cleanly
+	// left a complete result (worker-observed cancellations arrive through
+	// mergeStats above).
+	if !fedAll {
 		merged.Stats.Truncated = true
 	}
 	// Keep the sequential run's deterministic DFS-preorder output when no

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"time"
 
@@ -20,8 +21,19 @@ import (
 // large on dense data; the k-th emitted support effectively becomes the
 // threshold, so small k on heavy-tailed data is cheap.
 func MineTopK(ix *seq.Index, k int, closed bool, maxLen int) (*Result, error) {
+	return MineTopKCtx(context.Background(), ix, k, closed, maxLen)
+}
+
+// MineTopKCtx is MineTopK with cancellation: when ctx is done, the search
+// stops and the patterns emitted so far come back with Stats.Truncated set
+// (they are still the true top patterns — best-first order guarantees
+// every emitted pattern outranks everything unexplored).
+func MineTopKCtx(ctx context.Context, ix *seq.Index, k int, closed bool, maxLen int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	numEvents := ix.DB().Dict.Size()
@@ -37,7 +49,19 @@ func MineTopK(ix *seq.Index, k int, closed bool, maxLen int) (*Result, error) {
 		I := singletonSet(ix, e)
 		heap.Push(pq, &searchNode{pattern: []seq.EventID{e}, set: I})
 	}
+	if ctxDone(ctx) {
+		// Pre-cancelled: report a truncated empty result without popping.
+		m.res.Stats.Truncated = true
+		m.res.Stats.Duration = time.Since(start)
+		return m.res, nil
+	}
+	tick := 0
 	for pq.Len() > 0 && m.res.NumPatterns < k {
+		if ctxPoll(ctx, &tick) {
+			m.res.Stats.Truncated = true
+			m.res.Stats.Duration = time.Since(start)
+			return m.res, nil
+		}
 		n := heap.Pop(pq).(*searchNode)
 		m.enterNode()
 		emit := true

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// dbNameRE restricts database names to path-safe identifiers.
+var dbNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// acceptsNDJSON reports whether an Accept header asks for NDJSON,
+// tolerating media-type parameters and additional alternatives
+// ("application/x-ndjson; charset=utf-8", "application/x-ndjson,
+// application/json").
+func acceptsNDJSON(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		if strings.TrimSpace(mediaType) == "application/x-ndjson" {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.counters()
+	s.mu.RLock()
+	numDBs := len(s.dbs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"uptimeSec":   time.Since(s.started).Seconds(),
+		"databases":   numDBs,
+		"cacheHits":   hits,
+		"cacheMisses": misses,
+		"cacheSize":   size,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.list()
+	out := make([]dbInfo, len(entries))
+	for i, e := range entries {
+		out[i] = toDBInfo(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"databases": out})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !dbNameRE.MatchString(name) {
+		writeError(w, http.StatusBadRequest, "invalid database name %q", name)
+		return
+	}
+	fname := r.URL.Query().Get("format")
+	format, err := parseFormat(fname)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	db, err := repro.Load(body, format)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.maxUpload)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	if db.NumSequences() == 0 {
+		writeError(w, http.StatusBadRequest, "database %q is empty", name)
+		return
+	}
+	// Build the index before publishing so concurrent miners never race on
+	// lazy construction.
+	db.Prepare()
+	e := s.put(name, format.String(), db)
+	writeJSON(w, http.StatusCreated, toDBInfo(e))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.delete(name) {
+		writeError(w, http.StatusNotFound, "no database %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, toDBInfo(e))
+}
+
+// maxRequestBody caps the JSON bodies of /mine and /support. Uploads have
+// their own (much larger) cap.
+const maxRequestBody = 1 << 20
+
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		return
+	}
+	var q supportRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(q.Pattern) == 0 {
+		writeError(w, http.StatusBadRequest, "pattern must be non-empty")
+		return
+	}
+	resp := supportResponse{
+		Database: e.name,
+		Pattern:  q.Pattern,
+		Support:  e.db.Support(q.Pattern),
+	}
+	if q.Instances {
+		for _, ins := range e.db.SupportSet(q.Pattern) {
+			resp.Instances = append(resp.Instances, instanceJSON{
+				Sequence:      ins.Sequence,
+				SequenceIndex: ins.SequenceIndex,
+				Positions:     ins.Positions,
+			})
+		}
+	}
+	if q.PerSequence {
+		resp.PerSequence = e.db.PerSequenceSupport(q.Pattern)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		return
+	}
+	var q mineRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&q); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := q.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stream := q.Stream || acceptsNDJSON(r.Header.Get("Accept"))
+
+	key := q.cacheKey(e.name, e.generation)
+	if out, ok := s.cache.get(key); ok {
+		if stream {
+			s.streamOutcome(w, e, &q, out, true)
+		} else {
+			writeJSON(w, http.StatusOK, buildResponse(e, &q, out, true))
+		}
+		return
+	}
+
+	if stream {
+		s.mineStreaming(w, r, e, &q, key)
+		return
+	}
+	out, err := s.runMine(r.Context(), e, &q, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "mine: %v", err)
+		return
+	}
+	if r.Context().Err() != nil {
+		// The run was aborted via ctx. Usually the client disconnected and
+		// this write goes nowhere, but on server shutdown the client may
+		// still be listening — tell it the result is not coming rather
+		// than sending an empty 200.
+		writeError(w, http.StatusServiceUnavailable, "mine aborted: %v", r.Context().Err())
+		return
+	}
+	s.maybeCache(key, out)
+	writeJSON(w, http.StatusOK, buildResponse(e, &q, out, false))
+}
+
+// runMine executes the mining request against e.db, honoring ctx. The
+// optional onPattern callback streams patterns as they are found (ignored
+// in top-k mode, which emits so few patterns that replay after completion
+// is equivalent).
+func (s *Server) runMine(ctx context.Context, e *dbEntry, q *mineRequest, onPattern func(repro.Pattern) bool) (*mineOutcome, error) {
+	var res *repro.Result
+	var err error
+	if q.TopK > 0 {
+		res, err = e.db.MineTopKContext(ctx, q.TopK, q.Closed, q.MaxPatternLength)
+	} else {
+		opt := repro.Options{
+			MinSupport:       q.MinSupport,
+			MaxPatternLength: q.MaxPatternLength,
+			MaxPatterns:      q.MaxPatterns,
+			CollectInstances: q.Instances,
+			Workers:          q.Workers,
+			Ctx:              ctx,
+			OnPattern:        onPattern,
+		}
+		if q.Closed {
+			res, err = e.db.MineClosed(opt)
+		} else {
+			res, err = e.db.Mine(opt)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &mineOutcome{algorithm: q.algorithm(), result: res}, nil
+}
+
+// maybeCache stores complete results only: truncated runs (budget hit,
+// stream aborted, ctx cancelled) are both request-specific and
+// scheduling-dependent, so they must never be replayed to other clients.
+func (s *Server) maybeCache(key string, out *mineOutcome) {
+	if !out.result.Truncated {
+		s.cache.put(key, out)
+	}
+}
+
+func buildResponse(e *dbEntry, q *mineRequest, out *mineOutcome, cached bool) mineResponse {
+	resp := mineResponse{
+		mineSummary: buildSummary(e, out, cached),
+		Patterns:    make([]patternJSON, len(out.result.Patterns)),
+	}
+	for i, p := range out.result.Patterns {
+		resp.Patterns[i] = toPatternJSON(p)
+	}
+	return resp
+}
+
+func buildSummary(e *dbEntry, out *mineOutcome, cached bool) mineSummary {
+	return mineSummary{
+		Database:    e.name,
+		Generation:  e.generation,
+		Algorithm:   out.algorithm,
+		NumPatterns: out.result.NumPatterns,
+		Truncated:   out.result.Truncated,
+		ElapsedMS:   float64(out.result.Elapsed) / float64(time.Millisecond),
+		Cached:      cached,
+	}
+}
+
+// ndjsonLine is one line of a streaming response: exactly one of the two
+// fields is set, and the summary line is always last.
+type ndjsonLine struct {
+	Pattern *patternJSON `json:"pattern,omitempty"`
+	Summary *mineSummary `json:"summary,omitempty"`
+}
+
+// mineStreaming serves the NDJSON representation, emitting each pattern
+// the moment the miner finds it. The complete result still accumulates
+// in-memory so it can be cached for replay.
+func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntry, q *mineRequest, key string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	streamed := 0
+	onPattern := func(p repro.Pattern) bool {
+		pj := toPatternJSON(p)
+		if err := enc.Encode(ndjsonLine{Pattern: &pj}); err != nil {
+			return false // client went away; abort the run
+		}
+		streamed++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	out, err := s.runMine(r.Context(), e, q, onPattern)
+	if err != nil {
+		// Headers are not written until the first pattern line, so a
+		// validation error from the miner can still be a clean 400.
+		if streamed == 0 {
+			writeError(w, http.StatusBadRequest, "mine: %v", err)
+		}
+		return
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	s.maybeCache(key, out)
+	// Top-k has no streaming callback: replay its patterns now.
+	if q.TopK > 0 {
+		for i := range out.result.Patterns {
+			pj := toPatternJSON(out.result.Patterns[i])
+			if err := enc.Encode(ndjsonLine{Pattern: &pj}); err != nil {
+				return
+			}
+		}
+	}
+	sum := buildSummary(e, out, false)
+	_ = enc.Encode(ndjsonLine{Summary: &sum})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// streamOutcome replays a cached result in NDJSON form.
+func (s *Server) streamOutcome(w http.ResponseWriter, e *dbEntry, q *mineRequest, out *mineOutcome, cached bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i := range out.result.Patterns {
+		pj := toPatternJSON(out.result.Patterns[i])
+		if err := enc.Encode(ndjsonLine{Pattern: &pj}); err != nil {
+			return
+		}
+	}
+	sum := buildSummary(e, out, cached)
+	_ = enc.Encode(ndjsonLine{Summary: &sum})
+}

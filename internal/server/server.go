@@ -1,0 +1,178 @@
+// Package server exposes the miner as a long-running HTTP service: named
+// sequence databases are uploaded once, then mined concurrently by many
+// clients. The service is the request/response shape the interactive
+// workloads of the literature need (dashboards re-issuing the same query,
+// targeted pattern queries, streaming exploration):
+//
+//	POST   /v1/databases/{name}          upload/replace a database (body = file, ?format=)
+//	GET    /v1/databases                 list databases with summary stats
+//	GET    /v1/databases/{name}/stats    statistics of one database
+//	DELETE /v1/databases/{name}          drop a database
+//	POST   /v1/databases/{name}/mine     run GSgrow/CloGSgrow/top-k (JSON or NDJSON stream)
+//	POST   /v1/databases/{name}/support  point query: support of one pattern
+//	GET    /healthz                      liveness + cache counters
+//
+// Mining requests honor client cancellation end to end: the request
+// context is threaded into the DFS, so a dropped connection aborts the
+// run within a bounded number of search nodes. Complete results are
+// memoized in an LRU keyed by (database generation, canonical options),
+// so repeated dashboard-style queries do not re-mine.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheSize is the number of mining results kept in the LRU.
+	// 0 selects DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// MaxUploadBytes bounds database upload size. 0 selects
+	// DefaultMaxUploadBytes.
+	MaxUploadBytes int64
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheSize      = 64
+	DefaultMaxUploadBytes = 256 << 20 // 256 MiB
+)
+
+// Server hosts named sequence databases and serves mining requests.
+// All methods are safe for concurrent use.
+type Server struct {
+	mu  sync.RWMutex
+	dbs map[string]*dbEntry
+	// gen is a server-wide monotonic upload counter. Using one counter for
+	// all databases (rather than one per name) means a generation value is
+	// never reused, even across delete + re-upload under the same name —
+	// so a cache entry written by an in-flight mine of deleted contents
+	// can never be served for the replacement database.
+	gen uint64
+
+	cache     *resultCache
+	maxUpload int64
+	started   time.Time
+}
+
+// dbEntry is an immutable snapshot of one uploaded database. Uploads
+// replace the whole entry (bumping generation) instead of mutating it, so
+// in-flight miners keep a consistent view.
+type dbEntry struct {
+	name       string
+	db         *repro.Database
+	formatName string
+	generation uint64
+	created    time.Time
+	stats      repro.Stats
+}
+
+// New returns an empty Server.
+func New(cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	maxUpload := cfg.MaxUploadBytes
+	if maxUpload == 0 {
+		maxUpload = DefaultMaxUploadBytes
+	}
+	return &Server{
+		dbs:       make(map[string]*dbEntry),
+		cache:     newResultCache(size),
+		maxUpload: maxUpload,
+		started:   time.Now(),
+	}
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/databases", s.handleList)
+	mux.HandleFunc("POST /v1/databases/{name}", s.handleUpload)
+	mux.HandleFunc("DELETE /v1/databases/{name}", s.handleDelete)
+	mux.HandleFunc("GET /v1/databases/{name}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/databases/{name}/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/databases/{name}/support", s.handleSupport)
+	return mux
+}
+
+// put registers (or replaces) a database under name and returns the new
+// entry. The caller must have called Prepare on db already.
+func (s *Server) put(name, formatName string, db *repro.Database) *dbEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	e := &dbEntry{
+		name:       name,
+		db:         db,
+		formatName: formatName,
+		generation: s.gen,
+		created:    time.Now(),
+		stats:      db.Stats(),
+	}
+	s.dbs[name] = e
+	return e
+}
+
+func (s *Server) get(name string) (*dbEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.dbs[name]
+	return e, ok
+}
+
+func (s *Server) delete(name string) bool {
+	s.mu.Lock()
+	_, ok := s.dbs[name]
+	delete(s.dbs, name)
+	s.mu.Unlock()
+	if ok {
+		// A later re-upload under this name restarts at generation 1, so
+		// cached results for the old contents must not survive.
+		s.cache.purgePrefix(name + "@")
+	}
+	return ok
+}
+
+func (s *Server) list() []*dbEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*dbEntry, 0, len(s.dbs))
+	for _, e := range s.dbs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
+}
+
+// wireFormats are the formats accepted on upload; their wire names come
+// from repro.Format.String so there is one source of truth.
+var wireFormats = []repro.Format{repro.Tokens, repro.Chars, repro.SPMF}
+
+// parseFormat maps the wire format name to a repro.Format; empty selects
+// the default (tokens).
+func parseFormat(name string) (repro.Format, error) {
+	if name == "" {
+		return repro.Tokens, nil
+	}
+	for _, f := range wireFormats {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	names := make([]string, len(wireFormats))
+	for i, f := range wireFormats {
+		names[i] = f.String()
+	}
+	return 0, fmt.Errorf("unknown format %q (want %s)", name, strings.Join(names, ", "))
+}

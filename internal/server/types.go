@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// mineRequest is the JSON body of POST /v1/databases/{name}/mine. The zero
+// value is invalid: either MinSupport >= 1 or TopK >= 1 must be set.
+type mineRequest struct {
+	// Closed selects CloGSgrow (closed patterns only).
+	Closed bool `json:"closed"`
+	// MinSupport is the repetitive-support threshold for GSgrow/CloGSgrow.
+	MinSupport int `json:"minSupport"`
+	// TopK, when >= 1, mines the K highest-support patterns instead of
+	// thresholding; MinSupport is ignored.
+	TopK int `json:"topK"`
+	// Workers > 1 mines with that many goroutines (ignored in top-k mode).
+	Workers int `json:"workers"`
+	// MaxPatternLength bounds pattern length; 0 = unbounded.
+	MaxPatternLength int `json:"maxPatternLength"`
+	// MaxPatterns stops the run after that many patterns; 0 = unbounded.
+	MaxPatterns int `json:"maxPatterns"`
+	// Instances attaches each pattern's leftmost support set.
+	Instances bool `json:"instances"`
+	// Stream selects an NDJSON response: one pattern object per line as
+	// they are mined, then a final {"summary": ...} line. Also selected by
+	// an "Accept: application/x-ndjson" header.
+	Stream bool `json:"stream"`
+}
+
+func (q *mineRequest) validate() error {
+	if q.TopK < 0 {
+		return fmt.Errorf("topK must be >= 0, got %d", q.TopK)
+	}
+	if q.TopK == 0 && q.MinSupport < 1 {
+		return fmt.Errorf("minSupport must be >= 1 (got %d) unless topK is set", q.MinSupport)
+	}
+	if q.MaxPatternLength < 0 || q.MaxPatterns < 0 || q.Workers < 0 {
+		return fmt.Errorf("maxPatternLength, maxPatterns, and workers must be >= 0")
+	}
+	// Top-k mode has no instance collection and k already is the pattern
+	// budget; silently ignoring these would misreport what ran.
+	if q.TopK > 0 && q.Instances {
+		return fmt.Errorf("instances is not supported in top-k mode")
+	}
+	if q.TopK > 0 && q.MaxPatterns > 0 {
+		return fmt.Errorf("maxPatterns conflicts with topK (k already bounds the result)")
+	}
+	return nil
+}
+
+// algorithm names the paper algorithm the request resolves to.
+func (q *mineRequest) algorithm() string {
+	name := "GSgrow"
+	if q.TopK > 0 {
+		name = "TopK"
+	}
+	if q.Closed {
+		name = "Clo" + name
+	}
+	return name
+}
+
+// cacheKey canonicalizes the mining options. Workers is deliberately
+// excluded: only complete results are cached, and those are identical
+// across worker counts. Stream is excluded too — a cached result can be
+// replayed in either representation.
+func (q *mineRequest) cacheKey(db string, generation uint64) string {
+	return fmt.Sprintf("%s@%d|closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t",
+		db, generation, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances)
+}
+
+// mineOutcome is a finished mining run as held in the cache.
+type mineOutcome struct {
+	algorithm string
+	result    *repro.Result
+}
+
+// Wire DTOs.
+
+type patternJSON struct {
+	Events    []string       `json:"events"`
+	Support   int            `json:"support"`
+	Instances []instanceJSON `json:"instances,omitempty"`
+}
+
+type instanceJSON struct {
+	Sequence      string `json:"sequence"`
+	SequenceIndex int    `json:"sequenceIndex"`
+	Positions     []int  `json:"positions"`
+}
+
+func toPatternJSON(p repro.Pattern) patternJSON {
+	out := patternJSON{Events: p.Events, Support: p.Support}
+	for _, ins := range p.Instances {
+		out.Instances = append(out.Instances, instanceJSON{
+			Sequence:      ins.Sequence,
+			SequenceIndex: ins.SequenceIndex,
+			Positions:     ins.Positions,
+		})
+	}
+	return out
+}
+
+// mineSummary trails every mine response: the last NDJSON line, or the
+// envelope fields of the buffered JSON response.
+type mineSummary struct {
+	Database    string  `json:"database"`
+	Generation  uint64  `json:"generation"`
+	Algorithm   string  `json:"algorithm"`
+	NumPatterns int     `json:"numPatterns"`
+	Truncated   bool    `json:"truncated"`
+	ElapsedMS   float64 `json:"elapsedMs"`
+	Cached      bool    `json:"cached"`
+}
+
+type mineResponse struct {
+	mineSummary
+	Patterns []patternJSON `json:"patterns"`
+}
+
+type dbInfo struct {
+	Name       string    `json:"name"`
+	Format     string    `json:"format"`
+	Generation uint64    `json:"generation"`
+	Created    time.Time `json:"created"`
+	Stats      statsJSON `json:"stats"`
+}
+
+type statsJSON struct {
+	NumSequences   int     `json:"numSequences"`
+	DistinctEvents int     `json:"distinctEvents"`
+	TotalLength    int     `json:"totalLength"`
+	MinLength      int     `json:"minLength"`
+	MaxLength      int     `json:"maxLength"`
+	AvgLength      float64 `json:"avgLength"`
+}
+
+func toStatsJSON(st repro.Stats) statsJSON {
+	return statsJSON{
+		NumSequences:   st.NumSequences,
+		DistinctEvents: st.DistinctEvents,
+		TotalLength:    st.TotalLength,
+		MinLength:      st.MinLength,
+		MaxLength:      st.MaxLength,
+		AvgLength:      st.AvgLength,
+	}
+}
+
+func toDBInfo(e *dbEntry) dbInfo {
+	return dbInfo{
+		Name:       e.name,
+		Format:     e.formatName,
+		Generation: e.generation,
+		Created:    e.created,
+		Stats:      toStatsJSON(e.stats),
+	}
+}
+
+// supportRequest is the JSON body of POST /v1/databases/{name}/support.
+type supportRequest struct {
+	Pattern []string `json:"pattern"`
+	// Instances attaches the leftmost support set.
+	Instances bool `json:"instances"`
+	// PerSequence attaches the per-sequence support vector (the paper's
+	// Section V classification features).
+	PerSequence bool `json:"perSequence"`
+}
+
+type supportResponse struct {
+	Database    string         `json:"database"`
+	Pattern     []string       `json:"pattern"`
+	Support     int            `json:"support"`
+	Instances   []instanceJSON `json:"instances,omitempty"`
+	PerSequence []int          `json:"perSequence,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}

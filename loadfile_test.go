@@ -1,6 +1,13 @@
 package repro
 
-import "testing"
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
 
 func TestLoadFileChars(t *testing.T) {
 	db, err := LoadFile("testdata/example11.chars", Chars)
@@ -48,8 +55,57 @@ func TestLoadFileTokens(t *testing.T) {
 }
 
 func TestLoadFileWrongFormat(t *testing.T) {
-	// chars file parsed as SPMF must fail loudly.
-	if _, err := LoadFile("testdata/example11.chars", SPMF); err == nil {
-		t.Error("chars file accepted as SPMF")
+	// chars file parsed as SPMF must fail loudly, naming the file and the
+	// format and keeping the parse error (with its line number) unwrappable.
+	_, err := LoadFile("testdata/example11.chars", SPMF)
+	if err == nil {
+		t.Fatal("chars file accepted as SPMF")
+	}
+	for _, want := range []string{"testdata/example11.chars", "format spmf"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	var perr *seq.ParseError
+	if !errors.As(err, &perr) {
+		t.Errorf("error %q does not wrap a *seq.ParseError", err)
+	} else if perr.Line != 2 {
+		t.Errorf("parse error line = %d, want 2 (line 1 is a comment)", perr.Line)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	_, err := LoadFile("testdata/no-such-file.tokens", Tokens)
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("error %q does not wrap os.ErrNotExist", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-file.tokens") {
+		t.Errorf("error %q does not name the file", err)
+	}
+}
+
+func TestLoadErrorContext(t *testing.T) {
+	// Load (no file involved) wraps with the format only.
+	_, err := Load(strings.NewReader("A B C\n"), SPMF)
+	if err == nil {
+		t.Fatal("tokens text accepted as SPMF")
+	}
+	if !strings.Contains(err.Error(), "format spmf") {
+		t.Errorf("error %q does not mention the format", err)
+	}
+	var perr *seq.ParseError
+	if !errors.As(err, &perr) {
+		t.Errorf("error %q does not wrap a *seq.ParseError", err)
+	}
+
+	// An out-of-range Format fails loudly in both entry points.
+	if _, err := Load(strings.NewReader("A\n"), Format(99)); err == nil {
+		t.Error("unknown format accepted by Load")
+	}
+	if _, err := LoadFile("testdata/example11.chars", Format(99)); err == nil {
+		t.Error("unknown format accepted by LoadFile")
 	}
 }

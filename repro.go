@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +25,20 @@ const (
 	// restricted to single-item itemsets.
 	SPMF
 )
+
+// String returns the CLI/wire name of the format.
+func (f Format) String() string {
+	switch f {
+	case Tokens:
+		return "tokens"
+	case Chars:
+		return "chars"
+	case SPMF:
+		return "spmf"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
 
 func (f Format) internal() (seq.Format, error) {
 	switch f {
@@ -52,8 +67,35 @@ func NewDatabase() *Database {
 	return &Database{db: seq.NewDB(), dirty: true}
 }
 
-// Load reads a database from r in the given format.
+// Load reads a database from r in the given format. Errors are wrapped
+// with the format name and leave the underlying cause (e.g. a
+// seq.ParseError with line information) reachable through errors.As.
 func Load(r io.Reader, format Format) (*Database, error) {
+	db, err := load(r, format)
+	if err != nil {
+		return nil, fmt.Errorf("repro: load (format %s): %w", format, err)
+	}
+	return db, nil
+}
+
+// LoadFile reads a database from the named file. Errors are wrapped with
+// the path and format so that callers juggling many inputs can tell which
+// one failed; the underlying cause (os.ErrNotExist, parse errors with line
+// numbers) stays reachable through errors.Is/As.
+func LoadFile(path string, format Format) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repro: load %s: %w", path, err)
+	}
+	defer f.Close()
+	db, err := load(f, format)
+	if err != nil {
+		return nil, fmt.Errorf("repro: load %s (format %s): %w", path, format, err)
+	}
+	return db, nil
+}
+
+func load(r io.Reader, format Format) (*Database, error) {
 	f, err := format.internal()
 	if err != nil {
 		return nil, err
@@ -63,16 +105,6 @@ func Load(r io.Reader, format Format) (*Database, error) {
 		return nil, err
 	}
 	return &Database{db: db, dirty: true}, nil
-}
-
-// LoadFile reads a database from the named file.
-func LoadFile(path string, format Format) (*Database, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return Load(f, format)
 }
 
 // Add appends a sequence of event names under the given label (empty label
@@ -126,6 +158,13 @@ func (d *Database) index() *seq.Index {
 	return d.ix
 }
 
+// Prepare builds the internal inverted index eagerly. Mining builds it
+// lazily on first use, which — like Add — is a mutation: call Prepare
+// once after the last Add/Load before handing the database to concurrent
+// miners, so that the "concurrent mining of an unchanging database is
+// safe" guarantee holds from the first request.
+func (d *Database) Prepare() { d.index() }
+
 // Options configures a mining run.
 type Options struct {
 	// MinSupport is the repetitive-support threshold (>= 1).
@@ -142,6 +181,18 @@ type Options struct {
 	// run; under MaxPatterns, exactly that many patterns are returned but
 	// which ones depends on scheduling.
 	Workers int
+	// Ctx, when non-nil, cancels the run: mining polls the context
+	// periodically and, once it is done, stops and returns the patterns
+	// found so far with Result.Truncated set (no error). Use it to bound
+	// interactive queries or abort on client disconnect.
+	Ctx context.Context
+	// OnPattern, when non-nil, streams every pattern as it is emitted
+	// (serialized across workers). Returning false stops the run with
+	// Result.Truncated set.
+	OnPattern func(Pattern) bool
+	// DiscardPatterns suppresses accumulation in Result.Patterns — use with
+	// OnPattern when streaming huge results to keep memory flat.
+	DiscardPatterns bool
 }
 
 // Instance is one occurrence of a pattern: the sequence it lives in and
@@ -167,7 +218,11 @@ type Pattern struct {
 // Result is the output of Mine or MineClosed.
 type Result struct {
 	Patterns []Pattern
-	// Truncated reports that MaxPatterns stopped the run early.
+	// NumPatterns is the number of patterns emitted; it equals
+	// len(Patterns) unless Options.DiscardPatterns was set.
+	NumPatterns int
+	// Truncated reports that the run stopped early: MaxPatterns was
+	// reached, OnPattern returned false, or Options.Ctx was cancelled.
 	Truncated bool
 	// Elapsed is the wall-clock mining time.
 	Elapsed time.Duration
@@ -195,6 +250,12 @@ func (d *Database) mine(opt Options, closed bool) (*Result, error) {
 		MaxPatternLength: opt.MaxPatternLength,
 		MaxPatterns:      opt.MaxPatterns,
 		CollectInstances: opt.CollectInstances,
+		Ctx:              opt.Ctx,
+		DiscardPatterns:  opt.DiscardPatterns,
+	}
+	if opt.OnPattern != nil {
+		cb := opt.OnPattern
+		copt.OnPattern = func(p core.Pattern) bool { return cb(d.exportPattern(p)) }
 	}
 	var res *core.Result
 	var err error
@@ -207,8 +268,9 @@ func (d *Database) mine(opt Options, closed bool) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		Truncated: res.Stats.Truncated,
-		Elapsed:   res.Stats.Duration,
+		NumPatterns: res.NumPatterns,
+		Truncated:   res.Stats.Truncated,
+		Elapsed:     res.Stats.Duration,
 	}
 	out.Patterns = make([]Pattern, len(res.Patterns))
 	for i, p := range res.Patterns {
@@ -251,11 +313,24 @@ func (d *Database) exportInstances(set core.FullSet) []Instance {
 // non-increasing support order, ties broken lexicographically. Intended
 // for exploration; on dense data prefer Mine with a threshold.
 func (d *Database) MineTopK(k int, closed bool) (*Result, error) {
-	res, err := core.MineTopK(d.index(), k, closed, 0)
+	return d.MineTopKContext(context.Background(), k, closed, 0)
+}
+
+// MineTopKContext is MineTopK with cancellation and an optional pattern
+// length bound (maxLen 0 = unbounded): when ctx is done, the search stops
+// and the patterns found so far come back with Result.Truncated set.
+// Best-first order guarantees those are still the true highest-support
+// patterns.
+func (d *Database) MineTopKContext(ctx context.Context, k int, closed bool, maxLen int) (*Result, error) {
+	res, err := core.MineTopKCtx(ctx, d.index(), k, closed, maxLen)
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Elapsed: res.Stats.Duration}
+	out := &Result{
+		NumPatterns: res.NumPatterns,
+		Truncated:   res.Stats.Truncated,
+		Elapsed:     res.Stats.Duration,
+	}
 	out.Patterns = make([]Pattern, len(res.Patterns))
 	for i, p := range res.Patterns {
 		out.Patterns[i] = d.exportPattern(p)

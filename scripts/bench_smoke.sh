@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Benchmark smoke run: one iteration of the Fig2 min_sup sweep and the
+# Table 1 semantics check, emitted as BENCH_PR1.json with per-benchmark
+# pattern counts and ns/op plus total wall time. This seeds the repo's
+# perf trajectory: future PRs emit BENCH_PR<N>.json from the same suite so
+# regressions show up as a diffable series.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+START_NS=$(date +%s%N)
+go test -run '^$' -bench 'Fig2|Table1' -benchtime 1x | tee "$RAW"
+END_NS=$(date +%s%N)
+WALL_MS=$(((END_NS - START_NS) / 1000000))
+
+awk -v wall_ms="$WALL_MS" \
+	-v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+	-v go_version="$(go env GOVERSION)" '
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	iters = $2; ns = "null"; patterns = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "patterns") patterns = $i
+	}
+	entries[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"patterns\": %s}",
+		name, iters, ns, patterns)
+}
+END {
+	printf "{\n  \"suite\": \"Fig2|Table1\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n  \"wall_ms\": %d,\n  \"benchmarks\": [\n", commit, go_version, wall_ms
+	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$RAW" >"$OUT"
+
+echo "wrote $OUT"
