@@ -45,7 +45,7 @@ func benchDB(b *testing.B, name string, gen func() (*seq.DB, error)) (*seq.DB, *
 	if err != nil {
 		b.Fatal(err)
 	}
-	ix := seq.NewIndex(db)
+	ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: true})
 	benchCache.dbs[name] = db
 	benchCache.ixs[name] = ix
 	return db, ix
@@ -398,10 +398,18 @@ func BenchmarkSupportOf(b *testing.B) {
 
 func BenchmarkIndexBuild(b *testing.B) {
 	db, _ := gazelleScaled(b)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		seq.NewIndex(db)
-	}
+	b.Run("BinarySearch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq.NewIndex(db)
+		}
+	})
+	b.Run("FastNext", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq.NewIndexWith(db, seq.IndexOptions{FastNext: true})
+		}
+	})
 }
 
 func BenchmarkPublicAPI(b *testing.B) {

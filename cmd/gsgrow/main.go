@@ -54,6 +54,7 @@ func main() {
 	flag.IntVar(&cfg.Top, "top", 0, "print only the first N patterns (0 = all)")
 	flag.IntVar(&cfg.TopK, "topk", 0, "mine the K highest-support patterns instead of using -minsup")
 	flag.IntVar(&cfg.Workers, "workers", 1, "parallel mining fan-out")
+	flag.BoolVar(&cfg.NoFastNext, "no-fastnext", false, "use the binary-search next() index instead of O(1) successor tables")
 	flag.Parse()
 
 	if err := run(*input, cfg); err != nil {
@@ -67,6 +68,7 @@ func runServe(args []string) error {
 	var cfg cli.ServeConfig
 	fs.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
 	fs.IntVar(&cfg.CacheSize, "cache", 0, "result-cache entries (0 = default, negative disables)")
+	fs.StringVar(&cfg.DebugAddr, "debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ func main() {
 	var cfg cli.ServeConfig
 	flag.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
 	flag.IntVar(&cfg.CacheSize, "cache", 0, "result-cache entries (0 = default, negative disables)")
+	flag.StringVar(&cfg.DebugAddr, "debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -30,6 +30,18 @@
 // identical to the sequential run. Call Database.Prepare once after
 // loading to make subsequent concurrent mining race-free.
 //
+// # Performance
+//
+// The mining core is allocation-free in steady state: support sets,
+// candidate lists and closure-check chains are recycled through
+// per-miner arenas, and refuted closure-check chains are memoized along
+// the DFS path. The paper's next(S, e, lowest) primitive is answered in
+// O(1) from per-sequence successor tables (FastNext) built lazily under
+// a memory budget; sequences whose table would not fit fall back to the
+// O(log L) binary search individually. Options.DisableFastNext selects
+// binary search for a single run (identical output, lower memory) — see
+// the README's performance-tuning section for the measured trade-offs.
+//
 // The same capabilities are exposed over HTTP by the mining service
 // (internal/server, started with `gsgrow serve` or cmd/reprod): named
 // databases are uploaded once and mined concurrently by many clients,

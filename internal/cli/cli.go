@@ -43,6 +43,7 @@ type MineConfig struct {
 	Top         int     // print only the first N patterns, 0 = all
 	TopK        int     // mine the K highest-support patterns instead of using MinSup
 	Workers     int     // parallel mining fan-out, <= 1 sequential
+	NoFastNext  bool    // use the binary-search next() index (paper's O(log L) formulation)
 }
 
 // Mine reads a database from in and writes mining output to out.
@@ -59,7 +60,7 @@ func Mine(cfg MineConfig, in io.Reader, out io.Writer) error {
 		_, err := io.WriteString(out, seq.ComputeStats(db).Table())
 		return err
 	}
-	ix := seq.NewIndex(db)
+	ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: !cfg.NoFastNext})
 
 	if cfg.Support != "" {
 		return reportSupport(cfg, db, ix, out)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/server"
@@ -16,6 +17,23 @@ import (
 type ServeConfig struct {
 	Addr      string // listen address, e.g. ":8372"
 	CacheSize int    // result-cache entries; 0 = default, < 0 disables
+	// DebugAddr, when non-empty, serves net/http/pprof on a second
+	// listener (e.g. "localhost:6060") so production profiles can be
+	// captured without exposing the profiler on the public address.
+	// Empty (the default) disables it.
+	DebugAddr string
+}
+
+// debugHandler mounts the pprof endpoints on a fresh mux (the service
+// handler never touches http.DefaultServeMux, and neither should this).
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // Serve runs the mining HTTP service until ctx is cancelled, then shuts
@@ -38,9 +56,29 @@ func Serve(ctx context.Context, cfg ServeConfig, out io.Writer) error {
 	fmt.Fprintf(out, "reprod listening on %s\n", ln.Addr())
 
 	errc := make(chan error, 1)
+	var debugSrv *http.Server
+	if cfg.DebugAddr != "" {
+		debugLn, err := net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "pprof listening on %s\n", debugLn.Addr())
+		debugSrv = &http.Server{Handler: debugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			// The debug server's lifecycle follows the main one; its
+			// Serve error is only interesting if it is not a shutdown.
+			if err := debugSrv.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(out, "pprof server: %v\n", err)
+			}
+		}()
+	}
 	go func() { errc <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}
@@ -48,6 +86,9 @@ func Serve(ctx context.Context, cfg ServeConfig, out io.Writer) error {
 	case <-ctx.Done():
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		return httpSrv.Shutdown(shutCtx)
 	}
 }

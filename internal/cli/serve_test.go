@@ -61,6 +61,83 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeDebugAddr boots the service with the pprof listener enabled and
+// checks /debug/pprof/ answers there — and is NOT mounted on the main
+// address.
+func TestServeDebugAddr(t *testing.T) {
+	mainc := make(chan string, 1)
+	debugc := make(chan string, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(ctx, ServeConfig{Addr: "127.0.0.1:0", DebugAddr: "127.0.0.1:0"},
+			bannerWriter{main: mainc, debug: debugc})
+	}()
+
+	var mainAddr, debugAddr string
+	for mainAddr == "" || debugAddr == "" {
+		select {
+		case mainAddr = <-mainc:
+		case debugAddr = <-debugc:
+		case err := <-errc:
+			t.Fatalf("serve exited early: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("banners missing (main=%q debug=%q)", mainAddr, debugAddr)
+		}
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: %d %.120s", resp.StatusCode, body)
+	}
+	resp, err = http.Get("http://" + mainAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof must not be mounted on the service address")
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// bannerWriter routes the two "listening on" banner lines to their
+// channels.
+type bannerWriter struct{ main, debug chan string }
+
+func (w bannerWriter) Write(p []byte) (int, error) {
+	line := string(p)
+	i := strings.LastIndex(line, " on ")
+	if i < 0 {
+		return len(p), nil
+	}
+	addr := strings.TrimSpace(line[i+4:])
+	c := w.main
+	if strings.Contains(line, "pprof") {
+		c = w.debug
+	}
+	select {
+	case c <- addr:
+	default:
+	}
+	return len(p), nil
+}
+
 // addrWriter extracts the listen address from Serve's banner line.
 type addrWriter struct{ c chan string }
 

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// allocDB is dense enough that instance growth, candidate generation and
+// closure chains all do real work.
+func allocDB() *seq.DB {
+	db := seq.NewDB()
+	db.AddChars("S1", "ABCACBDDBABCACBDDB")
+	db.AddChars("S2", "ACDBACADDACDBACADD")
+	db.AddChars("S3", "BBACADCBDABBACADCB")
+	return db
+}
+
+// TestAppendGrowSteadyStateAllocs: one instance-growth step over a
+// warm (adequately sized) destination buffer must not allocate — the
+// property the DFS arena relies on for allocation-free mining.
+func TestAppendGrowSteadyStateAllocs(t *testing.T) {
+	for _, fastNext := range []bool{false, true} {
+		ix := seq.NewIndexWith(allocDB(), seq.IndexOptions{FastNext: fastNext})
+		a := seq.EventID(0)
+		I := singletonSet(ix, a)
+		buf := make(Set, 0, len(I))
+		allocs := testing.AllocsPerRun(200, func() {
+			buf = appendGrow(buf[:0], ix, I, a)
+		})
+		if allocs != 0 {
+			t.Errorf("fastNext=%v: appendGrow allocates %.1f times per run, want 0", fastNext, allocs)
+		}
+	}
+}
+
+// TestInsGrowAtLeastSteadyStateAllocs: the closure-check chain step must
+// reuse its ping-pong buffer once it has grown to size.
+func TestInsGrowAtLeastSteadyStateAllocs(t *testing.T) {
+	ix := seq.NewIndexWith(allocDB(), seq.IndexOptions{FastNext: true})
+	a := seq.EventID(0)
+	I := singletonSet(ix, a)
+	buf := make(Set, 0, len(I))
+	allocs := testing.AllocsPerRun(200, func() {
+		buf, _ = insGrowAtLeast(ix, I, a, 2, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("insGrowAtLeast allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCandidatesSteadyStateAllocs: candidate generation on a prepared
+// miner recycles its buffer through the pool.
+func TestCandidatesSteadyStateAllocs(t *testing.T) {
+	ix := seq.NewIndexWith(allocDB(), seq.IndexOptions{FastNext: true})
+	m := newMiner(ix, Options{MinSupport: 2})
+	I := singletonSet(ix, seq.EventID(0))
+	// Warm the pool (first call sizes the buffer).
+	m.putCands(m.candidates(I))
+	allocs := testing.AllocsPerRun(200, func() {
+		m.putCands(m.candidates(I))
+	})
+	if allocs != 0 {
+		t.Errorf("candidates allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestMineSteadyStateAllocs: a whole counting-only mining run on a warm
+// miner is allocation-free — the arena, candidate pool, memo table and
+// scratch buffers absorb every transient. This is the end-to-end
+// regression guard for the per-node make() calls the arena replaced.
+func TestMineSteadyStateAllocs(t *testing.T) {
+	for _, closed := range []bool{false, true} {
+		ix := seq.NewIndexWith(allocDB(), seq.IndexOptions{FastNext: true})
+		opt := Options{MinSupport: 2, Closed: closed, DiscardPatterns: true}
+		m := newMiner(ix, opt)
+		run := func() {
+			m.res = &Result{}
+			m.stopped = false
+			for _, e := range m.freqEvents {
+				m.mineSeed(e)
+			}
+		}
+		run() // warm the arena to steady state
+		want := m.res.NumPatterns
+		if want == 0 {
+			t.Fatalf("closed=%v: empty run cannot exercise the arena", closed)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			run()
+			if m.res.NumPatterns != want {
+				t.Fatalf("closed=%v: pattern count drifted: %d != %d", closed, m.res.NumPatterns, want)
+			}
+		})
+		// One Result allocation per run is the harness's own cost; the
+		// mining itself must add nothing.
+		if allocs > 1 {
+			t.Errorf("closed=%v: steady-state mining allocates %.1f times per run, want <= 1", closed, allocs)
+		}
+	}
+}

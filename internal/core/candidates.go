@@ -10,14 +10,14 @@ import "repro/internal/seq"
 // can extend at least that instance.)
 //
 // This realizes the remark under Theorem 6: "we can maintain a list of
-// possible events which are much fewer than those in E". The test against
-// the inverted index is one comparison with the final element of the
-// event's position list, so the whole scan costs O(Σ distinct events per
-// touched sequence). The returned slice is freshly allocated (the DFS holds
-// it across recursive calls); the seen-bitmap scratch is shared and reset
-// before returning.
+// possible events which are much fewer than those in E". The test is one
+// comparison against the index's dense last-position array, so the whole
+// scan costs O(Σ distinct events per touched sequence) with no pointer
+// chasing. The returned slice comes from the miner's candidate-buffer pool
+// (the DFS holds it across recursive calls, then recycles it with
+// putCands); the seen-bitmap scratch is shared and reset before returning.
 func (m *miner) candidates(I Set) []seq.EventID {
-	out := make([]seq.EventID, 0, 16)
+	out := m.getCands()
 	start := 0
 	for start < len(I) {
 		si := I[start].Seq
@@ -26,11 +26,12 @@ func (m *miner) candidates(I Set) []seq.EventID {
 		for end < len(I) && I[end].Seq == si {
 			end++
 		}
-		for _, e := range m.ix.Events(int(si)) {
+		events, last := m.ix.EventsLast(int(si))
+		for k, e := range events {
 			if m.seen[e] {
 				continue
 			}
-			if m.ix.LastPos(int(si), e) > firstLast {
+			if last[k] > firstLast {
 				m.seen[e] = true
 				out = append(out, e)
 			}
@@ -44,50 +45,87 @@ func (m *miner) candidates(I Set) []seq.EventID {
 	return out
 }
 
-// insertionCandidates returns candidate events e' for the insertion
-// extension P' = e1..eg e' e{g+1}..em (1 <= g <= m-1). A sound filter: e'
-// must be able to extend at least one instance of the prefix support set
-// chain[g-1] — exactly the candidate list the DFS computed when it grew
-// from that prefix, cached on candStack — and, since sup(P') must equal s
-// and P' contains e', the singleton support of e' must be at least s
-// (Apriori). The returned slice is freshly allocated; the cached list is
-// shared with ancestors and must not be modified.
-func (m *miner) insertionCandidates(g, s int) []seq.EventID {
-	cands := m.candStack[g-1]
-	out := make([]seq.EventID, 0, len(cands))
-	for _, e := range cands {
-		if m.ix.SingletonSupport(e) >= s {
+// sequenceRunsOf returns the distinct 0-based sequence indices touched by
+// I (ascending) alongside the number of instances in each — the
+// per-sequence repetitive supports sup_i(P), since a leftmost support set
+// realizes the per-sequence maximum in every sequence. Both slices live in
+// miner scratch buffers overwritten by the next call.
+func (m *miner) sequenceRunsOf(I Set) (seqs, perSeq []int32) {
+	seqs, perSeq = m.seqsBuf[:0], m.runsBuf[:0]
+	for k := 0; k < len(I); k++ {
+		if k == 0 || I[k].Seq != I[k-1].Seq {
+			seqs = append(seqs, I[k].Seq)
+			perSeq = append(perSeq, 1)
+		} else {
+			perSeq[len(perSeq)-1]++
+		}
+	}
+	m.seqsBuf, m.runsBuf = seqs, perSeq
+	return seqs, perSeq
+}
+
+// eligibleEvents returns, ascending, every event that can possibly appear
+// in an equal-support insertion or prepend extension of the current
+// pattern: support decomposes per sequence, so sup(P') = sup(P) requires
+// sup_i(P') = sup_i(P) = perSeq[r] in every touched sequence, and the
+// perSeq[r] non-overlapping instances of P' in that sequence pin e' at
+// pairwise distinct positions — hence e' must occur at least perSeq[r]
+// times in seqs[r], for every r. Any eligible event occurs in the first
+// touched sequence, so only its distinct-event list is scanned. The result
+// lives in the miner's eligibility scratch buffer (valid for the duration
+// of one closure check).
+func (m *miner) eligibleEvents(seqs, perSeq []int32) []seq.EventID {
+	out := m.eligBuf[:0]
+	if len(seqs) == 0 {
+		m.eligBuf = out
+		return out
+	}
+	events, count0 := m.ix.EventsCount(int(seqs[0]))
+	for k, e := range events {
+		if count0[k] < perSeq[0] {
+			continue
+		}
+		ok := true
+		for r := 1; r < len(seqs); r++ {
+			if m.ix.Count(int(seqs[r]), e) < int(perSeq[r]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
 			out = append(out, e)
 		}
 	}
+	m.eligBuf = out
 	return out
 }
 
-// prependCandidates returns candidate events e' for the prepend extension
-// P' = e' P. Every instance of P' lives in a sequence containing P (= the
-// sequences touched by I, since repetitive support decomposes per
-// sequence), and s non-overlapping instances need s distinct occurrences of
-// e' in those sequences, so events with fewer total occurrences there are
-// filtered out.
-func (m *miner) prependCandidates(seqs []int32, s int) []seq.EventID {
-	var out []seq.EventID
-	for _, i := range seqs {
-		for _, e := range m.ix.Events(int(i)) {
-			if m.counts[e] == 0 {
-				out = append(out, e)
-			}
-			m.counts[e] += m.ix.Count(int(i), e)
+// insertionCandidates returns candidate events e' for the insertion
+// extension P' = e1..eg e' e{g+1}..em (1 <= g <= m-1): the eligible events
+// (per-sequence occurrence filter, see eligibleEvents) that can also
+// extend at least one instance of the prefix support set chain[g-1] —
+// exactly the candidate list the DFS computed when it grew from that
+// prefix, cached on candStack. Both inputs are sorted ascending, so the
+// intersection is one merge into the miner's gap-candidate scratch buffer
+// (consumed before the next gap's call overwrites it).
+func (m *miner) insertionCandidates(g int, elig []seq.EventID) []seq.EventID {
+	cands := m.candStack[g-1]
+	out := m.gapCandBuf[:0]
+	i, j := 0, 0
+	for i < len(elig) && j < len(cands) {
+		switch {
+		case elig[i] == cands[j]:
+			out = append(out, elig[i])
+			i++
+			j++
+		case elig[i] < cands[j]:
+			i++
+		default:
+			j++
 		}
 	}
-	filtered := out[:0]
-	for _, e := range out {
-		if m.counts[e] >= s {
-			filtered = append(filtered, e)
-		}
-		m.counts[e] = 0
-	}
-	sortEventIDs(filtered)
-	return filtered
+	m.gapCandBuf = out
+	return out
 }
 
 // allFrequentEvents is the ablation-A1 alternative to candidates: ignore I

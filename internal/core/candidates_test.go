@@ -11,13 +11,7 @@ import (
 func newTestMiner(t *testing.T, db *seq.DB, pattern string) *miner {
 	t.Helper()
 	ix := seq.NewIndex(db)
-	m := &miner{
-		ix:     ix,
-		opt:    Options{MinSupport: 1},
-		seen:   make([]bool, db.Dict.Size()),
-		counts: make([]int, db.Dict.Size()),
-		res:    &Result{},
-	}
+	m := newMiner(ix, Options{MinSupport: 1})
 	p := pat(t, db, pattern)
 	for j := range p {
 		m.pattern = append(m.pattern, p[j])
@@ -91,46 +85,82 @@ func TestCandidatesSound(t *testing.T) {
 	}
 }
 
-func TestInsertionCandidatesFilter(t *testing.T) {
+func TestEligibleEventsFilter(t *testing.T) {
 	db := table3DB()
-	m := newTestMiner(t, db, "AB") // chain: A, AB; candStack: cands(A)
-	// Insertion at gap 1 (between A and B) with required support s:
-	// candidates must have singleton support >= s.
-	for _, s := range []int{1, 4, 5, 6} {
-		got := m.insertionCandidates(1, s)
-		for _, e := range got {
-			if m.ix.SingletonSupport(e) < s {
-				t.Errorf("s=%d: candidate %s has singleton support %d",
-					s, db.Dict.Name(e), m.ix.SingletonSupport(e))
-			}
-		}
+	// Pattern B: 3 instances in S1, 1 in S2. Only B itself occurs >= 3
+	// times in S1 (A:2, C:2, D:2), so only B survives the per-sequence
+	// occurrence filter.
+	m := newTestMiner(t, db, "B")
+	seqs, perSeq := m.sequenceRunsOf(m.chain[0])
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 1 || perSeq[0] != 3 || perSeq[1] != 1 {
+		t.Fatalf("sequenceRunsOf(B) = %v %v, want [0 1] [3 1]", seqs, perSeq)
 	}
-	// s=6 exceeds every singleton support (max is 5): no candidates.
-	if got := m.insertionCandidates(1, 6); len(got) != 0 {
-		t.Errorf("s=6 candidates = %v, want none", got)
+	if got := m.eligibleEvents(seqs, perSeq); eventNames(db, got) != "B" {
+		t.Errorf("eligibleEvents(B) = %s, want B", eventNames(db, got))
+	}
+	// Pattern A: 2 instances in S1, 3 in S2. Needs count >= 2 in S1 and
+	// >= 3 in S2: A (2,3) and D (2,3) qualify; B (3,1) and C (2,2) fail
+	// the S2 requirement.
+	mA := newTestMiner(t, db, "A")
+	seqsA, perSeqA := mA.sequenceRunsOf(mA.chain[0])
+	if got := mA.eligibleEvents(seqsA, perSeqA); eventNames(db, got) != "AD" {
+		t.Errorf("eligibleEvents(A) = %s, want AD", eventNames(db, got))
 	}
 }
 
-func TestPrependCandidatesFilter(t *testing.T) {
+// TestEligibleEventsSound: an event outside eligibleEvents can never form
+// an equal-support insertion or prepend extension — the property closure
+// checking relies on to skip those chains entirely.
+func TestEligibleEventsSound(t *testing.T) {
 	db := table3DB()
-	m := newTestMiner(t, db, "B")
-	I := m.chain[0]
-	seqs := I.sequences()
-	// s=1: every event occurring in a sequence containing B qualifies.
-	got := m.prependCandidates(seqs, 1)
+	ix := seq.NewIndex(db)
+	for _, pattern := range []string{"A", "B", "AB", "AC", "ACB", "AA", "DD"} {
+		m := newTestMiner(t, db, pattern)
+		p := pat(t, db, pattern)
+		I := m.chain[len(m.chain)-1]
+		s := len(I)
+		seqs, perSeq := m.sequenceRunsOf(I)
+		elig := map[seq.EventID]bool{}
+		for _, e := range m.eligibleEvents(seqs, perSeq) {
+			elig[e] = true
+		}
+		for e := seq.EventID(0); int(e) < db.Dict.Size(); e++ {
+			if elig[e] {
+				continue
+			}
+			for g := 0; g <= len(p); g++ {
+				super := make([]seq.EventID, 0, len(p)+1)
+				super = append(super, p[:g]...)
+				super = append(super, e)
+				super = append(super, p[g:]...)
+				if got := SupportOf(ix, super); got >= s {
+					t.Errorf("pattern %s: non-eligible %s at gap %d has support %d >= %d",
+						pattern, db.Dict.Name(e), g, got, s)
+				}
+			}
+		}
+	}
+}
+
+func TestInsertionCandidatesIntersect(t *testing.T) {
+	db := table3DB()
+	m := newTestMiner(t, db, "AB") // chain: A, AB; candStack: cands(A)
+	seqs, perSeq := m.sequenceRunsOf(m.chain[1])
+	elig := m.eligibleEvents(seqs, perSeq)
+	// AB has 2 instances in S1 and 1 in S2; every event of Table 3 meets
+	// those occurrence floors, and every event extends an instance of A,
+	// so the intersection keeps all four.
+	got := append([]seq.EventID(nil), m.insertionCandidates(1, elig)...)
 	if eventNames(db, got) != "ABCD" {
-		t.Errorf("prependCandidates(s=1) = %s", eventNames(db, got))
+		t.Errorf("insertionCandidates(AB, gap 1) = %s, want ABCD", eventNames(db, got))
 	}
-	// s=5: only events with >= 5 occurrences within those sequences (A and
-	// D, both 5).
-	got = m.prependCandidates(seqs, 5)
-	if eventNames(db, got) != "AD" {
-		t.Errorf("prependCandidates(s=5) = %s, want AD", eventNames(db, got))
+	// The result is the sorted intersection of elig and candStack[0].
+	if got := m.insertionCandidates(1, nil); len(got) != 0 {
+		t.Errorf("empty eligibility must yield no candidates, got %v", got)
 	}
-	// Scratch counters must be reset between calls.
-	got = m.prependCandidates(seqs, 5)
-	if eventNames(db, got) != "AD" {
-		t.Errorf("second call differs: %s", eventNames(db, got))
+	restricted := []seq.EventID{pat(t, db, "A")[0], pat(t, db, "D")[0]}
+	if got := m.insertionCandidates(1, restricted); eventNames(db, got) != "AD" {
+		t.Errorf("restricted intersection = %s, want AD", eventNames(db, got))
 	}
 }
 

@@ -1,0 +1,154 @@
+package core_test
+
+// Parity tests for the PR-2 fast path: the FastNext successor-table index,
+// the arena-backed miner and parallel CloGSgrow must produce byte-identical
+// pattern sets and supports to the binary-search reference on the shipped
+// fixtures and a generated Quest workload, and parallel runs must be
+// deterministic across worker counts — including the order-independent
+// statistics counters.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/seq"
+)
+
+// parityDBs returns every database the parity tests run over: all
+// testdata/ fixtures plus a Quest workload big enough to exercise deep
+// closure chains.
+func parityDBs(t *testing.T) map[string]*seq.DB {
+	t.Helper()
+	out := map[string]*seq.DB{}
+	fixtures := map[string]seq.Format{
+		"example11.chars": seq.FormatChars,
+		"traces.tokens":   seq.FormatTokens,
+	}
+	for name, format := range fixtures {
+		f, err := os.Open(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := seq.Parse(f, format)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = db
+	}
+	quest, err := datagen.Quest(datagen.QuestParams{D: 1, C: 12, N: 1, S: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["quest-D1C12N1S8"] = quest
+	return out
+}
+
+// patternList renders a result as one canonical string so any divergence
+// in pattern sets, supports, or counts is a byte-level diff.
+func patternList(db *seq.DB, res *core.Result) string {
+	out := fmt.Sprintf("%d patterns\n", res.NumPatterns)
+	for _, p := range res.Patterns {
+		out += fmt.Sprintf("%s\t%d\n", db.PatternString(p.Events), p.Support)
+	}
+	return out
+}
+
+// TestFastNextMiningParity: mining over the FastNext index emits exactly
+// the same (closed) patterns, in the same order, as the binary-search
+// index at minsup 6, 10 and 20.
+func TestFastNextMiningParity(t *testing.T) {
+	for name, db := range parityDBs(t) {
+		slow := seq.NewIndex(db)
+		fast := seq.NewIndexWith(db, seq.IndexOptions{FastNext: true})
+		for _, minsup := range []int{6, 10, 20} {
+			for _, closed := range []bool{false, true} {
+				opt := core.Options{MinSupport: minsup, Closed: closed}
+				want, err := core.Mine(slow, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := core.Mine(fast, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w, g := patternList(db, want), patternList(db, got); w != g {
+					t.Errorf("%s minsup=%d closed=%v: fast index diverged\nbinary:\n%s\nfast:\n%s",
+						name, minsup, closed, w, g)
+				}
+				if want.Stats != ignoreDuration(want.Stats, got.Stats) {
+					t.Errorf("%s minsup=%d closed=%v: stats diverged: %+v vs %+v",
+						name, minsup, closed, want.Stats, got.Stats)
+				}
+			}
+		}
+	}
+}
+
+// ignoreDuration returns got's stats with the wall-clock fields copied
+// from want, so struct equality compares only deterministic counters.
+func ignoreDuration(want, got core.MineStats) core.MineStats {
+	got.Duration = want.Duration
+	return got
+}
+
+// TestParallelCloGSgrowDeterminism: parallel closed mining returns the
+// identical pattern list and identical order-independent counters for
+// Workers in {1, 2, 8}, with and without FastNext. Runs under -race in CI.
+func TestParallelCloGSgrowDeterminism(t *testing.T) {
+	for name, db := range parityDBs(t) {
+		for _, fastNext := range []bool{false, true} {
+			ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: fastNext})
+			for _, minsup := range []int{6, 10} {
+				opt := core.Options{MinSupport: minsup, Closed: true}
+				ref, err := core.Mine(ix, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refList := patternList(db, ref)
+				for _, workers := range []int{1, 2, 8} {
+					res, err := core.MineParallel(ix, opt, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := patternList(db, res); got != refList {
+						t.Errorf("%s fastNext=%v minsup=%d workers=%d: patterns diverged\nsequential:\n%s\nparallel:\n%s",
+							name, fastNext, minsup, workers, refList, got)
+					}
+					if ref.Stats != ignoreDuration(ref.Stats, res.Stats) {
+						t.Errorf("%s fastNext=%v minsup=%d workers=%d: counters diverged:\nsequential: %+v\nparallel:   %+v",
+							name, fastNext, minsup, workers, ref.Stats, res.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGSgrowAgrees covers the all-patterns mode for the same
+// worker sweep (cheaper assertions: parallel all-mode parity existed
+// before this PR; the arena must not have broken it).
+func TestParallelGSgrowAgrees(t *testing.T) {
+	for name, db := range parityDBs(t) {
+		ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: true})
+		opt := core.Options{MinSupport: 8}
+		ref, err := core.Mine(ix, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refList := patternList(db, ref)
+		for _, workers := range []int{2, 8} {
+			res, err := core.MineParallel(ix, opt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := patternList(db, res); got != refList {
+				t.Errorf("%s workers=%d: all-patterns parallel run diverged", name, workers)
+			}
+		}
+	}
+}

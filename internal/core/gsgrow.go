@@ -12,6 +12,12 @@ import (
 // the chain of prefix support sets live on an explicit stack so that
 // closure checking can re-grow insertion chains from any prefix without
 // recomputation (the space bound of Theorem 7: O(sup_max · len_max)).
+//
+// All transient buffers come from per-miner free-lists (setPool, candPool)
+// and scratch slices, so steady-state mining performs no heap allocations:
+// every support set and candidate list produced at a DFS node is recycled
+// when the node's subtree completes. Miners are single-goroutine state;
+// MineParallel gives each worker its own miner (and hence its own arena).
 type miner struct {
 	ix  *seq.Index
 	opt Options
@@ -25,11 +31,37 @@ type miner struct {
 	// instead of rescanning the index.
 	candStack [][]seq.EventID
 
-	seen   []bool // scratch for candidates()
-	counts []int  // scratch for prependCandidates()
+	seen []bool // scratch for candidates()
 	// scratchA/scratchB are the ping-pong buffers of closure-check chain
-	// growth (see checkNonAppend); always stored with length 0.
+	// growth (see checkNonAppend). Only their capacity is meaningful
+	// between uses: checkNonAppend stores them back as returned by the
+	// last chain step and re-slices to [:0] before each candidate.
 	scratchA, scratchB Set
+
+	// setPool and candPool are free-lists of support-set and candidate
+	// buffers (stored with length 0). getSet/putSet and getCands/putCands
+	// recycle them across DFS nodes.
+	setPool  []Set
+	candPool [][]seq.EventID
+	// seqsBuf/runsBuf back sequenceRunsOf, eligBuf backs eligibleEvents,
+	// gapCandBuf backs insertionCandidates. Each is consumed before the
+	// next call that overwrites it.
+	seqsBuf    []int32
+	runsBuf    []int32
+	eligBuf    []seq.EventID
+	gapCandBuf []seq.EventID
+
+	// memoSup caches refuted closure-check chains within the current DFS
+	// path as a flat (gap rows × numEvents) table: entry (g, e') holds
+	// the support s at which the insertion/prepend extension was refuted
+	// (proved sup < s), or 0. Entries are valid for every descendant with
+	// the same support (Apriori: appending suffix events cannot raise the
+	// chain's support) and are reverted via memoLog when the DFS leaves
+	// the node that added them.
+	memoSup   []int32
+	memoRows  int
+	numEvents int
+	memoLog   []memoUndo
 
 	// Parallel-mode coordination (nil/unused in sequential runs): budget
 	// is the shared remaining-pattern count decremented atomically on
@@ -42,6 +74,55 @@ type miner struct {
 
 	res     *Result
 	stopped bool
+}
+
+// newMiner returns a ready miner for one sequential run or one parallel
+// worker. The scratch sizes depend only on the dictionary, so a miner can
+// be reused across seed events (MineParallel's workers do).
+func newMiner(ix *seq.Index, opt Options) *miner {
+	numEvents := ix.DB().Dict.Size()
+	return &miner{
+		ix:         ix,
+		opt:        opt,
+		freqEvents: ix.FrequentEvents(opt.MinSupport),
+		seen:       make([]bool, numEvents),
+		numEvents:  numEvents,
+		res:        &Result{},
+	}
+}
+
+// getSet pops a recycled support-set buffer (len 0) or allocates one.
+func (m *miner) getSet(capHint int) Set {
+	if n := len(m.setPool); n > 0 {
+		s := m.setPool[n-1]
+		m.setPool = m.setPool[:n-1]
+		return s[:0]
+	}
+	return make(Set, 0, capHint)
+}
+
+// putSet returns a support-set buffer to the pool.
+func (m *miner) putSet(s Set) {
+	if cap(s) > 0 {
+		m.setPool = append(m.setPool, s[:0])
+	}
+}
+
+// getCands pops a recycled candidate-list buffer (len 0) or allocates one.
+func (m *miner) getCands() []seq.EventID {
+	if n := len(m.candPool); n > 0 {
+		c := m.candPool[n-1]
+		m.candPool = m.candPool[:n-1]
+		return c[:0]
+	}
+	return make([]seq.EventID, 0, 16)
+}
+
+// putCands returns a candidate-list buffer to the pool.
+func (m *miner) putCands(c []seq.EventID) {
+	if cap(c) > 0 {
+		m.candPool = append(m.candPool, c[:0])
+	}
 }
 
 // Mine runs GSgrow (Algorithm 3) or, when opt.Closed is set, CloGSgrow
@@ -59,15 +140,7 @@ func Mine(ix *seq.Index, opt Options) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	numEvents := ix.DB().Dict.Size()
-	m := &miner{
-		ix:         ix,
-		opt:        opt,
-		freqEvents: ix.FrequentEvents(opt.MinSupport),
-		seen:       make([]bool, numEvents),
-		counts:     make([]int, numEvents),
-		res:        &Result{},
-	}
+	m := newMiner(ix, opt)
 	if ctxDone(opt.Ctx) {
 		m.res.Stats.Truncated = true
 		m.stopped = true
@@ -76,17 +149,26 @@ func Mine(ix *seq.Index, opt Options) (*Result, error) {
 		if m.stopped {
 			break
 		}
-		I := singletonSet(ix, e)
-		m.pattern = append(m.pattern[:0], e)
-		m.chain = append(m.chain[:0], I)
-		if opt.Closed {
-			m.growClosed(I)
-		} else {
-			m.grow(I)
-		}
+		m.mineSeed(e)
 	}
 	m.res.Stats.Duration = time.Since(start)
 	return m.res, nil
+}
+
+// mineSeed runs the DFS rooted at the size-1 pattern e, recycling the root
+// support set afterwards. The closure-check memo is empty between seeds
+// (every growClosed reverts its own entries), so per-seed subtrees are
+// independent — the property parallel mining relies on for determinism.
+func (m *miner) mineSeed(e seq.EventID) {
+	I := appendSingleton(m.getSet(m.ix.SingletonSupport(e)), m.ix, e)
+	m.pattern = append(m.pattern[:0], e)
+	m.chain = append(m.chain[:0], I)
+	if m.opt.Closed {
+		m.growClosed(I)
+	} else {
+		m.grow(I)
+	}
+	m.putSet(I)
 }
 
 // grow is subroutine mineFre of Algorithm 3: the pattern on m.pattern is
@@ -104,16 +186,19 @@ func (m *miner) grow(I Set) {
 		return
 	}
 	var cands []seq.EventID
+	pooled := false
 	if m.opt.FullAlphabetCandidates {
 		cands = m.allFrequentEvents()
 	} else {
 		cands = m.candidates(I)
+		pooled = true
 	}
 	m.candStack = append(m.candStack, cands)
 	for _, e := range cands {
 		m.res.Stats.INSgrowCalls++
-		I2 := insGrow(m.ix, I, e)
+		I2 := appendGrow(m.getSet(len(I)), m.ix, I, e)
 		if len(I2) < m.opt.MinSupport {
+			m.putSet(I2)
 			continue
 		}
 		m.pattern = append(m.pattern, e)
@@ -121,11 +206,15 @@ func (m *miner) grow(I Set) {
 		m.grow(I2)
 		m.pattern = m.pattern[:len(m.pattern)-1]
 		m.chain = m.chain[:len(m.chain)-1]
+		m.putSet(I2)
 		if m.stopped {
 			break
 		}
 	}
 	m.candStack = m.candStack[:len(m.candStack)-1]
+	if pooled {
+		m.putCands(cands)
+	}
 }
 
 // ctxDone reports whether a (possibly nil) context has been cancelled.
@@ -176,7 +265,9 @@ func (m *miner) enterNode() {
 	}
 }
 
-// emit records the current pattern as part of the output.
+// emit records the current pattern as part of the output. In counting-only
+// runs (DiscardPatterns with no OnPattern callback) nothing is
+// materialized — the pattern-copy allocation is skipped entirely.
 func (m *miner) emit(I Set) {
 	if m.stopAll != nil && m.stopAll.Load() {
 		m.stopped = true
@@ -189,18 +280,20 @@ func (m *miner) emit(I Set) {
 			return
 		}
 	}
-	p := Pattern{Events: append([]seq.EventID(nil), m.pattern...), Support: len(I)}
-	if m.opt.CollectInstances {
-		p.Instances = ComputeSupportSet(m.ix, p.Events)
-	}
 	m.res.NumPatterns++
-	if !m.opt.DiscardPatterns {
-		m.res.Patterns = append(m.res.Patterns, p)
-	}
-	if m.opt.OnPattern != nil && !m.opt.OnPattern(p) {
-		m.stopped = true
-		m.res.Stats.Truncated = true
-		return
+	if !m.opt.DiscardPatterns || m.opt.OnPattern != nil {
+		p := Pattern{Events: append([]seq.EventID(nil), m.pattern...), Support: len(I)}
+		if m.opt.CollectInstances {
+			p.Instances = ComputeSupportSet(m.ix, p.Events)
+		}
+		if !m.opt.DiscardPatterns {
+			m.res.Patterns = append(m.res.Patterns, p)
+		}
+		if m.opt.OnPattern != nil && !m.opt.OnPattern(p) {
+			m.stopped = true
+			m.res.Stats.Truncated = true
+			return
+		}
 	}
 	if m.opt.MaxPatterns > 0 && m.res.NumPatterns >= m.opt.MaxPatterns {
 		m.stopped = true

@@ -12,23 +12,27 @@ import "repro/internal/seq"
 //
 // The output is again sorted in right-shift order: within a sequence,
 // last_position strictly increases, and sequences are visited in ascending
-// order. Time O(|I| log L) (Lemma 5).
+// order. Time O(|I| log L) (Lemma 5), or O(|I|) with a FastNext index.
+// The DFS miners call appendGrow directly with arena-recycled buffers;
+// insGrow is the convenience wrapper for one-shot callers (supComp, top-k).
 func insGrow(ix *seq.Index, I Set, e seq.EventID) Set {
 	out := make(Set, 0, len(I))
 	return appendGrow(out, ix, I, e)
 }
 
-// insGrowAtLeast is insGrow with an early-abort bound used by closure
-// checking: as soon as the result can no longer reach size `need`
-// (completed so far + instances not yet scanned < need), it returns nil.
-// A nil return means "support < need", not "support zero". dst, when
-// non-nil, is reused as the output buffer (closure checking ping-pongs two
-// scratch buffers to avoid allocating on every chain step).
-func insGrowAtLeast(ix *seq.Index, I Set, e seq.EventID, need int, dst Set) Set {
+// insGrowAtLeast is instance growth with an early-abort bound used by
+// closure checking: as soon as the result can no longer reach size `need`
+// (completed so far + instances not yet scanned < need), it stops. ok
+// reports whether the grown set reached `need`; the returned buffer is
+// valid either way and is handed back to the caller so the closure-check
+// ping-pong never leaks an arena buffer (!ok means "support < need", and
+// the buffer contents are then meaningless). dst is reused as the output
+// buffer, reallocated only when its capacity cannot hold len(I) instances.
+func insGrowAtLeast(ix *seq.Index, I Set, e seq.EventID, need int, dst Set) (out Set, ok bool) {
+	out = dst[:0]
 	if len(I) < need {
-		return nil
+		return out, false
 	}
-	out := dst[:0]
 	if cap(out) < len(I) {
 		out = make(Set, 0, len(I))
 	}
@@ -40,32 +44,49 @@ func insGrowAtLeast(ix *seq.Index, I Set, e seq.EventID, need int, dst Set) Set 
 			end++
 		}
 		lastPosition := int32(0)
-		for k := start; k < end; k++ {
-			lowest := I[k].Last
-			if lastPosition > lowest {
-				lowest = lastPosition
+		if col, fast := ix.NextColumn(int(si), e); fast {
+			for k := start; k < end; k++ {
+				lowest := I[k].Last
+				if lastPosition > lowest {
+					lowest = lastPosition
+				}
+				if int(lowest) >= len(col) {
+					break
+				}
+				lj := col[lowest]
+				if lj < 0 {
+					break
+				}
+				lastPosition = lj
+				out = append(out, Inst{Seq: si, First: I[k].First, Last: lj})
 			}
-			lj := ix.Next(int(si), e, lowest)
-			if lj < 0 {
-				break
+		} else {
+			for k := start; k < end; k++ {
+				lowest := I[k].Last
+				if lastPosition > lowest {
+					lowest = lastPosition
+				}
+				lj := ix.Next(int(si), e, lowest)
+				if lj < 0 {
+					break
+				}
+				lastPosition = lj
+				out = append(out, Inst{Seq: si, First: I[k].First, Last: lj})
 			}
-			lastPosition = lj
-			out = append(out, Inst{Seq: si, First: I[k].First, Last: lj})
 		}
 		start = end
 		// Even extending every remaining instance cannot reach `need`.
 		if len(out)+(len(I)-start) < need {
-			return nil
+			return out, false
 		}
 	}
-	if len(out) < need {
-		return nil
-	}
-	return out
+	return out, len(out) >= need
 }
 
 // appendGrow performs one instance-growth step, appending extended
-// instances to dst and returning it.
+// instances to dst and returning it. With a FastNext index the per-sequence
+// successor column is resolved once and the inner loop is a single bounds
+// check plus one array load per instance.
 func appendGrow(dst Set, ix *seq.Index, I Set, e seq.EventID) Set {
 	start := 0
 	for start < len(I) {
@@ -75,17 +96,35 @@ func appendGrow(dst Set, ix *seq.Index, I Set, e seq.EventID) Set {
 			end++
 		}
 		lastPosition := int32(0) // paper's last_position, reset per sequence
-		for k := start; k < end; k++ {
-			lowest := I[k].Last // l_{j-1}
-			if lastPosition > lowest {
-				lowest = lastPosition
+		if col, fast := ix.NextColumn(int(si), e); fast {
+			for k := start; k < end; k++ {
+				lowest := I[k].Last // l_{j-1}
+				if lastPosition > lowest {
+					lowest = lastPosition
+				}
+				if int(lowest) >= len(col) {
+					break // e absent from this sequence (col empty)
+				}
+				lj := col[lowest]
+				if lj < 0 {
+					break // no event e left for this and all later instances
+				}
+				lastPosition = lj
+				dst = append(dst, Inst{Seq: si, First: I[k].First, Last: lj})
 			}
-			lj := ix.Next(int(si), e, lowest)
-			if lj < 0 {
-				break // no event e left for this and all later instances
+		} else {
+			for k := start; k < end; k++ {
+				lowest := I[k].Last
+				if lastPosition > lowest {
+					lowest = lastPosition
+				}
+				lj := ix.Next(int(si), e, lowest)
+				if lj < 0 {
+					break
+				}
+				lastPosition = lj
+				dst = append(dst, Inst{Seq: si, First: I[k].First, Last: lj})
 			}
-			lastPosition = lj
-			dst = append(dst, Inst{Seq: si, First: I[k].First, Last: lj})
 		}
 		start = end
 	}
@@ -96,28 +135,32 @@ func appendGrow(dst Set, ix *seq.Index, I Set, e seq.EventID) Set {
 // simply every occurrence of e, in right-shift order (line 1 of
 // Algorithm 1 / line 3 of Algorithm 3).
 func singletonSet(ix *seq.Index, e seq.EventID) Set {
-	out := make(Set, 0, ix.SingletonSupport(e))
-	for i := 0; i < ix.DB().NumSequences(); i++ {
-		for _, pos := range ix.Positions(i, e) {
-			out = append(out, Inst{Seq: int32(i), First: pos, Last: pos})
-		}
-	}
-	return out
+	return appendSingleton(make(Set, 0, ix.SingletonSupport(e)), ix, e)
 }
 
-// singletonSetIn is singletonSet restricted to the given ascending sequence
-// indices. Restricting is sound whenever the pattern being grown can only
-// have instances inside those sequences (used by the prepend chains of
-// closure checking, where instances of e' ∘ P must live in sequences that
-// contain P).
-func singletonSetIn(ix *seq.Index, e seq.EventID, seqs []int32) Set {
-	var out Set
-	for _, i := range seqs {
-		for _, pos := range ix.Positions(int(i), e) {
-			out = append(out, Inst{Seq: i, First: pos, Last: pos})
+// appendSingleton appends every occurrence of e to dst, in right-shift
+// order — singletonSet over a caller-owned (arena) buffer.
+func appendSingleton(dst Set, ix *seq.Index, e seq.EventID) Set {
+	for i := 0; i < ix.DB().NumSequences(); i++ {
+		for _, pos := range ix.Positions(i, e) {
+			dst = append(dst, Inst{Seq: int32(i), First: pos, Last: pos})
 		}
 	}
-	return out
+	return dst
+}
+
+// appendSingletonIn appends the occurrences of e restricted to the given
+// ascending sequence indices. Restricting is sound whenever the pattern
+// being grown can only have instances inside those sequences (used by the
+// prepend chains of closure checking, where instances of e' ∘ P must live
+// in sequences that contain P).
+func appendSingletonIn(dst Set, ix *seq.Index, e seq.EventID, seqs []int32) Set {
+	for _, i := range seqs {
+		for _, pos := range ix.Positions(int(i), e) {
+			dst = append(dst, Inst{Seq: i, First: pos, Last: pos})
+		}
+	}
+	return dst
 }
 
 // insGrowFull is instance growth carrying full landmarks. It is used to

@@ -52,36 +52,25 @@ func MineParallel(ix *seq.Index, opt Options, workers int) (*Result, error) {
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	numEvents := ix.DB().Dict.Size()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m := &miner{
-				ix:         ix,
-				opt:        workerOpt,
-				freqEvents: seeds,
-				seen:       make([]bool, numEvents),
-				counts:     make([]int, numEvents),
-				budget:     budget,
-				stopAll:    &stop,
-			}
+			// One miner — and hence one arena of recycled buffers and
+			// one closure-check memo — per worker; both GSgrow and
+			// CloGSgrow subtrees reuse it across seeds with no locking.
+			m := newMiner(ix, workerOpt)
+			m.freqEvents = seeds
+			m.budget = budget
+			m.stopAll = &stop
 			for job := range jobs {
 				if stop.Load() {
 					continue // drain
 				}
 				m.res = &Result{}
 				m.stopped = false
-				e := seeds[job]
-				I := singletonSet(ix, e)
-				m.pattern = append(m.pattern[:0], e)
-				m.chain = append(m.chain[:0], I)
 				m.candStack = m.candStack[:0]
-				if workerOpt.Closed {
-					m.growClosed(I)
-				} else {
-					m.grow(I)
-				}
+				m.mineSeed(seeds[job])
 				results[job] = m.res
 			}
 		}()
@@ -136,6 +125,7 @@ func mergeStats(dst, src *MineStats) {
 	dst.NodesVisited += src.NodesVisited
 	dst.INSgrowCalls += src.INSgrowCalls
 	dst.ClosureChainGrowths += src.ClosureChainGrowths
+	dst.MemoHits += src.MemoHits
 	dst.ClosureChecks += src.ClosureChecks
 	dst.LBPrunes += src.LBPrunes
 	dst.NonClosedSkipped += src.NonClosedSkipped

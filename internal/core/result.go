@@ -36,6 +36,10 @@ type MineStats struct {
 	// ClosureChainGrowths counts instance-growth steps spent inside
 	// closure checking (insertion/prepend chains).
 	ClosureChainGrowths int
+	// MemoHits counts closure-check chains skipped because an ancestor
+	// node on the DFS path already refuted the same (gap, event)
+	// extension at the same support.
+	MemoHits int
 	// ClosureChecks counts patterns that underwent closure checking.
 	ClosureChecks int
 	// LBPrunes counts DFS subtrees pruned by landmark border checking.

@@ -251,22 +251,27 @@ func TestInsGrowAtLeast(t *testing.T) {
 	a, c := pat(t, db, "A")[0], pat(t, db, "C")[0]
 	ia := singletonSet(ix, a)
 	// sup(AC) = 4, so need=5 must abort and need=4 must succeed.
-	if got := insGrowAtLeast(ix, ia, c, 5, nil); got != nil {
-		t.Errorf("insGrowAtLeast(need=5) = %v, want nil", got)
+	if _, ok := insGrowAtLeast(ix, ia, c, 5, nil); ok {
+		t.Error("insGrowAtLeast(need=5) reported ok, want refuted")
 	}
-	got := insGrowAtLeast(ix, ia, c, 4, nil)
-	if got == nil || len(got) != 4 {
-		t.Errorf("insGrowAtLeast(need=4) = %v, want 4 instances", got)
+	got, ok := insGrowAtLeast(ix, ia, c, 4, nil)
+	if !ok || len(got) != 4 {
+		t.Errorf("insGrowAtLeast(need=4) = %v ok=%v, want 4 instances", got, ok)
 	}
 	// need greater than |I| aborts immediately.
-	if got := insGrowAtLeast(ix, ia, c, 6, nil); got != nil {
-		t.Errorf("insGrowAtLeast(need=6) = %v, want nil", got)
+	if _, ok := insGrowAtLeast(ix, ia, c, 6, nil); ok {
+		t.Error("insGrowAtLeast(need=6) reported ok, want refuted")
 	}
-	// A provided buffer is reused when large enough.
+	// A provided buffer is reused when large enough, and handed back even
+	// on refutation so arena buffers are never lost.
 	buf := make(Set, 0, 16)
-	got2 := insGrowAtLeast(ix, ia, c, 4, buf)
-	if len(got2) != 4 || cap(got2) != 16 {
-		t.Errorf("buffer not reused: len=%d cap=%d", len(got2), cap(got2))
+	got2, ok := insGrowAtLeast(ix, ia, c, 4, buf)
+	if !ok || len(got2) != 4 || cap(got2) != 16 {
+		t.Errorf("buffer not reused: len=%d cap=%d ok=%v", len(got2), cap(got2), ok)
+	}
+	back, ok := insGrowAtLeast(ix, ia, c, 5, buf)
+	if ok || cap(back) != 16 {
+		t.Errorf("refuted call must return the buffer: cap=%d ok=%v", cap(back), ok)
 	}
 }
 
@@ -278,7 +283,7 @@ func TestSingletonSetIn(t *testing.T) {
 	if len(all) != 5 {
 		t.Fatalf("|singletonSet(A)| = %d, want 5", len(all))
 	}
-	only2 := singletonSetIn(ix, a, []int32{1})
+	only2 := appendSingletonIn(nil, ix, a, []int32{1})
 	if len(only2) != 3 {
 		t.Fatalf("restricted singleton set = %v, want 3 instances in S2", only2)
 	}

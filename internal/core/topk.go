@@ -36,14 +36,7 @@ func MineTopKCtx(ctx context.Context, ix *seq.Index, k int, closed bool, maxLen 
 		ctx = context.Background()
 	}
 	start := time.Now()
-	numEvents := ix.DB().Dict.Size()
-	m := &miner{
-		ix:     ix,
-		opt:    Options{MinSupport: 1, Closed: closed},
-		seen:   make([]bool, numEvents),
-		counts: make([]int, numEvents),
-		res:    &Result{},
-	}
+	m := newMiner(ix, Options{MinSupport: 1, Closed: closed})
 	pq := &nodeHeap{}
 	for _, e := range ix.FrequentEvents(1) {
 		I := singletonSet(ix, e)
@@ -82,7 +75,8 @@ func MineTopKCtx(ctx context.Context, ix *seq.Index, k int, closed bool, maxLen 
 		// Expand regardless of closedness: closed descendants can hide
 		// under non-closed nodes (Example 3.5).
 		m.pattern = append(m.pattern[:0], n.pattern...)
-		for _, e := range m.candidates(n.set) {
+		cands := m.candidates(n.set)
+		for _, e := range cands {
 			m.res.Stats.INSgrowCalls++
 			I2 := insGrow(ix, n.set, e)
 			if len(I2) == 0 {
@@ -93,6 +87,7 @@ func MineTopKCtx(ctx context.Context, ix *seq.Index, k int, closed bool, maxLen 
 			child[len(n.pattern)] = e
 			heap.Push(pq, &searchNode{pattern: child, set: I2})
 		}
+		m.putCands(cands)
 	}
 	m.res.Stats.Duration = time.Since(start)
 	return m.res, nil
@@ -105,20 +100,37 @@ func (m *miner) isClosedStandalone(pattern []seq.EventID, I Set) bool {
 	m.pattern = append(m.pattern[:0], pattern...)
 	m.chain = m.chain[:0]
 	m.candStack = m.candStack[:0]
-	cur := singletonSet(m.ix, pattern[0])
+	cur := appendSingleton(m.getSet(m.ix.SingletonSupport(pattern[0])), m.ix, pattern[0])
 	m.chain = append(m.chain, cur)
 	for j := 1; j < len(pattern); j++ {
 		m.candStack = append(m.candStack, m.candidates(cur))
-		cur = insGrow(m.ix, cur, pattern[j])
+		cur = appendGrow(m.getSet(len(cur)), m.ix, cur, pattern[j])
 		m.chain = append(m.chain, cur)
 	}
 	m.res.Stats.ClosureChecks++
+	// The memo is path-scoped and best-first search has no DFS path:
+	// revert whatever this standalone check recorded before returning.
+	// The rebuilt chain and candidate stack are recycled the same way.
+	memoMark := len(m.memoLog)
+	defer func() {
+		m.memoRevert(memoMark)
+		for _, s := range m.chain {
+			m.putSet(s)
+		}
+		m.chain = m.chain[:0]
+		for _, c := range m.candStack {
+			m.putCands(c)
+		}
+		m.candStack = m.candStack[:0]
+	}()
 	equal, _ := m.checkNonAppend(I)
 	if equal {
 		return false
 	}
 	// Append extensions.
-	for _, e := range m.candidates(I) {
+	cands := m.candidates(I)
+	defer m.putCands(cands)
+	for _, e := range cands {
 		m.res.Stats.INSgrowCalls++
 		if len(insGrow(m.ix, I, e)) == len(I) {
 			return false

@@ -1,0 +1,135 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCharDB builds a small random database over a 2-5 letter alphabet.
+func randomCharDB(r *rand.Rand) *DB {
+	db := NewDB()
+	alpha := 2 + r.Intn(4)
+	names := []string{"A", "B", "C", "D", "E"}[:alpha]
+	nSeq := 1 + r.Intn(5)
+	for i := 0; i < nSeq; i++ {
+		n := r.Intn(20)
+		ev := make([]string, n)
+		for j := range ev {
+			ev[j] = names[r.Intn(alpha)]
+		}
+		db.Add("", ev)
+	}
+	return db
+}
+
+// TestPropertyFastNextMatchesBinarySearch: with successor tables, Next
+// answers every (sequence, event, lowest) query — including out-of-range
+// lowests and events absent from the sequence — exactly like the
+// binary-search index.
+func TestPropertyFastNextMatchesBinarySearch(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomCharDB(r)
+		slow := NewIndex(db)
+		fast := NewIndexWith(db, IndexOptions{FastNext: true})
+		for i := range db.Seqs {
+			if !fast.HasFastNext(i) && len(db.Seqs[i]) > 0 {
+				t.Logf("sequence %d lost its table under the default budget", i)
+				return false
+			}
+			for e := EventID(0); int(e) < db.Dict.Size()+1; e++ {
+				for lowest := int32(-1); lowest <= int32(len(db.Seqs[i]))+2; lowest++ {
+					got := fast.Next(i, e, lowest)
+					want := slow.Next(i, e, lowest)
+					if got != want {
+						t.Logf("Next(%d, %d, %d) = %d, want %d", i, e, lowest, got, want)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(20090401))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNextColumnMatchesNext: the column API agrees entry-by-entry
+// with Next for present events and signals absent events with an empty
+// column.
+func TestPropertyNextColumnMatchesNext(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomCharDB(r)
+		fast := NewIndexWith(db, IndexOptions{FastNext: true})
+		for i := range db.Seqs {
+			for e := EventID(0); int(e) < db.Dict.Size(); e++ {
+				col, ok := fast.NextColumn(i, e)
+				if !ok {
+					t.Logf("sequence %d reported no table", i)
+					return false
+				}
+				if len(col) == 0 {
+					if len(fast.Positions(i, e)) != 0 {
+						t.Logf("empty column for present event %d in seq %d", e, i)
+						return false
+					}
+					continue
+				}
+				if len(col) != len(db.Seqs[i])+1 {
+					t.Logf("column height %d, want %d", len(col), len(db.Seqs[i])+1)
+					return false
+				}
+				for p := range col {
+					if col[p] != fast.Next(i, e, int32(p)) {
+						t.Logf("col[%d] = %d, Next = %d", p, col[p], fast.Next(i, e, int32(p)))
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(20090401))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFastNextMemBudget: a tiny budget degrades gracefully — sequences
+// whose tables do not fit fall back to binary search and answer queries
+// identically, and accounting matches what was actually built.
+func TestFastNextMemBudget(t *testing.T) {
+	db := NewDB()
+	db.AddChars("big", "ABCDABCDABCDABCDABCDABCDABCD") // 4 events × 29 rows = 464 bytes
+	db.AddChars("small", "AB")                         // 2 events × 3 rows = 24 bytes
+	ix := NewIndexWith(db, IndexOptions{FastNext: true, FastNextMemBudget: 100})
+	if ix.HasFastNext(0) {
+		t.Error("big sequence's table should not fit a 100-byte budget")
+	}
+	if !ix.HasFastNext(1) {
+		t.Error("small sequence's table fits the remaining budget and must be built")
+	}
+	if ix.FastNextBytes() != 24 {
+		t.Errorf("FastNextBytes = %d, want 24", ix.FastNextBytes())
+	}
+	slow := NewIndex(db)
+	if slow.FastNextBytes() != 0 || slow.HasFastNext(0) || slow.HasFastNext(1) {
+		t.Error("binary-search index must report no successor tables")
+	}
+	for i := range db.Seqs {
+		if _, ok := ix.NextColumn(i, 0); ok != ix.HasFastNext(i) {
+			t.Errorf("NextColumn ok mismatch for sequence %d", i)
+		}
+		for e := EventID(0); int(e) < db.Dict.Size(); e++ {
+			for lowest := int32(0); lowest <= int32(len(db.Seqs[i])); lowest++ {
+				if got, want := ix.Next(i, e, lowest), slow.Next(i, e, lowest); got != want {
+					t.Fatalf("Next(%d, %d, %d) = %d, want %d", i, e, lowest, got, want)
+				}
+			}
+		}
+	}
+}

@@ -2,36 +2,86 @@ package seq
 
 import "sort"
 
+// IndexOptions tunes index construction.
+type IndexOptions struct {
+	// FastNext builds per-sequence successor tables so that Next — the
+	// paper's next(S, e, lowest) primitive, the innermost operation of
+	// instance growth — becomes a single array load instead of an
+	// O(log L) binary search. The table for sequence Si is a
+	// |distinct events of Si| × (len(Si)+1) int32 matrix, so memory is
+	// O(Σ Ki·Li); sequences whose table would blow the memory budget
+	// fall back to binary search individually.
+	FastNext bool
+	// FastNextMemBudget caps the total bytes spent on successor tables.
+	// 0 selects DefaultFastNextMemBudget; negative means unlimited.
+	// Tables are allocated greedily in sequence order; a sequence whose
+	// table does not fit the remaining budget is skipped (it falls back
+	// to binary search) and smaller later sequences may still fit.
+	FastNextMemBudget int64
+}
+
+// DefaultFastNextMemBudget is the successor-table budget used when
+// IndexOptions.FastNextMemBudget is zero: large enough for every workload
+// in the paper's evaluation, small enough to never dominate the footprint
+// of the database it indexes.
+const DefaultFastNextMemBudget int64 = 256 << 20
+
+// seqTab holds every per-sequence table of the index in one struct, so the
+// hot lookups (Next, NextColumn, EventsLast, Count) touch a single
+// contiguous header instead of chasing parallel slice-of-slices.
+type seqTab struct {
+	// events lists the distinct events of the sequence in ascending
+	// EventID order; lists[k], last[k] and count[k] are the ascending
+	// 1-based positions, the largest position, and the occurrence count
+	// of events[k].
+	events []EventID
+	lists  [][]int32
+	last   []int32
+	count  []int32
+	// slot maps an EventID to its index in events, or -1.
+	slot []int32
+	// succ, when non-nil, is the FastNext successor table in column-major
+	// layout: succ[k*rows+p] is the smallest position l > p with
+	// S[l] = events[k], or -1. Column-major keeps the accesses of one
+	// instance-growth scan (fixed event, increasing lowest) contiguous.
+	succ []int32
+	// rows = len(S)+1, the column height of succ.
+	rows int32
+}
+
 // Index is the inverted event index of Section III-D: for each sequence Si
 // and event e, the ordered list L(e,Si) of 1-based positions where e occurs.
 // It answers the paper's next(S, e, lowest) query — the smallest position
-// l > lowest with S[l] = e — by binary search in O(log L) time, and it
-// exposes the per-sequence distinct-event lists used to build the candidate
-// event lists that keep GSgrow's branching factor below |E|.
+// l > lowest with S[l] = e — by binary search in O(log L) time or, with
+// IndexOptions.FastNext, by one load from a precomputed successor table in
+// O(1). It also exposes the per-sequence distinct-event lists (with dense
+// last-position arrays) used to build the candidate event lists that keep
+// GSgrow's branching factor below |E|.
 type Index struct {
-	db *DB
-	// For sequence i, events[i] lists the distinct events of Si in
-	// ascending EventID order and lists[i][k] holds the ascending 1-based
-	// positions of events[i][k].
-	events [][]EventID
-	lists  [][][]int32
-	// slot[i] maps an EventID to its index in events[i], or -1.
-	slot [][]int32
+	db   *DB
+	seqs []seqTab
 	// total[e] is the total number of occurrences of e across the
 	// database, i.e. the repetitive support of the singleton pattern e.
-	total []int
+	total     []int
+	succBytes int64
 }
 
-// NewIndex builds the inverted event index for db. Construction is
-// O(total database length).
-func NewIndex(db *DB) *Index {
+// NewIndex builds the inverted event index for db with binary-search Next
+// (the paper's O(log L) formulation). Construction is O(total database
+// length).
+func NewIndex(db *DB) *Index { return NewIndexWith(db, IndexOptions{}) }
+
+// NewIndexWith builds the inverted event index with the given options.
+func NewIndexWith(db *DB, opt IndexOptions) *Index {
 	nEvents := db.Dict.Size()
 	ix := &Index{
-		db:     db,
-		events: make([][]EventID, len(db.Seqs)),
-		lists:  make([][][]int32, len(db.Seqs)),
-		slot:   make([][]int32, len(db.Seqs)),
-		total:  make([]int, nEvents),
+		db:    db,
+		seqs:  make([]seqTab, len(db.Seqs)),
+		total: make([]int, nEvents),
+	}
+	budget := opt.FastNextMemBudget
+	if budget == 0 {
+		budget = DefaultFastNextMemBudget
 	}
 	for i, s := range db.Seqs {
 		// Count occurrences per event in this sequence.
@@ -58,28 +108,85 @@ func NewIndex(db *DB) *Index {
 			k := slot[e]
 			lists[k] = append(lists[k], int32(pos+1))
 		}
-		ix.events[i] = evs
-		ix.lists[i] = lists
-		ix.slot[i] = slot
+		last := make([]int32, len(evs))
+		count := make([]int32, len(evs))
+		for k, list := range lists {
+			last[k] = list[len(list)-1]
+			count[k] = int32(len(list))
+		}
+		t := &ix.seqs[i]
+		t.events = evs
+		t.lists = lists
+		t.last = last
+		t.count = count
+		t.slot = slot
+		t.rows = int32(len(s) + 1)
+		if opt.FastNext {
+			bytes := int64(len(evs)) * int64(len(s)+1) * 4
+			if budget < 0 || ix.succBytes+bytes <= budget {
+				t.succ = buildSuccTable(len(s), lists)
+				ix.succBytes += bytes
+			}
+		}
 	}
 	return ix
+}
+
+// buildSuccTable fills the column-major successor matrix for one sequence:
+// for each distinct-event slot k and position p in [0, seqLen], the smallest
+// listed position > p, or -1. O(K·L) time.
+func buildSuccTable(seqLen int, lists [][]int32) []int32 {
+	rows := seqLen + 1
+	succ := make([]int32, len(lists)*rows)
+	for k, list := range lists {
+		col := succ[k*rows : (k+1)*rows]
+		ptr := len(list) - 1
+		next := int32(-1)
+		for p := rows - 1; p >= 0; p-- {
+			for ptr >= 0 && list[ptr] > int32(p) {
+				next = list[ptr]
+				ptr--
+			}
+			col[p] = next
+		}
+	}
+	return succ
 }
 
 // DB returns the database this index was built over.
 func (ix *Index) DB() *DB { return ix.db }
 
+// FastNextBytes returns the memory spent on successor tables (0 when
+// FastNext is disabled or nothing fit the budget).
+func (ix *Index) FastNextBytes() int64 { return ix.succBytes }
+
+// HasFastNext reports whether sequence i has a successor table (it may not,
+// even with FastNext requested, when the table exceeded the memory budget).
+func (ix *Index) HasFastNext(i int) bool { return ix.seqs[i].succ != nil }
+
 // Next implements the paper's next(Si, e, lowest) subroutine: the minimum
 // 1-based position l in sequence i with l > lowest and Si[l] = e, or -1 when
-// no such position exists (the paper's ∞).
+// no such position exists (the paper's ∞). With a successor table this is
+// one array load; otherwise it binary-searches the position list.
 func (ix *Index) Next(i int, e EventID, lowest int32) int32 {
-	if int(e) >= len(ix.slot[i]) {
+	t := &ix.seqs[i]
+	if int(e) >= len(t.slot) {
 		return -1
 	}
-	k := ix.slot[i][e]
+	k := t.slot[e]
 	if k < 0 {
 		return -1
 	}
-	list := ix.lists[i][k]
+	if t.succ != nil {
+		if lowest < 0 {
+			lowest = 0
+		}
+		if lowest >= t.rows {
+			return -1
+		}
+		return t.succ[k*t.rows+lowest]
+	}
+	list := t.lists[k]
 	// Binary search for the first element > lowest.
 	lo, hi := 0, len(list)
 	for lo < hi {
@@ -96,37 +203,92 @@ func (ix *Index) Next(i int, e EventID, lowest int32) int32 {
 	return list[lo]
 }
 
+// NextColumn returns the successor column of event e in sequence i when a
+// successor table is present: col[p] is the smallest listed position > p,
+// for p in [0, len(Si)]. ok is false when sequence i has no table (callers
+// fall back to Next). When ok is true but e never occurs in Si, col is
+// empty — any bounds check then fails, matching Next's -1. The returned
+// slice is shared with the index and must not be modified.
+func (ix *Index) NextColumn(i int, e EventID) (col []int32, ok bool) {
+	t := &ix.seqs[i]
+	if t.succ == nil {
+		return nil, false
+	}
+	if int(e) >= len(t.slot) {
+		return nil, true
+	}
+	k := t.slot[e]
+	if k < 0 {
+		return nil, true
+	}
+	return t.succ[k*t.rows : (k+1)*t.rows], true
+}
+
 // Positions returns the ascending 1-based positions of e in sequence i.
 // The returned slice is shared with the index and must not be modified.
 func (ix *Index) Positions(i int, e EventID) []int32 {
-	if int(e) >= len(ix.slot[i]) {
+	t := &ix.seqs[i]
+	if int(e) >= len(t.slot) {
 		return nil
 	}
-	k := ix.slot[i][e]
+	k := t.slot[e]
 	if k < 0 {
 		return nil
 	}
-	return ix.lists[i][k]
+	return t.lists[k]
 }
 
 // Events returns the distinct events of sequence i in ascending ID order.
 // The returned slice is shared with the index and must not be modified.
-func (ix *Index) Events(i int) []EventID { return ix.events[i] }
+func (ix *Index) Events(i int) []EventID { return ix.seqs[i].events }
+
+// EventsLast returns the distinct events of sequence i alongside the dense
+// array of their last positions (parallel slices): last[k] is the largest
+// position of events[k] in Si. Candidate-event generation iterates the two
+// flat arrays instead of doing a slot lookup plus a position-list
+// dereference per event. Both slices are shared with the index and must
+// not be modified.
+func (ix *Index) EventsLast(i int) (events []EventID, last []int32) {
+	t := &ix.seqs[i]
+	return t.events, t.last
+}
+
+// EventsCount returns the distinct events of sequence i alongside the
+// dense array of their occurrence counts (parallel slices). Shared with
+// the index; must not be modified.
+func (ix *Index) EventsCount(i int) (events []EventID, count []int32) {
+	t := &ix.seqs[i]
+	return t.events, t.count
+}
 
 // LastPos returns the last (largest) 1-based position of e in sequence i,
 // or -1 when e does not occur in Si. This is the O(1) test used by
 // candidate-event generation: e can extend some instance whose last landmark
 // is p only if LastPos(i, e) > p.
 func (ix *Index) LastPos(i int, e EventID) int32 {
-	list := ix.Positions(i, e)
-	if len(list) == 0 {
+	t := &ix.seqs[i]
+	if int(e) >= len(t.slot) {
 		return -1
 	}
-	return list[len(list)-1]
+	k := t.slot[e]
+	if k < 0 {
+		return -1
+	}
+	return t.last[k]
 }
 
 // Count returns the number of occurrences of e in sequence i.
-func (ix *Index) Count(i int, e EventID) int { return len(ix.Positions(i, e)) }
+func (ix *Index) Count(i int, e EventID) int {
+	t := &ix.seqs[i]
+	if int(e) >= len(t.slot) {
+		return 0
+	}
+	k := t.slot[e]
+	if k < 0 {
+		return 0
+	}
+	return int(t.count[k])
+}
 
 // SingletonSupport returns the repetitive support of the single-event
 // pattern e, which equals the total number of occurrences of e in the

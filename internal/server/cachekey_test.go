@@ -1,0 +1,43 @@
+package server
+
+import "testing"
+
+// TestCacheKeyCanonicalization: every option that changes what a mining
+// run measures must land in the cache key; worker count and streaming
+// shape must not (complete results are identical across both).
+func TestCacheKeyCanonicalization(t *testing.T) {
+	base := mineRequest{Closed: true, MinSupport: 10}
+	key := func(q mineRequest) string { return q.cacheKey("db", 3) }
+
+	distinct := []mineRequest{
+		base,
+		{Closed: false, MinSupport: 10},
+		{Closed: true, MinSupport: 11},
+		{Closed: true, MinSupport: 10, MaxPatternLength: 4},
+		{Closed: true, MinSupport: 10, MaxPatterns: 100},
+		{Closed: true, MinSupport: 10, Instances: true},
+		{Closed: true, MinSupport: 10, DisableFastNext: true},
+		{TopK: 5},
+	}
+	seen := map[string]int{}
+	for i, q := range distinct {
+		k := key(q)
+		if j, dup := seen[k]; dup {
+			t.Errorf("requests %d and %d collide on key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+
+	same := base
+	same.Workers = 8
+	same.Stream = true
+	if key(same) != key(base) {
+		t.Error("workers and stream must not change the cache key")
+	}
+	if key(base) == base.cacheKey("db", 4) {
+		t.Error("generation must change the cache key")
+	}
+	if key(base) == base.cacheKey("other", 3) {
+		t.Error("database name must change the cache key")
+	}
+}

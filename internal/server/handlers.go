@@ -214,7 +214,11 @@ func (s *Server) runMine(ctx context.Context, e *dbEntry, q *mineRequest, onPatt
 	var res *repro.Result
 	var err error
 	if q.TopK > 0 {
-		res, err = e.db.MineTopKContext(ctx, q.TopK, q.Closed, q.MaxPatternLength)
+		res, err = e.db.MineTopKWith(q.TopK, q.Closed, repro.TopKOptions{
+			Ctx:              ctx,
+			MaxPatternLength: q.MaxPatternLength,
+			DisableFastNext:  q.DisableFastNext,
+		})
 	} else {
 		opt := repro.Options{
 			MinSupport:       q.MinSupport,
@@ -224,6 +228,7 @@ func (s *Server) runMine(ctx context.Context, e *dbEntry, q *mineRequest, onPatt
 			Workers:          q.Workers,
 			Ctx:              ctx,
 			OnPattern:        onPattern,
+			DisableFastNext:  q.DisableFastNext,
 		}
 		if q.Closed {
 			res, err = e.db.MineClosed(opt)

@@ -29,6 +29,11 @@ type mineRequest struct {
 	// they are mined, then a final {"summary": ...} line. Also selected by
 	// an "Accept: application/x-ndjson" header.
 	Stream bool `json:"stream"`
+	// DisableFastNext mines with the binary-search next() index instead
+	// of the O(1) successor tables (the paper's original formulation).
+	// Results are identical; the knob exists for ablation and for
+	// memory-constrained deployments.
+	DisableFastNext bool `json:"disableFastNext"`
 }
 
 func (q *mineRequest) validate() error {
@@ -67,10 +72,14 @@ func (q *mineRequest) algorithm() string {
 // cacheKey canonicalizes the mining options. Workers is deliberately
 // excluded: only complete results are cached, and those are identical
 // across worker counts. Stream is excluded too — a cached result can be
-// replayed in either representation.
+// replayed in either representation. DisableFastNext is included even
+// though both index variants provably produce identical results (the
+// parity tests assert it): the knob exists precisely to measure the
+// variants against each other, and serving a cached fast-index result to
+// a disableFastNext probe would silently invalidate the measurement.
 func (q *mineRequest) cacheKey(db string, generation uint64) string {
-	return fmt.Sprintf("%s@%d|closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t",
-		db, generation, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances)
+	return fmt.Sprintf("%s@%d|closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t fastnext=%t",
+		db, generation, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances, !q.DisableFastNext)
 }
 
 // mineOutcome is a finished mining run as held in the cache.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -56,10 +57,24 @@ func (f Format) internal() (seq.Format, error) {
 // Database is a sequence database under construction and the handle on
 // which mining runs. Not safe for concurrent mutation; concurrent mining
 // of an unchanging database is safe.
+//
+// Mining uses a FastNext index by default: per-sequence successor tables
+// that answer the paper's next(S, e, lowest) primitive in O(1) instead of
+// O(log L), built lazily under a memory budget (sequences whose table
+// would not fit fall back to binary search individually). Runs with
+// Options.DisableFastNext use a separate binary-search-only index, built
+// lazily on first such run.
 type Database struct {
-	db    *seq.DB
-	ix    *seq.Index
-	dirty bool
+	db *seq.DB
+
+	// ixMu guards lazy index construction, so concurrent mining requests
+	// (including a mix of fast and DisableFastNext runs) are safe even
+	// when an index is still cold. Sequence mutations remain unguarded:
+	// Add/Load must not race with anything.
+	ixMu   sync.Mutex
+	ix     *seq.Index // FastNext index (default for mining)
+	ixSlow *seq.Index // binary-search-only index (DisableFastNext runs)
+	dirty  bool
 }
 
 // NewDatabase returns an empty database.
@@ -150,19 +165,33 @@ type Stats struct {
 	AvgLength      float64
 }
 
-func (d *Database) index() *seq.Index {
-	if d.dirty || d.ix == nil {
-		d.ix = seq.NewIndex(d.db)
+func (d *Database) index() *seq.Index { return d.indexFor(false) }
+
+func (d *Database) indexFor(disableFastNext bool) *seq.Index {
+	d.ixMu.Lock()
+	defer d.ixMu.Unlock()
+	if d.dirty {
+		d.ix, d.ixSlow = nil, nil
 		d.dirty = false
+	}
+	if disableFastNext {
+		if d.ixSlow == nil {
+			d.ixSlow = seq.NewIndex(d.db)
+		}
+		return d.ixSlow
+	}
+	if d.ix == nil {
+		d.ix = seq.NewIndexWith(d.db, seq.IndexOptions{FastNext: true})
 	}
 	return d.ix
 }
 
-// Prepare builds the internal inverted index eagerly. Mining builds it
-// lazily on first use, which — like Add — is a mutation: call Prepare
-// once after the last Add/Load before handing the database to concurrent
-// miners, so that the "concurrent mining of an unchanging database is
-// safe" guarantee holds from the first request.
+// Prepare builds the internal inverted index (including the FastNext
+// successor tables) eagerly. Mining builds it lazily on first use, which —
+// like Add — is a mutation: call Prepare once after the last Add/Load
+// before handing the database to concurrent miners, so that the
+// "concurrent mining of an unchanging database is safe" guarantee holds
+// from the first request.
 func (d *Database) Prepare() { d.index() }
 
 // Options configures a mining run.
@@ -193,6 +222,12 @@ type Options struct {
 	// DiscardPatterns suppresses accumulation in Result.Patterns — use with
 	// OnPattern when streaming huge results to keep memory flat.
 	DiscardPatterns bool
+	// DisableFastNext runs this query against the binary-search next()
+	// index instead of the O(1) successor tables — the paper's original
+	// O(log L) formulation. Output is identical; only the speed/memory
+	// trade-off changes. The binary-search index is built lazily on the
+	// first such run and cached alongside the fast one.
+	DisableFastNext bool
 }
 
 // Instance is one occurrence of a pattern: the sequence it lives in and
@@ -257,12 +292,13 @@ func (d *Database) mine(opt Options, closed bool) (*Result, error) {
 		cb := opt.OnPattern
 		copt.OnPattern = func(p core.Pattern) bool { return cb(d.exportPattern(p)) }
 	}
+	ix := d.indexFor(opt.DisableFastNext)
 	var res *core.Result
 	var err error
 	if opt.Workers > 1 {
-		res, err = core.MineParallel(d.index(), copt, opt.Workers)
+		res, err = core.MineParallel(ix, copt, opt.Workers)
 	} else {
-		res, err = core.Mine(d.index(), copt)
+		res, err = core.Mine(ix, copt)
 	}
 	if err != nil {
 		return nil, err
@@ -316,13 +352,31 @@ func (d *Database) MineTopK(k int, closed bool) (*Result, error) {
 	return d.MineTopKContext(context.Background(), k, closed, 0)
 }
 
+// TopKOptions configures MineTopKWith. The zero value matches MineTopK's
+// defaults.
+type TopKOptions struct {
+	// MaxPatternLength bounds pattern length; 0 = unbounded.
+	MaxPatternLength int
+	// Ctx, when non-nil, cancels the search: the patterns found so far
+	// come back with Result.Truncated set. Best-first order guarantees
+	// those are still the true highest-support patterns.
+	Ctx context.Context
+	// DisableFastNext runs the search against the binary-search next()
+	// index, with the same contract as Options.DisableFastNext.
+	DisableFastNext bool
+}
+
 // MineTopKContext is MineTopK with cancellation and an optional pattern
 // length bound (maxLen 0 = unbounded): when ctx is done, the search stops
 // and the patterns found so far come back with Result.Truncated set.
-// Best-first order guarantees those are still the true highest-support
-// patterns.
 func (d *Database) MineTopKContext(ctx context.Context, k int, closed bool, maxLen int) (*Result, error) {
-	res, err := core.MineTopKCtx(ctx, d.index(), k, closed, maxLen)
+	return d.MineTopKWith(k, closed, TopKOptions{Ctx: ctx, MaxPatternLength: maxLen})
+}
+
+// MineTopKWith is MineTopK with the full set of run-level options the
+// top-k search supports.
+func (d *Database) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, error) {
+	res, err := core.MineTopKCtx(opt.Ctx, d.indexFor(opt.DisableFastNext), k, closed, opt.MaxPatternLength)
 	if err != nil {
 		return nil, err
 	}

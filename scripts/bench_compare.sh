@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json files produced by scripts/bench_smoke.sh and
+# print per-benchmark deltas (ns/op, allocs/op). Exits non-zero when any
+# benchmark present in both files regressed by more than the threshold
+# (default 20% ns/op) — wire it into CI as a warning on noisy runners, or
+# as a hard gate on dedicated ones.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json [max_regression_pct]
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+	echo "usage: $0 OLD.json NEW.json [max_regression_pct]" >&2
+	exit 2
+fi
+OLD="$1"
+NEW="$2"
+THRESHOLD="${3:-20}"
+
+# The JSON is one benchmark object per line (bench_smoke.sh's own output
+# format), so awk can parse it without jq.
+awk -v threshold="$THRESHOLD" -v oldfile="$OLD" -v newfile="$NEW" '
+function field(line, key,    re, s) {
+	re = "\"" key "\": [-0-9.]+"
+	if (match(line, re) == 0) return "null"
+	s = substr(line, RSTART, RLENGTH)
+	sub(/.*: /, "", s)
+	return s
+}
+function name(line,    s) {
+	if (match(line, /"name": "[^"]+"/) == 0) return ""
+	s = substr(line, RSTART, RLENGTH)
+	sub(/^"name": "/, "", s); sub(/"$/, "", s)
+	return s
+}
+{
+	n = name($0)
+	if (n == "") next
+	if (FILENAME == oldfile) {
+		old_ns[n] = field($0, "ns_per_op")
+		old_allocs[n] = field($0, "allocs_per_op")
+		old_order[oc++] = n
+	} else {
+		new_ns[n] = field($0, "ns_per_op")
+		new_allocs[n] = field($0, "allocs_per_op")
+	}
+}
+END {
+	printf "%-40s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op old -> new"
+	worst = 0
+	for (i = 0; i < oc; i++) {
+		n = old_order[i]
+		if (!(n in new_ns)) { printf "%-40s %12s %12s %8s\n", n, old_ns[n], "-", "gone"; continue }
+		o = old_ns[n] + 0; w = new_ns[n] + 0
+		delta = (o > 0) ? (w - o) * 100.0 / o : 0
+		if (delta > worst) { worst = delta; worst_name = n }
+		printf "%-40s %12d %12d %+7.1f%%  %s -> %s\n", n, o, w, delta, old_allocs[n], new_allocs[n]
+	}
+	for (n in new_ns) if (!(n in old_ns)) printf "%-40s %12s %12d %8s\n", n, "-", new_ns[n] + 0, "new"
+	if (worst > threshold) {
+		printf "\nFAIL: %s regressed %.1f%% ns/op (threshold %s%%)\n", worst_name, worst, threshold
+		exit 1
+	}
+	printf "\nOK: worst ns/op delta %+.1f%% (threshold %s%%)\n", worst, threshold
+}
+' "$OLD" "$NEW"

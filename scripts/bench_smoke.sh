@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
 # Benchmark smoke run: one iteration of the Fig2 min_sup sweep and the
-# Table 1 semantics check, emitted as BENCH_PR1.json with per-benchmark
-# pattern counts and ns/op plus total wall time. This seeds the repo's
-# perf trajectory: future PRs emit BENCH_PR<N>.json from the same suite so
-# regressions show up as a diffable series.
+# Table 1 semantics check, emitted as BENCH_PR<N>.json with per-benchmark
+# pattern counts, ns/op, B/op and allocs/op plus total wall time. This is
+# the repo's perf trajectory: each PR emits BENCH_PR<N>.json from the same
+# suite, and scripts/bench_compare.sh diffs two of them so regressions
+# show up as a per-benchmark delta table.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
+#
+# The default output name is deliberately NOT a committed BENCH_PR<N>.json:
+# those are per-PR baselines recorded once (pass the name explicitly), and
+# a bare local run must not clobber the baseline CI compares against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_LOCAL.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 START_NS=$(date +%s%N)
-go test -run '^$' -bench 'Fig2|Table1' -benchtime 1x | tee "$RAW"
+go test -run '^$' -bench 'Fig2|Table1' -benchtime 1x -benchmem | tee "$RAW"
 END_NS=$(date +%s%N)
 WALL_MS=$(((END_NS - START_NS) / 1000000))
 
@@ -23,13 +28,15 @@ awk -v wall_ms="$WALL_MS" \
 	-v go_version="$(go env GOVERSION)" '
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
-	iters = $2; ns = "null"; patterns = "null"
+	iters = $2; ns = "null"; patterns = "null"; bytes = "null"; allocs = "null"
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "patterns") patterns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
 	}
-	entries[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"patterns\": %s}",
-		name, iters, ns, patterns)
+	entries[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"patterns\": %s}",
+		name, iters, ns, bytes, allocs, patterns)
 }
 END {
 	printf "{\n  \"suite\": \"Fig2|Table1\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n  \"wall_ms\": %d,\n  \"benchmarks\": [\n", commit, go_version, wall_ms
