@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAppendSnapshotAPI covers the public snapshot lifecycle: Append
+// upserts by label, snapshots are immutable and generation-tagged, and
+// Database methods always answer from the current generation.
+func TestAppendSnapshotAPI(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("S1", "ABAB")
+	db.AddString("S2", "BA")
+
+	before := db.Snapshot()
+	if before.Generation() != 3 { // 1 empty + 2 adds
+		t.Fatalf("generation = %d, want 3", before.Generation())
+	}
+	if got := before.Support([]string{"A", "B"}); got != 2 {
+		t.Fatalf("sup(AB) = %d, want 2", got)
+	}
+
+	after := db.Append([]Record{
+		{Label: "S1", Events: []string{"A", "B"}}, // extends S1
+		{Label: "S3", Events: []string{"A", "B"}}, // new labeled sequence
+		{Events: []string{"B", "B"}},              // new auto-named sequence
+	})
+	if after.Generation() != before.Generation()+1 {
+		t.Fatalf("append bumped generation to %d from %d", after.Generation(), before.Generation())
+	}
+	if after.NumSequences() != 4 || before.NumSequences() != 2 {
+		t.Fatalf("sequences: after=%d before=%d, want 4 and 2", after.NumSequences(), before.NumSequences())
+	}
+	if got := after.Support([]string{"A", "B"}); got != 4 {
+		t.Fatalf("sup(AB) after append = %d, want 4", got)
+	}
+	// The sealed snapshot still answers from its own generation.
+	if got := before.Support([]string{"A", "B"}); got != 2 {
+		t.Fatalf("sealed snapshot sup(AB) = %d, want 2", got)
+	}
+	// Database-level queries follow the current snapshot.
+	if got := db.Support([]string{"A", "B"}); got != 4 {
+		t.Fatalf("db sup(AB) = %d, want 4", got)
+	}
+
+	res, err := after.MineClosed(Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDB, err := db.MineClosed(Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPatterns != resDB.NumPatterns {
+		t.Fatalf("snapshot mine found %d patterns, database mine %d", res.NumPatterns, resDB.NumPatterns)
+	}
+}
+
+// TestMineWhileAppend exercises the public API's central promise: mining
+// needs no preparation or coordination with appends. Run under -race.
+func TestMineWhileAppend(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("S1", "ABCABC")
+
+	var wg sync.WaitGroup
+	const rounds = 25
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			db.Append([]Record{{Label: "S1", Events: []string{"C", "A"}}})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			snap := db.Snapshot()
+			res, err := snap.Mine(Options{MinSupport: 2, MaxPatternLength: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Re-mining the same snapshot must reproduce the result exactly.
+			res2, err := snap.Mine(Options{MinSupport: 2, MaxPatternLength: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.NumPatterns != res2.NumPatterns {
+				t.Errorf("generation %d: %d then %d patterns", snap.Generation(), res.NumPatterns, res2.NumPatterns)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

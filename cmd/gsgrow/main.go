@@ -16,6 +16,12 @@
 // (same daemon as cmd/reprod):
 //
 //	gsgrow serve -addr :8372
+//
+// The append subcommand streams new sequences into a database hosted by a
+// running service (labeled sequences upsert — re-sending a label appends
+// events to that sequence):
+//
+//	gsgrow append -addr localhost:8372 -db mydb -input delta.txt -format tokens
 package main
 
 import (
@@ -34,6 +40,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "gsgrow serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "append" {
+		if err := runAppend(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "gsgrow append:", err)
 			os.Exit(1)
 		}
 		return
@@ -69,12 +82,43 @@ func runServe(args []string) error {
 	fs.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
 	fs.IntVar(&cfg.CacheSize, "cache", 0, "result-cache entries (0 = default, negative disables)")
 	fs.StringVar(&cfg.DebugAddr, "debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 0, "graceful-shutdown drain budget (0 = default 5s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// After the first signal starts the graceful drain, restore default
+	// signal handling so a second SIGINT/SIGTERM kills the process
+	// immediately instead of waiting out the drain.
+	go func() { <-ctx.Done(); stop() }()
 	return cli.Serve(ctx, cfg, os.Stderr)
+}
+
+func runAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	var cfg cli.AppendConfig
+	var input string
+	fs.StringVar(&cfg.Addr, "addr", "localhost:8372", "address of the running service")
+	fs.StringVar(&cfg.DB, "db", "", "target database name")
+	fs.StringVar(&cfg.Format, "format", "tokens", "input format: tokens, chars, spmf, or ndjson (raw append records)")
+	fs.StringVar(&input, "input", "", "input file ('-' for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if input == "" {
+		return fmt.Errorf("missing -input")
+	}
+	var in io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	return cli.Append(cfg, in, os.Stdout)
 }
 
 func run(input string, cfg cli.MineConfig) error {

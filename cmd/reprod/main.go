@@ -29,10 +29,15 @@ func main() {
 	flag.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
 	flag.IntVar(&cfg.CacheSize, "cache", 0, "result-cache entries (0 = default, negative disables)")
 	flag.StringVar(&cfg.DebugAddr, "debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", 0, "graceful-shutdown drain budget (0 = default 5s)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// First signal: graceful drain (in-flight mining contexts cancel, the
+	// listener closes, responses flush). A second signal falls through to
+	// the default handler and kills the process immediately.
+	go func() { <-ctx.Done(); stop() }()
 	if err := cli.Serve(ctx, cfg, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "reprod:", err)
 		os.Exit(1)

@@ -27,8 +27,35 @@
 // returns the patterns found so far with Result.Truncated set),
 // Options.OnPattern streams patterns as they are emitted, and
 // Options.Workers fans the search out over a worker pool with output
-// identical to the sequential run. Call Database.Prepare once after
-// loading to make subsequent concurrent mining race-free.
+// identical to the sequential run.
+//
+// # Snapshots and live appends
+//
+// A Database is not static: it is a handle over a snapshot store
+// (internal/store). Every mutation — Add, or a batched Append — seals the
+// new state as an immutable, generation-numbered Snapshot, and every
+// query or mining run executes against exactly one snapshot. That makes
+// mining concurrently with appends safe by construction: there is no
+// prepare step, no locking discipline, and no torn reads — a miner simply
+// keeps the generation it started with.
+//
+//	snap := db.Snapshot()             // pin one generation
+//	res, _ := snap.MineClosed(opt)    // consistent no matter what appends
+//	db.Append([]repro.Record{         // upsert: "S1" grows, others are new
+//		{Label: "S1", Events: []string{"A", "B"}},
+//		{Label: "S9", Events: []string{"B", "C"}},
+//	})
+//
+// Appends never re-derive old state: the inverted index is extended
+// incrementally — per-sequence tables of untouched sequences are shared
+// with the parent snapshot, only sequences the batch touches are
+// re-tabulated, the event dictionary is cloned copy-on-write only when
+// new event names appear, and statistics are maintained incrementally.
+// The per-append cost is the batch's events plus O(N) slice-header
+// bookkeeping (sequence contents are never re-read), which is orders of
+// magnitude cheaper than the full index rebuild it replaces.
+// Snapshot.Generation identifies database contents, which is what the
+// HTTP service keys its result cache by.
 //
 // # Performance
 //
@@ -44,9 +71,12 @@
 //
 // The same capabilities are exposed over HTTP by the mining service
 // (internal/server, started with `gsgrow serve` or cmd/reprod): named
-// databases are uploaded once and mined concurrently by many clients,
-// with NDJSON streaming, client-disconnect cancellation, and an LRU
-// result cache keyed by database generation and canonical options.
+// databases are uploaded once, grown in place with NDJSON append streams
+// (POST /v1/databases/{name}/append, or `gsgrow append` from the command
+// line), and mined concurrently by many clients, with NDJSON streaming,
+// client-disconnect cancellation, and an LRU result cache keyed by
+// snapshot generation and canonical options — appending to one database
+// invalidates exactly its own cache entries.
 //
 // The subpackages under internal implement the substrate (sequence
 // database, inverted index, generators, baselines, brute-force oracles,

@@ -71,6 +71,17 @@ func main() {
 	// per-sequence decomposition (the paper's classification features).
 	post("support (open...close)", base+"/v1/databases/tickets/support", "application/json",
 		`{"pattern": ["open", "assign", "reply", "close"], "perSequence": true}`)
+
+	// 7. Live append, NDJSON: new events for a known ticket (T2 grows) and
+	// a brand-new ticket. The snapshot generation advances; in-flight and
+	// cached queries keep answering from the generation they were mined on.
+	post("append (live traffic)", base+"/v1/databases/tickets/append", "application/x-ndjson",
+		`{"label": "T2", "events": ["open", "assign", "reply", "close"]}`+"\n"+
+			`{"label": "T5", "events": ["open", "assign", "reply", "close"]}`+"\n")
+
+	// 8. The same mine now runs against the new generation (cache miss,
+	// higher supports), while the old generation's entry simply ages out.
+	post("mine after append (new generation)", base+"/v1/databases/tickets/mine", "application/json", mineReq)
 }
 
 func post(label, url, contentType, body string) {

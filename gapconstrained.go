@@ -31,7 +31,8 @@ type GapOptions struct {
 // result set is not closed under sub-patterns; it is closed under
 // prefixes.
 func (d *Database) MineGapConstrained(opt GapOptions) (*Result, error) {
-	res, err := gapped.Mine(d.db, gapped.Options{
+	db := d.Snapshot().s.DB()
+	res, err := gapped.Mine(db, gapped.Options{
 		MinSupport:       opt.MinSupport,
 		MinGap:           opt.MinGap,
 		MaxGap:           opt.MaxGap,
@@ -46,7 +47,7 @@ func (d *Database) MineGapConstrained(opt GapOptions) (*Result, error) {
 	for i, p := range res.Patterns {
 		events := make([]string, len(p.Events))
 		for j, e := range p.Events {
-			events[j] = d.db.Dict.Name(e)
+			events[j] = db.Dict.Name(e)
 		}
 		out.Patterns[i] = Pattern{Events: events, Support: p.Support}
 	}
@@ -56,13 +57,14 @@ func (d *Database) MineGapConstrained(opt GapOptions) (*Result, error) {
 // SupportWithGaps computes the gap-constrained repetitive support of one
 // pattern. Unknown event names yield support 0.
 func (d *Database) SupportWithGaps(pattern []string, minGap, maxGap int) (int, error) {
+	db := d.Snapshot().s.DB()
 	ids := make([]seq.EventID, len(pattern))
 	for i, n := range pattern {
-		id := d.db.Dict.Lookup(n)
+		id := db.Dict.Lookup(n)
 		if id == seq.NoEvent {
 			return 0, nil
 		}
 		ids[i] = id
 	}
-	return gapped.Support(d.db, ids, minGap, maxGap)
+	return gapped.Support(db, ids, minGap, maxGap)
 }

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestAppendCommand(t *testing.T) {
+	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer srv.Close()
+
+	// Seed a database over the upload endpoint.
+	resp, err := srv.Client().Post(srv.URL+"/v1/databases/tickets?format=tokens", "text/plain",
+		strings.NewReader("T1: open reply close\nT2: open reply close\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+
+	// tokens format: T1 upserts (grows), T3 is new.
+	var out strings.Builder
+	err = Append(AppendConfig{Addr: srv.URL, DB: "tickets", Format: "tokens"},
+		strings.NewReader("T1: open reply close\nT3: open close\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `"appendedRecords":2`) {
+		t.Errorf("response missing appendedRecords=2: %s", got)
+	}
+	if !strings.Contains(got, `"numSequences":3`) {
+		t.Errorf("response missing numSequences=3 (T1 should upsert, T3 be new): %s", got)
+	}
+	if !strings.Contains(got, `"snapshotGeneration":2`) {
+		t.Errorf("response missing snapshotGeneration=2: %s", got)
+	}
+
+	// ndjson format: raw pass-through.
+	out.Reset()
+	err = Append(AppendConfig{Addr: srv.URL, DB: "tickets", Format: "ndjson"},
+		strings.NewReader(`{"label":"T4","events":["open","close"]}`+"\n"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"appendedRecords":1`) {
+		t.Errorf("ndjson append response: %s", out.String())
+	}
+}
+
+func TestAppendCommandErrors(t *testing.T) {
+	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer srv.Close()
+
+	if err := Append(AppendConfig{DB: "x", Format: "tokens"}, strings.NewReader("a\n"), &strings.Builder{}); err == nil {
+		t.Error("missing address not rejected")
+	}
+	if err := Append(AppendConfig{Addr: srv.URL, Format: "tokens"}, strings.NewReader("a\n"), &strings.Builder{}); err == nil {
+		t.Error("missing database name not rejected")
+	}
+	if err := Append(AppendConfig{Addr: srv.URL, DB: "x", Format: "bogus"}, strings.NewReader("a\n"), &strings.Builder{}); err == nil {
+		t.Error("unknown format not rejected")
+	}
+	// Appending to a database the server does not host surfaces the 404.
+	err := Append(AppendConfig{Addr: srv.URL, DB: "missing", Format: "tokens"},
+		strings.NewReader("T1: a b\n"), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("missing database error = %v, want a 404", err)
+	}
+}

@@ -22,7 +22,20 @@ type ServeConfig struct {
 	// captured without exposing the profiler on the public address.
 	// Empty (the default) disables it.
 	DebugAddr string
+	// DrainTimeout bounds graceful shutdown: on SIGINT/SIGTERM the server
+	// stops accepting connections, cancels in-flight mining contexts (they
+	// derive from the serve context), and waits up to this long for
+	// responses to drain before force-closing the remaining connections.
+	// 0 selects DefaultDrainTimeout.
+	DrainTimeout time.Duration
 }
+
+// DefaultDrainTimeout is the graceful-shutdown drain budget when
+// ServeConfig.DrainTimeout is zero. In-flight miners see their context
+// cancelled immediately on shutdown, so a few seconds is enough for even
+// a long CloGSgrow run to notice (the DFS polls every few hundred nodes)
+// and flush its partial response.
+const DefaultDrainTimeout = 5 * time.Second
 
 // debugHandler mounts the pprof endpoints on a fresh mux (the service
 // handler never touches http.DefaultServeMux, and neither should this).
@@ -84,11 +97,27 @@ func Serve(ctx context.Context, cfg ServeConfig, out io.Writer) error {
 		}
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		drain := cfg.DrainTimeout
+		if drain <= 0 {
+			drain = DefaultDrainTimeout
+		}
+		fmt.Fprintf(out, "shutting down (drain timeout %v)\n", drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if debugSrv != nil {
 			debugSrv.Close()
 		}
-		return httpSrv.Shutdown(shutCtx)
+		// In-flight mining requests are already aborting: their contexts
+		// derive from ctx via BaseContext, so the DFS polls observe the
+		// cancellation and the handlers return promptly. Shutdown waits for
+		// those responses to flush; if a connection outlives the drain
+		// budget anyway (e.g. a stalled client), force-close it rather than
+		// hanging the process — and report the degraded shutdown, so
+		// supervisors can tell "clients were cut off" from a clean drain.
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(out, "drain timeout exceeded, force-closing: %v\n", err)
+			return errors.Join(fmt.Errorf("graceful drain failed: %w", err), httpSrv.Close())
+		}
+		return nil
 	}
 }

@@ -116,6 +116,74 @@ func TestServeDebugAddr(t *testing.T) {
 	}
 }
 
+// TestServeShutdownAbortsInflightMine: a graceful shutdown must cancel
+// in-flight mining contexts so even a mine that would run for a long time
+// exits within the drain budget. The dense database below takes far longer
+// than the drain timeout to mine fully; shutdown during the request must
+// still complete the Serve call promptly.
+func TestServeShutdownAbortsInflightMine(t *testing.T) {
+	addrc := make(chan string, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(ctx, ServeConfig{Addr: "127.0.0.1:0", DrainTimeout: 2 * time.Second}, addrWriter{addrc})
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("serve exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no address banner")
+	}
+
+	// Dense database: 4 random 30-event sequences over 5 letters mine to
+	// ~10^6 patterns at minSupport 2 — many seconds of work.
+	var sb strings.Builder
+	letters := "abcde"
+	for i := 0; i < 4; i++ {
+		sb.WriteString("S: ")
+		for j := 0; j < 30; j++ {
+			sb.WriteByte(letters[(i*31+j*17)%5])
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('\n')
+	}
+	resp, err := http.Post(base+"/v1/databases/dense?format=tokens", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mineDone := make(chan struct{})
+	go func() {
+		defer close(mineDone)
+		resp, err := http.Post(base+"/v1/databases/dense/mine", "application/json",
+			strings.NewReader(`{"minSupport":2}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(200 * time.Millisecond) // let the mine get going
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down with a mine in flight")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("shutdown took %v, want well under the 2s drain + margin", elapsed)
+	}
+	<-mineDone
+}
+
 // bannerWriter routes the two "listening on" banner lines to their
 // channels.
 type bannerWriter struct{ main, debug chan string }

@@ -12,10 +12,11 @@ import (
 // Storage of Instances" (Section III-D) — ablation A4 in DESIGN.md. Output
 // is identical to Mine with Closed=false; only the per-step allocation and
 // copying differ.
-func MineAllFull(ix *seq.Index, opt Options) (*Result, error) {
+func MineAllFull(v IndexView, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	ix := v.MiningIndex()
 	start := time.Now()
 	f := &fullMiner{
 		ix:   ix,

@@ -135,10 +135,14 @@ func (m *miner) putCands(c []seq.EventID) {
 // growth per candidate event. In closed mode, patterns are emitted in DFS
 // post-order (the closure verdict needs the append extensions, which the
 // DFS computes anyway); in all-patterns mode they are emitted in pre-order.
-func Mine(ix *seq.Index, opt Options) (*Result, error) {
+//
+// The index view must stay unchanged for the duration of the run; a
+// snapshot from internal/store guarantees that by construction.
+func Mine(v IndexView, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	ix := v.MiningIndex()
 	start := time.Now()
 	m := newMiner(ix, opt)
 	if ctxDone(opt.Ctx) {

@@ -3,7 +3,20 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/seq"
 )
+
+// IndexView is what a mining entry point needs from its caller: anything
+// that can hand over a sealed (immutable for the duration of the run)
+// inverted index. *seq.Index satisfies it directly; snapshot types from
+// higher layers (e.g. internal/store.Snapshot) satisfy it by returning
+// their sealed index, so miners can be pointed at a snapshot without the
+// caller unwrapping it. The kernel extracts the concrete index once at
+// entry — the hot path stays free of interface dispatch.
+type IndexView interface {
+	MiningIndex() *seq.Index
+}
 
 // Options configures a mining run.
 type Options struct {

@@ -17,10 +17,11 @@ import (
 // under a MaxPatterns budget, where exactly MaxPatterns patterns are
 // produced but which ones depends on scheduling. OnPattern callbacks are
 // serialized with a mutex; a false return stops all workers.
-func MineParallel(ix *seq.Index, opt Options, workers int) (*Result, error) {
+func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	ix := v.MiningIndex()
 	if workers <= 1 {
 		return Mine(ix, opt)
 	}

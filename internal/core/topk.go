@@ -20,18 +20,19 @@ import (
 // Intended for exploratory use: without a threshold, the frontier can grow
 // large on dense data; the k-th emitted support effectively becomes the
 // threshold, so small k on heavy-tailed data is cheap.
-func MineTopK(ix *seq.Index, k int, closed bool, maxLen int) (*Result, error) {
-	return MineTopKCtx(context.Background(), ix, k, closed, maxLen)
+func MineTopK(v IndexView, k int, closed bool, maxLen int) (*Result, error) {
+	return MineTopKCtx(context.Background(), v, k, closed, maxLen)
 }
 
 // MineTopKCtx is MineTopK with cancellation: when ctx is done, the search
 // stops and the patterns emitted so far come back with Stats.Truncated set
 // (they are still the true top patterns — best-first order guarantees
 // every emitted pattern outranks everything unexplored).
-func MineTopKCtx(ctx context.Context, ix *seq.Index, k int, closed bool, maxLen int) (*Result, error) {
+func MineTopKCtx(ctx context.Context, v IndexView, k int, closed bool, maxLen int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
+	ix := v.MiningIndex()
 	if ctx == nil {
 		ctx = context.Background()
 	}

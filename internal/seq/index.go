@@ -64,6 +64,9 @@ type Index struct {
 	// database, i.e. the repetitive support of the singleton pattern e.
 	total     []int
 	succBytes int64
+	// opt records the build options so Extend reproduces the same
+	// FastNext/budget policy across generations.
+	opt IndexOptions
 }
 
 // NewIndex builds the inverted event index for db with binary-search Next
@@ -78,59 +81,129 @@ func NewIndexWith(db *DB, opt IndexOptions) *Index {
 		db:    db,
 		seqs:  make([]seqTab, len(db.Seqs)),
 		total: make([]int, nEvents),
-	}
-	budget := opt.FastNextMemBudget
-	if budget == 0 {
-		budget = DefaultFastNextMemBudget
+		opt:   opt,
 	}
 	for i, s := range db.Seqs {
-		// Count occurrences per event in this sequence.
-		counts := make(map[EventID]int, 16)
-		for _, e := range s {
-			counts[e]++
-			ix.total[e]++
-		}
-		evs := make([]EventID, 0, len(counts))
-		for e := range counts {
-			evs = append(evs, e)
-		}
-		sort.Slice(evs, func(a, b int) bool { return evs[a] < evs[b] })
-		slot := make([]int32, nEvents)
-		for k := range slot {
-			slot[k] = -1
-		}
-		lists := make([][]int32, len(evs))
-		for k, e := range evs {
-			lists[k] = make([]int32, 0, counts[e])
-			slot[e] = int32(k)
-		}
-		for pos, e := range s {
-			k := slot[e]
-			lists[k] = append(lists[k], int32(pos+1))
-		}
-		last := make([]int32, len(evs))
-		count := make([]int32, len(evs))
-		for k, list := range lists {
-			last[k] = list[len(list)-1]
-			count[k] = int32(len(list))
-		}
-		t := &ix.seqs[i]
-		t.events = evs
-		t.lists = lists
-		t.last = last
-		t.count = count
-		t.slot = slot
-		t.rows = int32(len(s) + 1)
-		if opt.FastNext {
-			bytes := int64(len(evs)) * int64(len(s)+1) * 4
-			if budget < 0 || ix.succBytes+bytes <= budget {
-				t.succ = buildSuccTable(len(s), lists)
-				ix.succBytes += bytes
-			}
-		}
+		ix.buildSeqTab(&ix.seqs[i], s, nEvents)
 	}
 	return ix
 }
+
+// fastNextBudget resolves the configured successor-table budget.
+func (ix *Index) fastNextBudget() int64 {
+	if ix.opt.FastNextMemBudget == 0 {
+		return DefaultFastNextMemBudget
+	}
+	return ix.opt.FastNextMemBudget
+}
+
+// buildSeqTab (re)builds the per-sequence table t for sequence s, adds s's
+// occurrences to ix.total, and — under FastNext — allocates a successor
+// table when ix.succBytes stays within the budget. O(K·L) for a sequence
+// of length L with K distinct events.
+func (ix *Index) buildSeqTab(t *seqTab, s Sequence, nEvents int) {
+	// Count occurrences per event in this sequence.
+	counts := make(map[EventID]int, 16)
+	for _, e := range s {
+		counts[e]++
+		ix.total[e]++
+	}
+	evs := make([]EventID, 0, len(counts))
+	for e := range counts {
+		evs = append(evs, e)
+	}
+	sort.Slice(evs, func(a, b int) bool { return evs[a] < evs[b] })
+	slot := make([]int32, nEvents)
+	for k := range slot {
+		slot[k] = -1
+	}
+	lists := make([][]int32, len(evs))
+	for k, e := range evs {
+		lists[k] = make([]int32, 0, counts[e])
+		slot[e] = int32(k)
+	}
+	for pos, e := range s {
+		k := slot[e]
+		lists[k] = append(lists[k], int32(pos+1))
+	}
+	last := make([]int32, len(evs))
+	count := make([]int32, len(evs))
+	for k, list := range lists {
+		last[k] = list[len(list)-1]
+		count[k] = int32(len(list))
+	}
+	t.events = evs
+	t.lists = lists
+	t.last = last
+	t.count = count
+	t.slot = slot
+	t.succ = nil
+	t.rows = int32(len(s) + 1)
+	if ix.opt.FastNext {
+		bytes := int64(len(evs)) * int64(len(s)+1) * 4
+		if budget := ix.fastNextBudget(); budget < 0 || ix.succBytes+bytes <= budget {
+			t.succ = buildSuccTable(len(s), lists)
+			ix.succBytes += bytes
+		}
+	}
+}
+
+// Extend builds the index of db incrementally from ix: the work is the
+// delta's events plus O(N) header copies (the seqTab and total slices are
+// copied, ~100 bytes per existing sequence — old sequence contents are
+// never re-read or re-tabulated). db must be a descendant of ix's
+// database: ix's sequences form its prefix unchanged, except the
+// (ascending, pre-existing) indices listed in changed, whose contents were
+// replaced — e.g. events were appended to them copy-on-write. The
+// dictionary may have grown.
+//
+// Per-sequence tables are shared with ix for every unchanged sequence (the
+// per-sequence layout means new sequences never touch old tables); only
+// changed sequences are re-tabulated and only appended sequences are
+// tabulated fresh. The per-event totals are patched rather than recounted.
+// FastNext budget accounting carries across extensions: the bytes already
+// spent by inherited tables count against the budget, a changed sequence
+// releases its old table's bytes before the rebuilt table is charged, and a
+// new table is allocated only while the cumulative total still fits —
+// matching NewIndexWith's greedy in-order policy. ix itself is not
+// modified; both indexes stay valid, which is what lets an immutable
+// snapshot lineage share storage.
+func (ix *Index) Extend(db *DB, changed []int) *Index {
+	nEvents := db.Dict.Size()
+	oldN := len(ix.seqs)
+	nix := &Index{
+		db:        db,
+		seqs:      make([]seqTab, len(db.Seqs)),
+		total:     make([]int, nEvents),
+		succBytes: ix.succBytes,
+		opt:       ix.opt,
+	}
+	copy(nix.seqs, ix.seqs) // header copies: inner slices are shared
+	copy(nix.total, ix.total)
+	for _, i := range changed {
+		old := &ix.seqs[i]
+		for k, e := range old.events {
+			nix.total[e] -= int(old.count[k])
+		}
+		if old.succ != nil {
+			nix.succBytes -= int64(len(old.events)) * int64(old.rows) * 4
+		}
+		nix.buildSeqTab(&nix.seqs[i], db.Seqs[i], nEvents)
+	}
+	for i := oldN; i < len(db.Seqs); i++ {
+		nix.buildSeqTab(&nix.seqs[i], db.Seqs[i], nEvents)
+	}
+	return nix
+}
+
+// Options returns the build options the index (and every index Extended
+// from it) was constructed with.
+func (ix *Index) Options() IndexOptions { return ix.opt }
+
+// MiningIndex returns the index itself. It makes *Index satisfy the
+// miner's view interface (core.IndexView), so kernels accepting "anything
+// that can hand over a sealed index" also accept a bare index.
+func (ix *Index) MiningIndex() *Index { return ix }
 
 // buildSuccTable fills the column-major successor matrix for one sequence:
 // for each distinct-event slot k and position p in [0, seqLen], the smallest

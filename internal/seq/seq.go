@@ -69,6 +69,22 @@ func (d *Dict) Name(id EventID) string { return d.names[id] }
 // Size returns the number of distinct events interned so far.
 func (d *Dict) Size() int { return len(d.names) }
 
+// Clone returns an independent copy of the dictionary: interning into the
+// clone never affects the original. Snapshot stores use this to extend the
+// alphabet copy-on-write, so readers of a sealed snapshot can keep calling
+// Lookup and Name without synchronization.
+func (d *Dict) Clone() *Dict {
+	nd := &Dict{
+		byName: make(map[string]EventID, len(d.byName)),
+		names:  make([]string, len(d.names)),
+	}
+	copy(nd.names, d.names)
+	for name, id := range d.byName {
+		nd.byName[name] = id
+	}
+	return nd
+}
+
 // Names returns all interned names in ID order. The returned slice is a
 // copy and may be modified by the caller.
 func (d *Dict) Names() []string {
@@ -228,14 +244,25 @@ func (db *DB) Validate() error {
 	return nil
 }
 
+// Extend returns a shallow copy of db prepared for copy-on-write growth:
+// the copy shares db's dictionary, sequences, and labels, but its Seqs and
+// Labels slice capacities are clipped to their lengths, so appending to the
+// copy can never write into backing arrays that db (or any other snapshot
+// sharing them) still reads. This is the sealing primitive of the snapshot
+// store: a sealed database is never mutated; growth happens on an Extend
+// copy that is published as the next snapshot.
+func (db *DB) Extend() *DB {
+	return &DB{
+		Dict:   db.Dict,
+		Seqs:   db.Seqs[:len(db.Seqs):len(db.Seqs)],
+		Labels: db.Labels[:len(db.Labels):len(db.Labels)],
+	}
+}
+
 // Clone returns a deep copy of the database. The dictionary is copied too,
 // so mutations to the clone never affect the original.
 func (db *DB) Clone() *DB {
-	nd := NewDict()
-	nd.names = append(nd.names, db.Dict.names...)
-	for i, name := range nd.names {
-		nd.byName[name] = EventID(i)
-	}
+	nd := db.Dict.Clone()
 	out := &DB{Dict: nd}
 	out.Seqs = make([]Sequence, len(db.Seqs))
 	for i, s := range db.Seqs {

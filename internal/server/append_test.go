@@ -1,0 +1,248 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func appendNDJSON(t *testing.T, h http.Handler, name, body string) appendResponse {
+	t.Helper()
+	rec := doJSON(t, h, "POST", "/v1/databases/"+name+"/append", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append %s: status %d: %s", name, rec.Code, rec.Body)
+	}
+	var resp appendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("append %s: decode: %v", name, err)
+	}
+	return resp
+}
+
+func TestAppendNewAndUpsert(t *testing.T) {
+	h := newHandler(t)
+	upload(t, h, "ex11", "chars", example11)
+
+	// sup(A B) on example11 is 4; S1 has 8 events.
+	resp := appendNDJSON(t, h, "ex11",
+		`{"label":"S1","events":["A","B"]}`+"\n"+
+			`{"label":"S3","events":["A","B","A","B"]}`+"\n")
+	if resp.AppendedRecords != 2 {
+		t.Fatalf("appendedRecords = %d, want 2", resp.AppendedRecords)
+	}
+	if resp.SnapshotGeneration != 2 {
+		t.Fatalf("snapshotGeneration = %d, want 2", resp.SnapshotGeneration)
+	}
+	if resp.Stats.NumSequences != 3 {
+		t.Fatalf("numSequences = %d, want 3 (S1 upserted, S3 new)", resp.Stats.NumSequences)
+	}
+	if resp.Stats.TotalLength != 8+4+2+4 {
+		t.Fatalf("totalLength = %d, want 18", resp.Stats.TotalLength)
+	}
+
+	var sup supportResponse
+	rec := doJSON(t, h, "POST", "/v1/databases/ex11/support", `{"pattern":["A","B"]}`)
+	if err := json.Unmarshal(rec.Body.Bytes(), &sup); err != nil {
+		t.Fatal(err)
+	}
+	// S1 grew by one AB pair (+1), S3 contributes 2.
+	if sup.Support != 7 {
+		t.Fatalf("sup(A B) after append = %d, want 7", sup.Support)
+	}
+	if sup.SnapshotGeneration != 2 {
+		t.Fatalf("support snapshotGeneration = %d, want 2", sup.SnapshotGeneration)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	h := newHandler(t)
+	upload(t, h, "db", "chars", example11)
+
+	if rec := doJSON(t, h, "POST", "/v1/databases/nope/append", `{"events":["A"]}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("append to missing db: status %d", rec.Code)
+	}
+	if rec := doJSON(t, h, "POST", "/v1/databases/db/append", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty stream: status %d", rec.Code)
+	}
+	// A record without events is rejected — it would create an empty
+	// sequence (unknown label) or churn a no-op generation (known label).
+	for _, body := range []string{`{"label":"NEW"}`, `{"label":"S1"}`, `{"events":[]}`} {
+		rec := doJSON(t, h, "POST", "/v1/databases/db/append", body)
+		if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "no events") {
+			t.Fatalf("event-less record %s: status %d body %s", body, rec.Code, rec.Body)
+		}
+	}
+
+	// A malformed second line applies the first record and reports it.
+	rec := doJSON(t, h, "POST", "/v1/databases/db/append",
+		`{"label":"S9","events":["A"]}`+"\n"+`{not json`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed line: status %d", rec.Code)
+	}
+	var errResp appendErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil {
+		t.Fatal(err)
+	}
+	if errResp.AppliedRecords != 1 || !errResp.PartiallyApplied {
+		t.Fatalf("error response = %+v, want 1 applied record flagged partial", errResp)
+	}
+}
+
+// TestAppendInvalidatesOwnCacheOnly: a mine result cached for one
+// database must survive appends to a DIFFERENT database (warm entries are
+// the point of snapshot-keyed caching) and must NOT be served for the
+// appending database's new generation.
+func TestAppendInvalidatesOwnCacheOnly(t *testing.T) {
+	h := newHandler(t)
+	upload(t, h, "hot", "chars", example11)
+	upload(t, h, "busy", "chars", example11)
+
+	req := `{"closed":true,"minSupport":2}`
+	first := mineJSON(t, h, "hot", req)
+	if first.Cached {
+		t.Fatal("first mine cannot be cached")
+	}
+	busyFirst := mineJSON(t, h, "busy", req)
+	if busyFirst.Cached {
+		t.Fatal("first busy mine cannot be cached")
+	}
+
+	appendNDJSON(t, h, "busy", `{"label":"S1","events":["A","B"]}`)
+
+	// hot kept its warm entry…
+	if again := mineJSON(t, h, "hot", req); !again.Cached {
+		t.Error("append to busy evicted hot's cache entry")
+	}
+	// …while busy re-mines against the new generation.
+	busyAgain := mineJSON(t, h, "busy", req)
+	if busyAgain.Cached {
+		t.Error("stale result served for busy's new generation")
+	}
+	if busyAgain.SnapshotGeneration != 2 {
+		t.Errorf("busy mined snapshot generation %d, want 2", busyAgain.SnapshotGeneration)
+	}
+	// The new generation's result is itself cached now.
+	if third := mineJSON(t, h, "busy", req); !third.Cached || third.SnapshotGeneration != 2 {
+		t.Errorf("generation-2 result not cached: %+v", third.mineSummary)
+	}
+}
+
+// raceReader yields its chunks one per Read call, invoking a hook before
+// the final chunk — simulating a slow client whose stream straddles a
+// concurrent server-side event.
+type raceReader struct {
+	chunks []string
+	hook   func()
+}
+
+func (r *raceReader) Read(p []byte) (int, error) {
+	if len(r.chunks) == 0 {
+		return 0, io.EOF
+	}
+	if len(r.chunks) == 1 && r.hook != nil {
+		r.hook()
+		r.hook = nil
+	}
+	n := copy(p, r.chunks[0])
+	r.chunks[0] = r.chunks[0][n:]
+	if r.chunks[0] == "" {
+		r.chunks = r.chunks[1:]
+	}
+	return n, nil
+}
+
+// TestAppendDuringDeleteNotAcknowledged: when the database is deleted (or
+// replaced) while an append stream is in flight, the records land in the
+// orphaned entry — the server must NOT acknowledge them with a 200.
+func TestAppendDuringDeleteNotAcknowledged(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+	upload(t, h, "doomed", "chars", example11)
+
+	body := &raceReader{
+		chunks: []string{
+			`{"label":"S9","events":["A"]}` + "\n",
+			`{"label":"S10","events":["B"]}` + "\n",
+		},
+		hook: func() { srv.delete("doomed") },
+	}
+	req := httptest.NewRequest("POST", "/v1/databases/doomed/append", body)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("append across delete: status %d body %s, want 409", rec.Code, rec.Body)
+	}
+	var errResp appendErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &errResp); err != nil {
+		t.Fatal(err)
+	}
+	if !errResp.PartiallyApplied || errResp.AppliedRecords == 0 {
+		t.Fatalf("conflict response must report how far the stream got: %+v", errResp)
+	}
+}
+
+// TestAppendChunking pushes more records than one chunk so the streaming
+// path publishes several intermediate snapshots.
+func TestAppendChunking(t *testing.T) {
+	h := newHandler(t)
+	upload(t, h, "big", "chars", example11)
+
+	var sb strings.Builder
+	n := appendChunkSize + 37
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `{"events":["A","B"]}`+"\n")
+	}
+	resp := appendNDJSON(t, h, "big", sb.String())
+	if resp.AppendedRecords != n {
+		t.Fatalf("appendedRecords = %d, want %d", resp.AppendedRecords, n)
+	}
+	if resp.Stats.NumSequences != 2+n {
+		t.Fatalf("numSequences = %d, want %d", resp.Stats.NumSequences, 2+n)
+	}
+	// Two chunks → two snapshot publishes past the upload.
+	if resp.SnapshotGeneration != 3 {
+		t.Fatalf("snapshotGeneration = %d, want 3 (two chunk publishes)", resp.SnapshotGeneration)
+	}
+}
+
+// TestConcurrentAppendAndMine hammers the same database with appends and
+// mines over real handler round-trips; run under -race in CI. Every mine
+// must report a consistent (snapshotGeneration, numPatterns) pair: a
+// generation's pattern count never changes, no matter when it was mined
+// or cached.
+func TestConcurrentAppendAndMine(t *testing.T) {
+	h := newHandler(t)
+	upload(t, h, "live", "chars", example11)
+
+	const rounds = 20
+	var mu sync.Mutex
+	patternsByGen := map[uint64]int{}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			appendNDJSON(t, h, "live", `{"label":"S1","events":["A","B"]}`)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			resp := mineJSON(t, h, "live", `{"minSupport":2,"maxPatternLength":3}`)
+			mu.Lock()
+			if prev, ok := patternsByGen[resp.SnapshotGeneration]; ok && prev != resp.NumPatterns {
+				t.Errorf("generation %d reported %d then %d patterns",
+					resp.SnapshotGeneration, prev, resp.NumPatterns)
+			}
+			patternsByGen[resp.SnapshotGeneration] = resp.NumPatterns
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+}

@@ -7,7 +7,7 @@ import "testing"
 // shape must not (complete results are identical across both).
 func TestCacheKeyCanonicalization(t *testing.T) {
 	base := mineRequest{Closed: true, MinSupport: 10}
-	key := func(q mineRequest) string { return q.cacheKey("db", 3) }
+	key := func(q mineRequest) string { return q.cacheKey("db", 3, 1) }
 
 	distinct := []mineRequest{
 		base,
@@ -34,10 +34,18 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	if key(same) != key(base) {
 		t.Error("workers and stream must not change the cache key")
 	}
-	if key(base) == base.cacheKey("db", 4) {
-		t.Error("generation must change the cache key")
+	if key(base) == base.cacheKey("db", 4, 1) {
+		t.Error("upload generation must change the cache key")
 	}
-	if key(base) == base.cacheKey("other", 3) {
+	if key(base) == base.cacheKey("db", 3, 2) {
+		t.Error("snapshot generation must change the cache key")
+	}
+	if key(base) == base.cacheKey("other", 3, 1) {
 		t.Error("database name must change the cache key")
+	}
+	// The two generations must not be collapsible into each other: upload
+	// 1/snapshot 2 and upload 2/snapshot 1 are different data.
+	if base.cacheKey("db", 1, 2) == base.cacheKey("db", 2, 1) {
+		t.Error("upload and snapshot generations collide")
 	}
 }

@@ -94,11 +94,97 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "database %q is empty", name)
 		return
 	}
-	// Build the index before publishing so concurrent miners never race on
-	// lazy construction.
-	db.Prepare()
+	// Warm the index before publishing: not needed for safety (miners
+	// build lazily against immutable snapshots), but it keeps first-mine
+	// latency flat and lets appends extend the index incrementally.
+	db.Snapshot().Warm()
 	e := s.put(name, format.String(), db)
 	writeJSON(w, http.StatusCreated, toDBInfo(e))
+}
+
+// appendChunkSize is how many NDJSON records are batched into one atomic
+// snapshot publish during streaming ingestion. Bounds memory on huge
+// streams while keeping per-snapshot overhead negligible.
+const appendChunkSize = 1024
+
+// handleAppend streams NDJSON records — {"label":"...","events":[...]}
+// per line — into an existing database. Records whose label names an
+// existing sequence extend it (live-trace upsert); others append new
+// sequences. Records are applied in chunks, each chunk one atomic
+// snapshot swap, so concurrent miners are never disturbed and memory
+// stays flat regardless of stream size. On a mid-stream parse error the
+// chunks already applied stay applied; the error response reports how
+// many records made it in.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxUpload))
+	applied := 0
+	batch := make([]repro.Record, 0, appendChunkSize)
+	flush := func() {
+		if len(batch) > 0 {
+			e.db.Append(batch)
+			applied += len(batch)
+			batch = batch[:0]
+		}
+	}
+	for {
+		var rec appendRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			flush()
+			var tooBig *http.MaxBytesError
+			status := http.StatusBadRequest
+			if errors.As(err, &tooBig) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, appendErrorResponse{
+				Error:            fmt.Sprintf("decode record %d: %v", applied+len(batch)+1, err),
+				AppliedRecords:   applied,
+				PartiallyApplied: applied > 0,
+			})
+			return
+		}
+		if len(rec.Events) == 0 {
+			// An append record exists to carry events; without them it
+			// would either create a useless empty sequence or churn a
+			// snapshot for nothing. Reject instead of guessing intent.
+			flush()
+			writeJSON(w, http.StatusBadRequest, appendErrorResponse{
+				Error:            fmt.Sprintf("record %d: no events", applied+len(batch)+1),
+				AppliedRecords:   applied,
+				PartiallyApplied: applied > 0,
+			})
+			return
+		}
+		batch = append(batch, repro.Record{Label: rec.Label, Events: rec.Events})
+		if len(batch) >= appendChunkSize {
+			flush()
+		}
+	}
+	flush()
+	if applied == 0 {
+		writeError(w, http.StatusBadRequest, "empty append stream")
+		return
+	}
+	// Re-validate the entry before acknowledging: a concurrent re-upload
+	// or delete of this name swaps/drops the entry, and chunks applied
+	// after that landed in the orphaned store — acknowledging them with a
+	// 200 would report a write nobody can read. The applied count is
+	// still reported so the client knows how far the stream got.
+	if cur, ok := s.get(e.name); !ok || cur != e {
+		writeJSON(w, http.StatusConflict, appendErrorResponse{
+			Error:            fmt.Sprintf("database %q was replaced or deleted during the append; appended records are not visible", e.name),
+			AppliedRecords:   applied,
+			PartiallyApplied: true,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{dbInfo: toDBInfo(e), AppendedRecords: applied})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -138,13 +224,17 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "pattern must be non-empty")
 		return
 	}
+	// Pin one snapshot so support, instances, and the per-sequence vector
+	// all answer from the same generation even while appends land.
+	snap := e.db.Snapshot()
 	resp := supportResponse{
-		Database: e.name,
-		Pattern:  q.Pattern,
-		Support:  e.db.Support(q.Pattern),
+		Database:           e.name,
+		SnapshotGeneration: snap.Generation(),
+		Pattern:            q.Pattern,
+		Support:            snap.Support(q.Pattern),
 	}
 	if q.Instances {
-		for _, ins := range e.db.SupportSet(q.Pattern) {
+		for _, ins := range snap.SupportSet(q.Pattern) {
 			resp.Instances = append(resp.Instances, instanceJSON{
 				Sequence:      ins.Sequence,
 				SequenceIndex: ins.SequenceIndex,
@@ -153,7 +243,7 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if q.PerSequence {
-		resp.PerSequence = e.db.PerSequenceSupport(q.Pattern)
+		resp.PerSequence = snap.PerSequenceSupport(q.Pattern)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -175,21 +265,25 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := q.Stream || acceptsNDJSON(r.Header.Get("Accept"))
 
-	key := q.cacheKey(e.name, e.generation)
+	// Pin the snapshot current at request arrival: the whole run — cache
+	// key included — is against this one immutable generation, so appends
+	// landing mid-mine neither disturb the run nor poison the cache.
+	snap := e.db.Snapshot()
+	key := q.cacheKey(e.name, e.generation, snap.Generation())
 	if out, ok := s.cache.get(key); ok {
 		if stream {
-			s.streamOutcome(w, e, &q, out, true)
+			s.streamOutcome(w, e, out, true)
 		} else {
-			writeJSON(w, http.StatusOK, buildResponse(e, &q, out, true))
+			writeJSON(w, http.StatusOK, buildResponse(e, out, true))
 		}
 		return
 	}
 
 	if stream {
-		s.mineStreaming(w, r, e, &q, key)
+		s.mineStreaming(w, r, e, snap, &q, key)
 		return
 	}
-	out, err := s.runMine(r.Context(), e, &q, nil)
+	out, err := s.runMine(r.Context(), snap, &q, nil)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "mine: %v", err)
 		return
@@ -203,18 +297,18 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.maybeCache(key, out)
-	writeJSON(w, http.StatusOK, buildResponse(e, &q, out, false))
+	writeJSON(w, http.StatusOK, buildResponse(e, out, false))
 }
 
-// runMine executes the mining request against e.db, honoring ctx. The
-// optional onPattern callback streams patterns as they are found (ignored
-// in top-k mode, which emits so few patterns that replay after completion
-// is equivalent).
-func (s *Server) runMine(ctx context.Context, e *dbEntry, q *mineRequest, onPattern func(repro.Pattern) bool) (*mineOutcome, error) {
+// runMine executes the mining request against one pinned snapshot,
+// honoring ctx. The optional onPattern callback streams patterns as they
+// are found (ignored in top-k mode, which emits so few patterns that
+// replay after completion is equivalent).
+func (s *Server) runMine(ctx context.Context, snap *repro.Snapshot, q *mineRequest, onPattern func(repro.Pattern) bool) (*mineOutcome, error) {
 	var res *repro.Result
 	var err error
 	if q.TopK > 0 {
-		res, err = e.db.MineTopKWith(q.TopK, q.Closed, repro.TopKOptions{
+		res, err = snap.MineTopKWith(q.TopK, q.Closed, repro.TopKOptions{
 			Ctx:              ctx,
 			MaxPatternLength: q.MaxPatternLength,
 			DisableFastNext:  q.DisableFastNext,
@@ -231,15 +325,15 @@ func (s *Server) runMine(ctx context.Context, e *dbEntry, q *mineRequest, onPatt
 			DisableFastNext:  q.DisableFastNext,
 		}
 		if q.Closed {
-			res, err = e.db.MineClosed(opt)
+			res, err = snap.MineClosed(opt)
 		} else {
-			res, err = e.db.Mine(opt)
+			res, err = snap.Mine(opt)
 		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &mineOutcome{algorithm: q.algorithm(), result: res}, nil
+	return &mineOutcome{algorithm: q.algorithm(), generation: snap.Generation(), result: res}, nil
 }
 
 // maybeCache stores complete results only: truncated runs (budget hit,
@@ -251,7 +345,7 @@ func (s *Server) maybeCache(key string, out *mineOutcome) {
 	}
 }
 
-func buildResponse(e *dbEntry, q *mineRequest, out *mineOutcome, cached bool) mineResponse {
+func buildResponse(e *dbEntry, out *mineOutcome, cached bool) mineResponse {
 	resp := mineResponse{
 		mineSummary: buildSummary(e, out, cached),
 		Patterns:    make([]patternJSON, len(out.result.Patterns)),
@@ -264,13 +358,14 @@ func buildResponse(e *dbEntry, q *mineRequest, out *mineOutcome, cached bool) mi
 
 func buildSummary(e *dbEntry, out *mineOutcome, cached bool) mineSummary {
 	return mineSummary{
-		Database:    e.name,
-		Generation:  e.generation,
-		Algorithm:   out.algorithm,
-		NumPatterns: out.result.NumPatterns,
-		Truncated:   out.result.Truncated,
-		ElapsedMS:   float64(out.result.Elapsed) / float64(time.Millisecond),
-		Cached:      cached,
+		Database:           e.name,
+		Generation:         e.generation,
+		SnapshotGeneration: out.generation,
+		Algorithm:          out.algorithm,
+		NumPatterns:        out.result.NumPatterns,
+		Truncated:          out.result.Truncated,
+		ElapsedMS:          float64(out.result.Elapsed) / float64(time.Millisecond),
+		Cached:             cached,
 	}
 }
 
@@ -284,7 +379,7 @@ type ndjsonLine struct {
 // mineStreaming serves the NDJSON representation, emitting each pattern
 // the moment the miner finds it. The complete result still accumulates
 // in-memory so it can be cached for replay.
-func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntry, q *mineRequest, key string) {
+func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntry, snap *repro.Snapshot, q *mineRequest, key string) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	flusher, _ := w.(http.Flusher)
@@ -303,7 +398,7 @@ func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntr
 		}
 		return true
 	}
-	out, err := s.runMine(r.Context(), e, q, onPattern)
+	out, err := s.runMine(r.Context(), snap, q, onPattern)
 	if err != nil {
 		// Headers are not written until the first pattern line, so a
 		// validation error from the miner can still be a clean 400.
@@ -333,7 +428,7 @@ func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntr
 }
 
 // streamOutcome replays a cached result in NDJSON form.
-func (s *Server) streamOutcome(w http.ResponseWriter, e *dbEntry, q *mineRequest, out *mineOutcome, cached bool) {
+func (s *Server) streamOutcome(w http.ResponseWriter, e *dbEntry, out *mineOutcome, cached bool) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)

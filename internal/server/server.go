@@ -5,6 +5,7 @@
 // targeted pattern queries, streaming exploration):
 //
 //	POST   /v1/databases/{name}          upload/replace a database (body = file, ?format=)
+//	POST   /v1/databases/{name}/append   stream NDJSON records into a database
 //	GET    /v1/databases                 list databases with summary stats
 //	GET    /v1/databases/{name}/stats    statistics of one database
 //	DELETE /v1/databases/{name}          drop a database
@@ -12,11 +13,19 @@
 //	POST   /v1/databases/{name}/support  point query: support of one pattern
 //	GET    /healthz                      liveness + cache counters
 //
+// Databases are snapshot stores: every append atomically publishes a new
+// immutable generation, miners always run against the generation current
+// when their request arrived, and the indexes are maintained incrementally
+// (O(batch), not O(database)) across appends. Mining concurrently with
+// appends is therefore safe by construction and needs no server-side
+// locking.
+//
 // Mining requests honor client cancellation end to end: the request
 // context is threaded into the DFS, so a dropped connection aborts the
 // run within a bounded number of search nodes. Complete results are
-// memoized in an LRU keyed by (database generation, canonical options),
-// so repeated dashboard-style queries do not re-mine.
+// memoized in an LRU keyed by (upload generation, snapshot generation,
+// canonical options): appending to one database moves only its own
+// snapshot generation, so every other database keeps its warm entries.
 package server
 
 import (
@@ -63,16 +72,17 @@ type Server struct {
 	started   time.Time
 }
 
-// dbEntry is an immutable snapshot of one uploaded database. Uploads
-// replace the whole entry (bumping generation) instead of mutating it, so
-// in-flight miners keep a consistent view.
+// dbEntry is one hosted database. The entry itself is immutable — uploads
+// replace it (bumping the server-wide generation) — while the Database
+// inside is a snapshot store: appends advance its snapshot generation
+// without touching the entry, and in-flight miners keep the snapshot they
+// started with.
 type dbEntry struct {
 	name       string
 	db         *repro.Database
 	formatName string
-	generation uint64
+	generation uint64 // server-wide upload generation
 	created    time.Time
-	stats      repro.Stats
 }
 
 // New returns an empty Server.
@@ -99,6 +109,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/databases", s.handleList)
 	mux.HandleFunc("POST /v1/databases/{name}", s.handleUpload)
+	mux.HandleFunc("POST /v1/databases/{name}/append", s.handleAppend)
 	mux.HandleFunc("DELETE /v1/databases/{name}", s.handleDelete)
 	mux.HandleFunc("GET /v1/databases/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/databases/{name}/mine", s.handleMine)
@@ -107,7 +118,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 // put registers (or replaces) a database under name and returns the new
-// entry. The caller must have called Prepare on db already.
+// entry.
 func (s *Server) put(name, formatName string, db *repro.Database) *dbEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -118,7 +129,6 @@ func (s *Server) put(name, formatName string, db *repro.Database) *dbEntry {
 		formatName: formatName,
 		generation: s.gen,
 		created:    time.Now(),
-		stats:      db.Stats(),
 	}
 	s.dbs[name] = e
 	return e

@@ -69,23 +69,30 @@ func (q *mineRequest) algorithm() string {
 	return name
 }
 
-// cacheKey canonicalizes the mining options. Workers is deliberately
-// excluded: only complete results are cached, and those are identical
-// across worker counts. Stream is excluded too — a cached result can be
-// replayed in either representation. DisableFastNext is included even
-// though both index variants provably produce identical results (the
-// parity tests assert it): the knob exists precisely to measure the
-// variants against each other, and serving a cached fast-index result to
-// a disableFastNext probe would silently invalidate the measurement.
-func (q *mineRequest) cacheKey(db string, generation uint64) string {
-	return fmt.Sprintf("%s@%d|closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t fastnext=%t",
-		db, generation, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances, !q.DisableFastNext)
+// cacheKey canonicalizes the mining options. The data identity is the
+// pair (upload generation, snapshot generation): the server-wide upload
+// counter pins which upload the entry came from (never reused, even
+// across delete + re-upload), and the snapshot generation advances with
+// every append — so appending to one database invalidates exactly its own
+// entries while every other database keeps its warm cache. Workers is
+// deliberately excluded: only complete results are cached, and those are
+// identical across worker counts. Stream is excluded too — a cached
+// result can be replayed in either representation. DisableFastNext is
+// included even though both index variants provably produce identical
+// results (the parity tests assert it): the knob exists precisely to
+// measure the variants against each other, and serving a cached
+// fast-index result to a disableFastNext probe would silently invalidate
+// the measurement.
+func (q *mineRequest) cacheKey(db string, uploadGen, snapGen uint64) string {
+	return fmt.Sprintf("%s@%d.%d|closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t fastnext=%t",
+		db, uploadGen, snapGen, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances, !q.DisableFastNext)
 }
 
 // mineOutcome is a finished mining run as held in the cache.
 type mineOutcome struct {
-	algorithm string
-	result    *repro.Result
+	algorithm  string
+	generation uint64 // snapshot generation the run was pinned to
+	result     *repro.Result
 }
 
 // Wire DTOs.
@@ -115,15 +122,18 @@ func toPatternJSON(p repro.Pattern) patternJSON {
 }
 
 // mineSummary trails every mine response: the last NDJSON line, or the
-// envelope fields of the buffered JSON response.
+// envelope fields of the buffered JSON response. Generation is the
+// server-wide upload counter; SnapshotGeneration identifies the exact
+// data generation the result was mined from (it advances with appends).
 type mineSummary struct {
-	Database    string  `json:"database"`
-	Generation  uint64  `json:"generation"`
-	Algorithm   string  `json:"algorithm"`
-	NumPatterns int     `json:"numPatterns"`
-	Truncated   bool    `json:"truncated"`
-	ElapsedMS   float64 `json:"elapsedMs"`
-	Cached      bool    `json:"cached"`
+	Database           string  `json:"database"`
+	Generation         uint64  `json:"generation"`
+	SnapshotGeneration uint64  `json:"snapshotGeneration"`
+	Algorithm          string  `json:"algorithm"`
+	NumPatterns        int     `json:"numPatterns"`
+	Truncated          bool    `json:"truncated"`
+	ElapsedMS          float64 `json:"elapsedMs"`
+	Cached             bool    `json:"cached"`
 }
 
 type mineResponse struct {
@@ -132,11 +142,38 @@ type mineResponse struct {
 }
 
 type dbInfo struct {
-	Name       string    `json:"name"`
-	Format     string    `json:"format"`
-	Generation uint64    `json:"generation"`
-	Created    time.Time `json:"created"`
-	Stats      statsJSON `json:"stats"`
+	Name               string    `json:"name"`
+	Format             string    `json:"format"`
+	Generation         uint64    `json:"generation"`
+	SnapshotGeneration uint64    `json:"snapshotGeneration"`
+	Created            time.Time `json:"created"`
+	Stats              statsJSON `json:"stats"`
+}
+
+// appendRecord is one line of the NDJSON append stream.
+type appendRecord struct {
+	// Label routes the events: a non-empty label naming an existing
+	// sequence appends to that sequence; otherwise a new sequence is
+	// created (empty label = auto-named).
+	Label string `json:"label"`
+	// Events are the event names to append, in order.
+	Events []string `json:"events"`
+}
+
+// appendResponse reports a completed append: the database info reflects
+// the new snapshot generation and statistics.
+type appendResponse struct {
+	dbInfo
+	AppendedRecords int `json:"appendedRecords"`
+}
+
+// appendErrorResponse reports a failed append stream. Chunked ingestion
+// means earlier chunks may already be durable; PartiallyApplied and
+// AppliedRecords tell the client exactly where the stream stopped.
+type appendErrorResponse struct {
+	Error            string `json:"error"`
+	AppliedRecords   int    `json:"appliedRecords"`
+	PartiallyApplied bool   `json:"partiallyApplied"`
 }
 
 type statsJSON struct {
@@ -159,13 +196,19 @@ func toStatsJSON(st repro.Stats) statsJSON {
 	}
 }
 
+// toDBInfo reads the entry's current snapshot: stats and snapshot
+// generation are whatever the latest append published. Stats come from
+// the store's incrementally-maintained summary — O(1), never a database
+// scan — so appends and list requests stay cheap at any database size.
 func toDBInfo(e *dbEntry) dbInfo {
+	snap := e.db.Snapshot()
 	return dbInfo{
-		Name:       e.name,
-		Format:     e.formatName,
-		Generation: e.generation,
-		Created:    e.created,
-		Stats:      toStatsJSON(e.stats),
+		Name:               e.name,
+		Format:             e.formatName,
+		Generation:         e.generation,
+		SnapshotGeneration: snap.Generation(),
+		Created:            e.created,
+		Stats:              toStatsJSON(snap.Stats()),
 	}
 }
 
@@ -180,11 +223,12 @@ type supportRequest struct {
 }
 
 type supportResponse struct {
-	Database    string         `json:"database"`
-	Pattern     []string       `json:"pattern"`
-	Support     int            `json:"support"`
-	Instances   []instanceJSON `json:"instances,omitempty"`
-	PerSequence []int          `json:"perSequence,omitempty"`
+	Database           string         `json:"database"`
+	SnapshotGeneration uint64         `json:"snapshotGeneration"`
+	Pattern            []string       `json:"pattern"`
+	Support            int            `json:"support"`
+	Instances          []instanceJSON `json:"instances,omitempty"`
+	PerSequence        []int          `json:"perSequence,omitempty"`
 }
 
 type errorResponse struct {

@@ -1,0 +1,170 @@
+package store
+
+// Incremental-correctness suite: mine → append → mine must agree with (a)
+// the brute-force oracle of internal/verify and (b) a from-scratch
+// NewIndexWith rebuild of the appended database, on every testdata/
+// fixture, at minsup {2, 6, 10}, with FastNext both enabled and disabled.
+// This is the contract that lets the service answer queries from
+// incrementally maintained indexes without ever re-indexing.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+// fixtureDBs loads every fixture under testdata/.
+func fixtureDBs(t *testing.T) map[string]*seq.DB {
+	t.Helper()
+	fixtures := map[string]seq.Format{
+		"example11.chars": seq.FormatChars,
+		"traces.tokens":   seq.FormatTokens,
+	}
+	out := map[string]*seq.DB{}
+	for name, format := range fixtures {
+		f, err := os.Open(filepath.Join("..", "..", "testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := seq.Parse(f, format)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = db
+	}
+	return out
+}
+
+// fixtureAppend is the batch appended to every fixture: one extension of
+// the first labeled sequence (upsert), one new sequence reusing known
+// events, and one new sequence introducing a fresh event name.
+func fixtureAppend(db *seq.DB) []Record {
+	first := db.Label(0)
+	known := db.Dict.Name(0)
+	return []Record{
+		{Label: first, Events: []string{known, known}},
+		{Label: "appended-1", Events: []string{known, known, known}},
+		{Label: "appended-2", Events: []string{known, "zz-new-event", known}},
+	}
+}
+
+// canonical renders a result as one string so any divergence in patterns,
+// supports, or counts is a byte-level diff.
+func canonical(db *seq.DB, res *core.Result) string {
+	res.SortLex()
+	out := fmt.Sprintf("%d patterns\n", res.NumPatterns)
+	for _, p := range res.Patterns {
+		out += fmt.Sprintf("%s\t%d\n", db.PatternString(p.Events), p.Support)
+	}
+	return out
+}
+
+func canonicalOracle(db *seq.DB, want []verify.PatternSupport) string {
+	out := fmt.Sprintf("%d patterns\n", len(want))
+	for _, ps := range want {
+		out += fmt.Sprintf("%s\t%d\n", db.PatternString(ps.Pattern), ps.Support)
+	}
+	return out
+}
+
+func TestMineAppendMineParity(t *testing.T) {
+	// The oracle enumerates the alphabet^maxLen pattern space with a
+	// max-flow support computation each — bound the length to keep the
+	// suite fast while still covering multi-step growth.
+	const maxLen = 4
+	for name, base := range fixtureDBs(t) {
+		for _, minSup := range []int{2, 6, 10} {
+			for _, disableFastNext := range []bool{false, true} {
+				for _, closed := range []bool{false, true} {
+					tname := fmt.Sprintf("%s/minsup=%d/fastnext=%t/closed=%t", name, minSup, !disableFastNext, closed)
+					t.Run(tname, func(t *testing.T) {
+						st := FromDB(base.Clone(), Options{})
+						opt := core.Options{MinSupport: minSup, MaxPatternLength: maxLen, Closed: closed}
+
+						// Mine generation 1 so the append path extends a
+						// warm index rather than building fresh.
+						s1 := st.Current()
+						res1, err := core.Mine(s1.Index(disableFastNext), opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+
+						s2 := st.Append(fixtureAppend(base), true)
+						res2, err := core.Mine(s2.Index(disableFastNext), opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := canonical(s2.DB(), res2)
+
+						// (a) From-scratch rebuild of the appended database.
+						rebuilt := seq.NewIndexWith(s2.DB(), seq.IndexOptions{FastNext: !disableFastNext})
+						resRebuilt, err := core.Mine(rebuilt, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if want := canonical(s2.DB(), resRebuilt); got != want {
+							t.Errorf("incremental mine diverges from rebuild:\nincremental:\n%s\nrebuild:\n%s", got, want)
+						}
+
+						// (b) Brute-force oracle.
+						var oracle []verify.PatternSupport
+						if closed {
+							oracle = verify.Closed(s2.DB(), minSup, maxLen)
+						} else {
+							oracle = verify.Frequent(s2.DB(), minSup, maxLen)
+						}
+						if want := canonicalOracle(s2.DB(), oracle); got != want {
+							t.Errorf("incremental mine diverges from oracle:\ngot:\n%s\nwant:\n%s", got, want)
+						}
+
+						// The sealed generation still mines its original result.
+						res1b, err := core.Mine(s1.Index(disableFastNext), opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if a, b := canonical(s1.DB(), res1), canonical(s1.DB(), res1b); a != b {
+							t.Errorf("generation 1 drifted after append:\nbefore:\n%s\nafter:\n%s", a, b)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestRepeatedAppendsParity grows a database one batch at a time through
+// several generations, checking after each append that the incrementally
+// maintained index agrees with a from-scratch rebuild — including batches
+// that only extend existing sequences and batches that only add new ones.
+func TestRepeatedAppendsParity(t *testing.T) {
+	st := New(Options{})
+	batches := [][]Record{
+		{{Label: "S1", Events: []string{"a", "b", "a"}}},
+		{{Label: "S2", Events: []string{"b", "a", "b"}}},
+		{{Label: "S1", Events: []string{"a", "b"}}}, // extend S1
+		{{Label: "S3", Events: []string{"c", "a", "c"}}},
+		{{Label: "S2", Events: []string{"c"}}, {Label: "S1", Events: []string{"c", "a"}}},
+		{{Label: "S4", Events: []string{"a", "a", "a"}}, {Label: "S4", Events: []string{"b"}}},
+	}
+	opt := core.Options{MinSupport: 2}
+	for step, batch := range batches {
+		snap := st.Append(batch, true)
+		got, err := core.Mine(snap, opt) // snapshot passed straight to core
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Mine(seq.NewIndexWith(snap.DB(), seq.IndexOptions{FastNext: true}), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := canonical(snap.DB(), got), canonical(snap.DB(), want); a != b {
+			t.Fatalf("step %d (gen %d): incremental:\n%s\nrebuild:\n%s", step, snap.Generation(), a, b)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+func mustMine(t *testing.T, v core.IndexView, opt core.Options) *core.Result {
+	t.Helper()
+	res, err := core.Mine(v, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEmptyStoreLineage(t *testing.T) {
+	st := New(Options{})
+	s1 := st.Current()
+	if s1.Generation() != 1 {
+		t.Fatalf("seed generation = %d, want 1", s1.Generation())
+	}
+	if s1.NumSequences() != 0 {
+		t.Fatalf("empty store has %d sequences", s1.NumSequences())
+	}
+	// Mining an empty snapshot is legal and finds nothing.
+	res := mustMine(t, s1, core.Options{MinSupport: 1})
+	if res.NumPatterns != 0 {
+		t.Fatalf("empty snapshot mined %d patterns", res.NumPatterns)
+	}
+
+	s2 := st.Append([]Record{{Label: "S1", Events: []string{"a", "b", "a", "b"}}}, false)
+	if s2.Generation() != 2 || st.Current() != s2 {
+		t.Fatalf("append did not publish generation 2")
+	}
+	if s2.NumSequences() != 1 || s1.NumSequences() != 0 {
+		t.Fatalf("append leaked into the sealed snapshot")
+	}
+	if got := core.SupportOfNames(s2.Index(false), []string{"a", "b"}); got != 2 {
+		t.Fatalf("sup(ab) = %d, want 2", got)
+	}
+}
+
+func TestUpsertExtendsExistingSequence(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("S1", "ABAB")
+	db.AddChars("S2", "BA")
+	st := FromDB(db, Options{})
+	s1 := st.Current()
+	if got := core.SupportOfNames(s1.Index(false), []string{"A", "B"}); got != 2 {
+		t.Fatalf("gen1 sup(AB) = %d, want 2", got)
+	}
+
+	// Upsert: S1 grows, "S3" is new; without a matching label a new
+	// sequence is created even under upsert.
+	s2 := st.Append([]Record{
+		{Label: "S1", Events: []string{"A", "B"}},
+		{Label: "S3", Events: []string{"A", "B"}},
+	}, true)
+	if s2.NumSequences() != 3 {
+		t.Fatalf("gen2 has %d sequences, want 3", s2.NumSequences())
+	}
+	if got := s2.DB().Seqs[0].Len(); got != 6 {
+		t.Fatalf("S1 length = %d, want 6", got)
+	}
+	if got := core.SupportOfNames(s2.Index(false), []string{"A", "B"}); got != 4 {
+		t.Fatalf("gen2 sup(AB) = %d, want 4", got)
+	}
+
+	// The sealed generation still answers from its own contents.
+	if got := s1.DB().Seqs[0].Len(); got != 4 {
+		t.Fatalf("sealed S1 length changed to %d", got)
+	}
+	if got := core.SupportOfNames(s1.Index(false), []string{"A", "B"}); got != 2 {
+		t.Fatalf("sealed sup(AB) = %d, want 2", got)
+	}
+
+	// Without upsert, a colliding label is a new sequence.
+	s3 := st.Append([]Record{{Label: "S1", Events: []string{"A"}}}, false)
+	if s3.NumSequences() != 4 {
+		t.Fatalf("gen3 has %d sequences, want 4", s3.NumSequences())
+	}
+}
+
+func TestDictCopyOnWrite(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("S1", "AB")
+	st := FromDB(db, Options{})
+	s1 := st.Current()
+
+	s2 := st.Append([]Record{{Events: []string{"C", "A"}}}, false)
+	if s1.DB().Dict.Size() != 2 {
+		t.Fatalf("sealed dictionary grew to %d events", s1.DB().Dict.Size())
+	}
+	if s2.DB().Dict.Size() != 3 {
+		t.Fatalf("new dictionary has %d events, want 3", s2.DB().Dict.Size())
+	}
+	if s1.DB().Dict.Lookup("C") != seq.NoEvent {
+		t.Fatalf("sealed dictionary knows the new event")
+	}
+
+	// A batch with only known names shares the dictionary.
+	s3 := st.Append([]Record{{Events: []string{"A", "C"}}}, false)
+	if s3.DB().Dict != s2.DB().Dict {
+		t.Fatalf("known-names batch cloned the dictionary")
+	}
+}
+
+// TestAppendExtendsBuiltIndexes: once a snapshot's index is built, appends
+// extend it incrementally — structurally visible as shared position lists —
+// and never build one that was not already built.
+func TestAppendExtendsBuiltIndexes(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("S1", "ABCABC")
+	st := FromDB(db, Options{})
+	s1 := st.Current()
+	ix1 := s1.Index(false) // build fast index only
+
+	s2 := st.Append([]Record{{Label: "S9", Events: []string{"C", "B"}}}, true)
+	fast, slow := s2.peekIndexes()
+	if fast == nil {
+		t.Fatalf("append did not extend the built fast index")
+	}
+	if slow != nil {
+		t.Fatalf("append built a slow index the parent never had")
+	}
+	a := fast.Positions(0, db.Dict.Lookup("A"))
+	b := ix1.Positions(0, db.Dict.Lookup("A"))
+	if &a[0] != &b[0] {
+		t.Fatalf("extended index rebuilt the untouched sequence's table")
+	}
+
+	// Parity: the extended index equals a from-scratch build.
+	fresh := seq.NewIndexWith(s2.DB(), seq.IndexOptions{FastNext: true})
+	for _, pat := range [][]string{{"A", "B"}, {"C", "B"}, {"B"}} {
+		if w, g := core.SupportOfNames(fresh, pat), core.SupportOfNames(fast, pat); w != g {
+			t.Fatalf("sup(%v): extended %d, fresh %d", pat, g, w)
+		}
+	}
+}
+
+func TestSnapshotStatsMemoized(t *testing.T) {
+	st := New(Options{})
+	s := st.Append([]Record{
+		{Events: []string{"a", "b", "c"}},
+		{Events: []string{"a"}},
+	}, false)
+	stats := s.Stats()
+	if stats.NumSequences != 2 || stats.TotalLength != 4 || stats.MaxLength != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if again := s.Stats(); again != stats {
+		t.Fatalf("stats not stable: %+v vs %+v", again, stats)
+	}
+}
+
+// checkSummary asserts the O(1)-maintained summary of snap equals a full
+// ComputeStats scan of its database.
+func checkSummary(t *testing.T, snap *Snapshot) {
+	t.Helper()
+	got := snap.Summary()
+	want := seq.ComputeStats(snap.DB())
+	if got.NumSequences != want.NumSequences || got.TotalLength != want.TotalLength ||
+		got.MinLength != want.MinLength || got.MaxLength != want.MaxLength ||
+		got.AvgLength != want.AvgLength {
+		t.Fatalf("gen %d: incremental summary %+v != scanned stats %+v", snap.Generation(), got, want)
+	}
+	if got.DistinctEvents != snap.DB().Dict.Size() {
+		t.Fatalf("gen %d: DistinctEvents = %d, want dict size %d", snap.Generation(), got.DistinctEvents, snap.DB().Dict.Size())
+	}
+}
+
+// TestSummaryIncremental walks the summary through every maintenance
+// path: new sequences, upsert growth, and — crucially — growing the last
+// minimum-length sequence, which forces the min rescan.
+func TestSummaryIncremental(t *testing.T) {
+	db := seq.NewDB()
+	db.AddChars("S1", "AB")   // min holder, length 2
+	db.AddChars("S2", "ABCD") // length 4
+	st := FromDB(db, Options{})
+	checkSummary(t, st.Current())
+
+	// Grow the unique min holder: min must rise from 2 to 4 (rescan path).
+	checkSummary(t, st.Append([]Record{{Label: "S1", Events: []string{"C", "D"}}}, true))
+	// New shorter sequence: min drops to 1.
+	checkSummary(t, st.Append([]Record{{Label: "S3", Events: []string{"Z"}}}, true))
+	// Two min holders at 1; growing one must keep min at 1 (no rescan).
+	checkSummary(t, st.Append([]Record{{Label: "S4", Events: []string{"Y"}}}, true))
+	checkSummary(t, st.Append([]Record{{Label: "S3", Events: []string{"Z", "Z"}}}, true))
+	// Grow past the max.
+	checkSummary(t, st.Append([]Record{{Label: "S2", Events: []string{"A", "A", "A", "A", "A"}}}, true))
+	// Empty-events upsert of an existing label is a no-op.
+	snap := st.Append([]Record{{Label: "S2"}}, true)
+	checkSummary(t, snap)
+	if snap.DB().Seqs[1].Len() != 9 {
+		t.Fatalf("no-op upsert changed S2 to length %d", snap.DB().Seqs[1].Len())
+	}
+}
+
+// TestLineageSharesStorage: appending sequences must not copy old sequence
+// contents — the same backing arrays serve every generation.
+func TestLineageSharesStorage(t *testing.T) {
+	st := New(Options{})
+	s1 := st.Append([]Record{{Label: "S1", Events: []string{"x", "y"}}}, false)
+	s2 := st.Append([]Record{{Label: "S2", Events: []string{"y", "z"}}}, false)
+	if &s1.DB().Seqs[0][0] != &s2.DB().Seqs[0][0] {
+		t.Fatalf("appending a sequence copied existing sequence contents")
+	}
+}

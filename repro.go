@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/seq"
+	"repro/internal/store"
 )
 
 // Format identifies an on-disk database encoding accepted by Load.
@@ -54,32 +54,27 @@ func (f Format) internal() (seq.Format, error) {
 	}
 }
 
-// Database is a sequence database under construction and the handle on
-// which mining runs. Not safe for concurrent mutation; concurrent mining
-// of an unchanging database is safe.
+// Database is a growing sequence database and the handle on which mining
+// runs. It is a thin shell over a snapshot store: every mutation
+// (Add/Append) seals the new state as an immutable snapshot, and every
+// mining run executes against one snapshot — so mining concurrently with
+// appends is safe by construction, with no prepare step. All methods are
+// safe for concurrent use.
 //
 // Mining uses a FastNext index by default: per-sequence successor tables
 // that answer the paper's next(S, e, lowest) primitive in O(1) instead of
 // O(log L), built lazily under a memory budget (sequences whose table
 // would not fit fall back to binary search individually). Runs with
-// Options.DisableFastNext use a separate binary-search-only index, built
-// lazily on first such run.
+// Options.DisableFastNext use a separate binary-search-only index. Once an
+// index variant has been built, appends maintain it incrementally in
+// O(delta) instead of rebuilding it.
 type Database struct {
-	db *seq.DB
-
-	// ixMu guards lazy index construction, so concurrent mining requests
-	// (including a mix of fast and DisableFastNext runs) are safe even
-	// when an index is still cold. Sequence mutations remain unguarded:
-	// Add/Load must not race with anything.
-	ixMu   sync.Mutex
-	ix     *seq.Index // FastNext index (default for mining)
-	ixSlow *seq.Index // binary-search-only index (DisableFastNext runs)
-	dirty  bool
+	st *store.Store
 }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{db: seq.NewDB(), dirty: true}
+	return &Database{st: store.New(store.Options{})}
 }
 
 // Load reads a database from r in the given format. Errors are wrapped
@@ -119,39 +114,107 @@ func load(r io.Reader, format Format) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: db, dirty: true}, nil
+	return &Database{st: store.FromDB(db, store.Options{})}, nil
 }
 
-// Add appends a sequence of event names under the given label (empty label
-// auto-names the sequence "S<n>").
+// Add appends a new sequence of event names under the given label (empty
+// label auto-names the sequence "S<n>"), sealing the result as the next
+// snapshot. To grow an existing sequence instead, use Append.
 func (d *Database) Add(label string, events []string) {
-	d.db.Add(label, events)
-	d.dirty = true
+	d.st.Append([]store.Record{{Label: label, Events: events}}, false)
 }
 
 // AddString appends a sequence where each byte of events is one
 // single-character event — handy for examples and tests.
 func (d *Database) AddString(label, events string) {
-	d.db.AddChars(label, events)
-	d.dirty = true
+	names := make([]string, len(events))
+	for i := 0; i < len(events); i++ {
+		names[i] = events[i : i+1]
+	}
+	d.Add(label, names)
+}
+
+// Record is one unit of an Append batch: events to ingest under a label.
+type Record struct {
+	// Label names the sequence. A non-empty label matching an existing
+	// sequence appends the events to that sequence (the live-trace case:
+	// more events for a known session); otherwise a new sequence is
+	// created under the label (empty = auto-named).
+	Label string
+	// Events are the event names to append, in order.
+	Events []string
+}
+
+// Append ingests one batch of records atomically and returns the snapshot
+// holding the result. Unlike Add, records whose label names an existing
+// sequence extend that sequence in place (upsert semantics — the shape of
+// live log/trace ingestion). The work is proportional to the batch, not
+// the database: already-built indexes are maintained incrementally, and
+// in-flight mining runs keep their own snapshot, unaffected.
+func (d *Database) Append(records []Record) *Snapshot {
+	batch := make([]store.Record, len(records))
+	for i, r := range records {
+		batch[i] = store.Record{Label: r.Label, Events: r.Events}
+	}
+	return &Snapshot{s: d.st.Append(batch, true)}
+}
+
+// Snapshot returns the current immutable snapshot of the database. A
+// snapshot never changes: queries and mining runs against it observe one
+// consistent state regardless of concurrent appends, and its Generation
+// identifies that state (e.g. as a cache key). Database's own query and
+// mining methods are shorthands for Snapshot().<Method>; grab a Snapshot
+// explicitly when a multi-step read must see one consistent generation.
+func (d *Database) Snapshot() *Snapshot {
+	return &Snapshot{s: d.st.Current()}
 }
 
 // NumSequences returns the number of sequences added so far.
-func (d *Database) NumSequences() int { return d.db.NumSequences() }
+func (d *Database) NumSequences() int { return d.Snapshot().NumSequences() }
 
 // NumEvents returns the number of distinct event names seen so far.
-func (d *Database) NumEvents() int { return d.db.NumEvents() }
+func (d *Database) NumEvents() int { return d.Snapshot().NumEvents() }
 
 // Stats returns summary statistics of the database.
-func (d *Database) Stats() Stats {
-	st := seq.ComputeStats(d.db)
+func (d *Database) Stats() Stats { return d.Snapshot().Stats() }
+
+// Snapshot is one sealed generation of a Database: an immutable view that
+// supports every query and mining operation. All methods are safe for
+// concurrent use.
+type Snapshot struct {
+	s *store.Snapshot
+}
+
+// Generation returns the snapshot's generation number: 1 for the freshly
+// created (or loaded) database, incremented by every Add/Append batch.
+// Equal generations of the same Database mean identical contents.
+func (s *Snapshot) Generation() uint64 { return s.s.Generation() }
+
+// NumSequences returns the number of sequences in this generation.
+func (s *Snapshot) NumSequences() int { return s.s.NumSequences() }
+
+// NumEvents returns the number of distinct event names in this generation.
+func (s *Snapshot) NumEvents() int { return s.s.NumEvents() }
+
+// Warm builds the snapshot's default (FastNext) index eagerly. Purely a
+// latency optimization: mining builds indexes lazily and concurrently-safe
+// on first use anyway, but a warmed index also lets subsequent appends
+// maintain it incrementally instead of paying a fresh lazy build later.
+// Services call this once after upload; nothing ever requires it.
+func (s *Snapshot) Warm() { s.s.Index(false) }
+
+// Stats returns summary statistics of this generation in O(1): the store
+// maintains them incrementally across appends, so stats never rescan the
+// database.
+func (s *Snapshot) Stats() Stats {
+	sum := s.s.Summary()
 	return Stats{
-		NumSequences:   st.NumSequences,
-		DistinctEvents: st.DistinctEvents,
-		TotalLength:    st.TotalLength,
-		MinLength:      st.MinLength,
-		MaxLength:      st.MaxLength,
-		AvgLength:      st.AvgLength,
+		NumSequences:   sum.NumSequences,
+		DistinctEvents: sum.DistinctEvents,
+		TotalLength:    sum.TotalLength,
+		MinLength:      sum.MinLength,
+		MaxLength:      sum.MaxLength,
+		AvgLength:      sum.AvgLength,
 	}
 }
 
@@ -164,35 +227,6 @@ type Stats struct {
 	MaxLength      int
 	AvgLength      float64
 }
-
-func (d *Database) index() *seq.Index { return d.indexFor(false) }
-
-func (d *Database) indexFor(disableFastNext bool) *seq.Index {
-	d.ixMu.Lock()
-	defer d.ixMu.Unlock()
-	if d.dirty {
-		d.ix, d.ixSlow = nil, nil
-		d.dirty = false
-	}
-	if disableFastNext {
-		if d.ixSlow == nil {
-			d.ixSlow = seq.NewIndex(d.db)
-		}
-		return d.ixSlow
-	}
-	if d.ix == nil {
-		d.ix = seq.NewIndexWith(d.db, seq.IndexOptions{FastNext: true})
-	}
-	return d.ix
-}
-
-// Prepare builds the internal inverted index (including the FastNext
-// successor tables) eagerly. Mining builds it lazily on first use, which —
-// like Add — is a mutation: call Prepare once after the last Add/Load
-// before handing the database to concurrent miners, so that the
-// "concurrent mining of an unchanging database is safe" guarantee holds
-// from the first request.
-func (d *Database) Prepare() { d.index() }
 
 // Options configures a mining run.
 type Options struct {
@@ -264,9 +298,9 @@ type Result struct {
 }
 
 // Mine returns every pattern with repetitive support at least
-// opt.MinSupport (the paper's GSgrow).
+// opt.MinSupport (the paper's GSgrow), run against the current snapshot.
 func (d *Database) Mine(opt Options) (*Result, error) {
-	return d.mine(opt, false)
+	return d.Snapshot().Mine(opt)
 }
 
 // MineClosed returns every closed frequent pattern: those with no
@@ -275,10 +309,22 @@ func (d *Database) Mine(opt Options) (*Result, error) {
 // loses no information: every frequent pattern is a sub-pattern of some
 // closed pattern with the same support.
 func (d *Database) MineClosed(opt Options) (*Result, error) {
-	return d.mine(opt, true)
+	return d.Snapshot().MineClosed(opt)
 }
 
-func (d *Database) mine(opt Options, closed bool) (*Result, error) {
+// Mine returns every pattern with repetitive support at least
+// opt.MinSupport (the paper's GSgrow) in this generation.
+func (s *Snapshot) Mine(opt Options) (*Result, error) {
+	return s.mine(opt, false)
+}
+
+// MineClosed returns every closed frequent pattern of this generation (the
+// paper's CloGSgrow); see Database.MineClosed.
+func (s *Snapshot) MineClosed(opt Options) (*Result, error) {
+	return s.mine(opt, true)
+}
+
+func (s *Snapshot) mine(opt Options, closed bool) (*Result, error) {
 	copt := core.Options{
 		MinSupport:       opt.MinSupport,
 		Closed:           closed,
@@ -290,9 +336,9 @@ func (d *Database) mine(opt Options, closed bool) (*Result, error) {
 	}
 	if opt.OnPattern != nil {
 		cb := opt.OnPattern
-		copt.OnPattern = func(p core.Pattern) bool { return cb(d.exportPattern(p)) }
+		copt.OnPattern = func(p core.Pattern) bool { return cb(s.exportPattern(p)) }
 	}
-	ix := d.indexFor(opt.DisableFastNext)
+	ix := s.s.Index(opt.DisableFastNext)
 	var res *core.Result
 	var err error
 	if opt.Workers > 1 {
@@ -310,24 +356,24 @@ func (d *Database) mine(opt Options, closed bool) (*Result, error) {
 	}
 	out.Patterns = make([]Pattern, len(res.Patterns))
 	for i, p := range res.Patterns {
-		out.Patterns[i] = d.exportPattern(p)
+		out.Patterns[i] = s.exportPattern(p)
 	}
 	return out, nil
 }
 
-func (d *Database) exportPattern(p core.Pattern) Pattern {
+func (s *Snapshot) exportPattern(p core.Pattern) Pattern {
 	events := make([]string, len(p.Events))
 	for j, e := range p.Events {
-		events[j] = d.db.Dict.Name(e)
+		events[j] = s.s.DB().Dict.Name(e)
 	}
 	out := Pattern{Events: events, Support: p.Support}
 	if p.Instances != nil {
-		out.Instances = d.exportInstances(p.Instances)
+		out.Instances = s.exportInstances(p.Instances)
 	}
 	return out
 }
 
-func (d *Database) exportInstances(set core.FullSet) []Instance {
+func (s *Snapshot) exportInstances(set core.FullSet) []Instance {
 	out := make([]Instance, len(set))
 	for k, ins := range set {
 		positions := make([]int, len(ins.Land))
@@ -336,7 +382,7 @@ func (d *Database) exportInstances(set core.FullSet) []Instance {
 		}
 		out[k] = Instance{
 			SequenceIndex: int(ins.Seq),
-			Sequence:      d.db.Label(int(ins.Seq)),
+			Sequence:      s.s.DB().Label(int(ins.Seq)),
 			Positions:     positions,
 		}
 	}
@@ -376,7 +422,13 @@ func (d *Database) MineTopKContext(ctx context.Context, k int, closed bool, maxL
 // MineTopKWith is MineTopK with the full set of run-level options the
 // top-k search supports.
 func (d *Database) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, error) {
-	res, err := core.MineTopKCtx(opt.Ctx, d.indexFor(opt.DisableFastNext), k, closed, opt.MaxPatternLength)
+	return d.Snapshot().MineTopKWith(k, closed, opt)
+}
+
+// MineTopKWith mines the k highest-support (closed) patterns of this
+// generation; see Database.MineTopK.
+func (s *Snapshot) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, error) {
+	res, err := core.MineTopKCtx(opt.Ctx, s.s.Index(opt.DisableFastNext), k, closed, opt.MaxPatternLength)
 	if err != nil {
 		return nil, err
 	}
@@ -387,30 +439,43 @@ func (d *Database) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, e
 	}
 	out.Patterns = make([]Pattern, len(res.Patterns))
 	for i, p := range res.Patterns {
-		out.Patterns[i] = d.exportPattern(p)
+		out.Patterns[i] = s.exportPattern(p)
 	}
 	return out, nil
 }
 
 // Support computes the repetitive support of one pattern, given as event
-// names. Unknown event names yield support 0.
+// names, in the current snapshot. Unknown event names yield support 0.
 func (d *Database) Support(pattern []string) int {
-	return core.SupportOfNames(d.index(), pattern)
+	return d.Snapshot().Support(pattern)
+}
+
+// Support computes the repetitive support of one pattern in this
+// generation. Unknown event names yield support 0.
+func (s *Snapshot) Support(pattern []string) int {
+	return core.SupportOfNames(s.s.Index(false), pattern)
 }
 
 // SupportSet computes a maximum set of non-overlapping occurrences of
-// pattern (the leftmost support set). Unknown event names yield an empty
-// set.
+// pattern (the leftmost support set) in the current snapshot. Unknown
+// event names yield an empty set.
 func (d *Database) SupportSet(pattern []string) []Instance {
+	return d.Snapshot().SupportSet(pattern)
+}
+
+// SupportSet computes a maximum set of non-overlapping occurrences of
+// pattern (the leftmost support set) in this generation.
+func (s *Snapshot) SupportSet(pattern []string) []Instance {
+	db := s.s.DB()
 	ids := make([]seq.EventID, len(pattern))
 	for i, n := range pattern {
-		id := d.db.Dict.Lookup(n)
+		id := db.Dict.Lookup(n)
 		if id == seq.NoEvent {
 			return nil
 		}
 		ids[i] = id
 	}
-	return d.exportInstances(core.ComputeSupportSet(d.index(), ids))
+	return s.exportInstances(core.ComputeSupportSet(s.s.Index(false), ids))
 }
 
 // PerSequenceSupport returns, for each sequence, the number of
@@ -418,8 +483,14 @@ func (d *Database) SupportSet(pattern []string) []Instance {
 // the paper proposes for sequence classification (Section V). The slice is
 // indexed by sequence index; its sum equals Support(pattern).
 func (d *Database) PerSequenceSupport(pattern []string) []int {
-	out := make([]int, d.db.NumSequences())
-	for _, ins := range d.SupportSet(pattern) {
+	return d.Snapshot().PerSequenceSupport(pattern)
+}
+
+// PerSequenceSupport is Database.PerSequenceSupport against this
+// generation.
+func (s *Snapshot) PerSequenceSupport(pattern []string) []int {
+	out := make([]int, s.s.NumSequences())
+	for _, ins := range s.SupportSet(pattern) {
 		out[ins.SequenceIndex]++
 	}
 	return out
