@@ -111,6 +111,59 @@ func BenchmarkFig2(b *testing.B) {
 	}
 }
 
+// --- Parallel scaling: the Fig2 workload's hardest point (minsup=6) under
+// the work-stealing scheduler at 1..8 workers. workers=1 goes through the
+// sequential fast path, so the 1-worker line doubles as the scheduler's
+// zero-overhead baseline; the parity tests guarantee identical output at
+// every point. ---
+
+func parallelMineBench(b *testing.B, ix *seq.Index, opt core.Options, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	var patterns int
+	for i := 0; i < b.N; i++ {
+		res, err := core.MineParallel(ix, opt, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		patterns = res.NumPatterns
+	}
+	b.ReportMetric(float64(patterns), "patterns")
+}
+
+func BenchmarkFig2ParallelScaling(b *testing.B) {
+	_, ix := questScaled(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("All/minsup=6/workers=%d", workers), func(b *testing.B) {
+			parallelMineBench(b, ix, core.Options{MinSupport: 6, DiscardPatterns: true}, workers)
+		})
+		b.Run(fmt.Sprintf("Closed/minsup=6/workers=%d", workers), func(b *testing.B) {
+			parallelMineBench(b, ix, core.Options{MinSupport: 6, Closed: true, DiscardPatterns: true}, workers)
+		})
+	}
+}
+
+// --- Parallel scaling of the best-first top-k search (sharded frontiers,
+// shared k-th-best bound) on the same workload. ---
+
+func BenchmarkTopKParallelScaling(b *testing.B) {
+	_, ix := questScaled(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Closed/k=100/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var patterns int
+			for i := 0; i < b.N; i++ {
+				res, err := core.MineTopKParallel(nil, ix, 100, true, 0, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				patterns = res.NumPatterns
+			}
+			b.ReportMetric(float64(patterns), "patterns")
+		})
+	}
+}
+
 // --- Figure 3: min_sup sweep on the Gazelle-like click stream (scaled) ---
 
 func BenchmarkFig3(b *testing.B) {

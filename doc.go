@@ -69,6 +69,29 @@
 // binary search for a single run (identical output, lower memory) — see
 // the README's performance-tuning section for the measured trade-offs.
 //
+// # Parallel mining
+//
+// Options.Workers > 1 runs the mining DFS on a work-stealing scheduler:
+// each worker owns a deque of stealable subtree tasks, publishes the
+// shallowest untaken branches of its recursion when peers go idle, and
+// steals from busy workers when its own deque runs dry — so deep,
+// skewed search spaces parallelize, not just wide ones. Every emission
+// carries a (seed, branch-path) order key and the merge reassembles the
+// sequential emission sequence from keyed blocks, which makes the
+// result — patterns, supports, order, and the first-MaxPatterns prefix
+// under a budget — identical to the sequential run for every worker
+// count and steal timing. TopKOptions.Workers parallelizes the
+// best-first top-k search the same way: sharded frontiers coordinated
+// through the current k-th best support, byte-identical results.
+//
+// Workers helps when the mine is substantial (milliseconds and up) and
+// the machine has idle cores; it only adds scheduling overhead on tiny
+// databases, at very high support thresholds (a handful of shallow
+// patterns), or with worker counts far above GOMAXPROCS. The sequential
+// path (Workers <= 1) runs the same single-threaded miner; its only
+// scheduler cost is per-node candidate-frame bookkeeping, which
+// benchmarks faster than the pre-scheduler baseline.
+//
 // The same capabilities are exposed over HTTP by the mining service
 // (internal/server, started with `gsgrow serve` or cmd/reprod): named
 // databases are uploaded once, grown in place with NDJSON append streams

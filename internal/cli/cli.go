@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -71,7 +72,7 @@ func Mine(cfg MineConfig, in io.Reader, out io.Writer) error {
 	algo := "GSgrow"
 	switch {
 	case cfg.TopK > 0:
-		res, err2 = core.MineTopK(ix, cfg.TopK, cfg.Closed, cfg.MaxLen)
+		res, err2 = core.MineTopKParallel(context.Background(), ix, cfg.TopK, cfg.Closed, cfg.MaxLen, cfg.Workers)
 		algo = "TopK"
 	case cfg.Workers > 1:
 		res, err2 = core.MineParallel(ix, core.Options{

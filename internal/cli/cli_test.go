@@ -231,3 +231,22 @@ func TestMineWorkersMode(t *testing.T) {
 		t.Errorf("parallel output differs:\n%s\nvs\n%s", seqOut.String(), parOut.String())
 	}
 }
+
+// TestMineTopKWorkersMode: -topk combined with -workers runs the sharded
+// best-first search and prints exactly the sequential output.
+func TestMineTopKWorkersMode(t *testing.T) {
+	var seqOut, parOut strings.Builder
+	if err := Mine(MineConfig{Format: "chars", TopK: 5, Closed: true}, strings.NewReader(table3), &seqOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := Mine(MineConfig{Format: "chars", TopK: 5, Closed: true, Workers: 4}, strings.NewReader(table3), &parOut); err != nil {
+		t.Fatal(err)
+	}
+	trim := func(s string) string {
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		return strings.Join(lines[1:], "\n")
+	}
+	if trim(seqOut.String()) != trim(parOut.String()) {
+		t.Errorf("parallel top-k output differs:\n%s\nvs\n%s", seqOut.String(), parOut.String())
+	}
+}

@@ -77,8 +77,8 @@ func TestMineSteadyStateAllocs(t *testing.T) {
 		run := func() {
 			m.res = &Result{}
 			m.stopped = false
-			for _, e := range m.freqEvents {
-				m.mineSeed(e)
+			for i, e := range m.freqEvents {
+				m.mineSeed(i, e)
 			}
 		}
 		run() // warm the arena to steady state

@@ -19,6 +19,9 @@ import "repro/internal/seq"
 // checkNonAppend); the undo mark taken here scopes those entries to P's
 // subtree.
 func (m *miner) growClosed(I Set) {
+	if m.tracker != nil && m.tracker.pruneSubtree(m.path) {
+		return
+	}
 	m.enterNode()
 	if m.stopped {
 		return
@@ -33,7 +36,6 @@ func (m *miner) growClosed(I Set) {
 		return
 	}
 
-	appendEqual := false
 	var cands []seq.EventID
 	pooled := false
 	if m.opt.FullAlphabetCandidates {
@@ -44,7 +46,16 @@ func (m *miner) growClosed(I Set) {
 	}
 	m.candStack = append(m.candStack, cands)
 	atCap := m.opt.MaxPatternLength > 0 && len(m.pattern) >= m.opt.MaxPatternLength
-	for _, e := range cands {
+	// Loop cursors in locals, mirrored to the frame around recursion — see
+	// grow for the synchronization contract with maybeDonate.
+	fi := len(m.frames)
+	m.frames = append(m.frames, wsFrame{cands: cands, end: len(cands), I: I, noRecurse: atCap})
+	next, end := 0, len(cands)
+	appendEqual := false
+	for next < end {
+		ci := next
+		next++
+		e := cands[ci]
 		m.res.Stats.INSgrowCalls++
 		I2 := appendGrow(m.getSet(len(I)), m.ix, I, e)
 		if len(I2) == len(I) {
@@ -54,16 +65,23 @@ func (m *miner) growClosed(I Set) {
 			m.putSet(I2)
 			continue
 		}
+		m.frames[fi].next = next
 		m.pattern = append(m.pattern, e)
+		m.path = append(m.path, int32(ci))
 		m.chain = append(m.chain, I2)
 		m.growClosed(I2)
 		m.pattern = m.pattern[:len(m.pattern)-1]
+		m.path = m.path[:len(m.path)-1]
 		m.chain = m.chain[:len(m.chain)-1]
 		m.putSet(I2)
+		end = m.frames[fi].end
 		if m.stopped {
 			break
 		}
 	}
+	appendEqual = appendEqual || m.frames[fi].appendEqual
+	crossedDonation := m.frames[fi].donated && next >= end
+	m.frames = m.frames[:fi]
 	m.candStack = m.candStack[:len(m.candStack)-1]
 	if pooled {
 		m.putCands(cands)
@@ -71,6 +89,11 @@ func (m *miner) growClosed(I Set) {
 	m.memoRevert(memoMark)
 	if m.stopped {
 		return
+	}
+	if crossedDonation {
+		// In post-order this node's own emission follows the donated
+		// subtrees, so it (and everything after) starts a new block.
+		m.splitPending = true
 	}
 	if equalFound || appendEqual {
 		m.res.Stats.NonClosedSkipped++

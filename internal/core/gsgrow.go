@@ -31,6 +31,13 @@ type miner struct {
 	// instead of rescanning the index.
 	candStack [][]seq.EventID
 
+	// frames mirrors the recursion: one entry per active DFS node, holding
+	// that node's candidate list and loop cursor. The owner consumes
+	// candidates from the front; work-stealing donation consumes them from
+	// the back of the shallowest frame (see maybeDonate). Sequential runs
+	// pay one append/truncate per node for it.
+	frames []wsFrame
+
 	seen []bool // scratch for candidates()
 	// scratchA/scratchB are the ping-pong buffers of closure-check chain
 	// growth (see checkNonAppend). Only their capacity is meaningful
@@ -63,32 +70,94 @@ type miner struct {
 	numEvents int
 	memoLog   []memoUndo
 
-	// Parallel-mode coordination (nil/unused in sequential runs): budget
-	// is the shared remaining-pattern count decremented atomically on
-	// emission; stopAll is set when any worker must stop everyone
-	// (callback returned false).
-	budget  *int64
+	// Parallel-mode coordination (nil/unused in sequential runs): sched
+	// and deque tie the miner to its work-stealing worker slot, tracker
+	// enforces the deterministic MaxPatterns budget, stopAll is set when
+	// any worker must stop everyone (callback returned false, context
+	// cancelled).
+	sched   *wsScheduler
+	deque   *wsDeque
+	tracker *budgetTracker
 	stopAll *atomic.Bool
+
+	// path is the branch path of the current DFS node (one entry per
+	// pattern event: seed index, then the candidate index chosen at each
+	// level); rootLen is the pattern length of the current task's root.
+	// keyBuf is the reusable emission-key buffer (path + sentinel).
+	path    []int32
+	rootLen int
+	keyBuf  []int32
+
+	// splitPending marks that the local DFS moved past a point where
+	// donated subtrees belong in the sequential emission order, so the
+	// next emission must open a fresh result block. blockMarks delimits
+	// the blocks of the task being run; blocks accumulates every finished
+	// block of this worker.
+	splitPending bool
+	blockMarks   []blockMark
+	blocks       []resultBlock
 
 	ctxTick int // nodes since the last Options.Ctx poll
 
-	res     *Result
-	stopped bool
+	res      *Result
+	firstRes Result // newMiner points res here: one allocation fewer
+	stopped  bool
+}
+
+// wsFrame is the explicit per-node candidate cursor the work-stealing
+// scheduler donates from. next advances from the front as the owner
+// recurses; end retreats from the back as branches are donated.
+type wsFrame struct {
+	cands       []seq.EventID
+	next, end   int
+	I           Set  // the node's support set (donation re-grows from it)
+	donated     bool // some branch of this frame was given away
+	appendEqual bool // closed mode: an append extension kept the support
+	noRecurse   bool // children are not explored (length cap): no donation
+}
+
+// blockMark opens a result block at index start of res.Patterns.
+type blockMark struct {
+	start int
+	key   []int32
 }
 
 // newMiner returns a ready miner for one sequential run or one parallel
 // worker. The scratch sizes depend only on the dictionary, so a miner can
 // be reused across seed events (MineParallel's workers do).
 func newMiner(ix *seq.Index, opt Options) *miner {
+	return newMinerWithSeeds(ix, opt, ix.FrequentEvents(opt.MinSupport))
+}
+
+// newMinerWithSeeds is newMiner with a precomputed frequent-event list:
+// parallel runs share one list across all workers instead of rescanning
+// the index per worker.
+func newMinerWithSeeds(ix *seq.Index, opt Options, seeds []seq.EventID) *miner {
 	numEvents := ix.DB().Dict.Size()
-	return &miner{
+	// Depth-indexed stacks start with room for typical pattern lengths so
+	// the whole-run allocation count stays flat (they grow on demand for
+	// unusually deep mines and keep their capacity across seeds/tasks).
+	// path and keyBuf split one backing array; appending past a hint's
+	// capacity simply migrates that stack to its own array. The initial
+	// Result is the miner's own (embedded) — runs that reset m.res swap in
+	// fresh ones.
+	const depthHint = 24
+	pathBuf := make([]int32, 2*depthHint+1)
+	m := &miner{
 		ix:         ix,
 		opt:        opt,
-		freqEvents: ix.FrequentEvents(opt.MinSupport),
+		freqEvents: seeds,
 		seen:       make([]bool, numEvents),
 		numEvents:  numEvents,
-		res:        &Result{},
+		pattern:    make([]seq.EventID, 0, depthHint),
+		path:       pathBuf[0:0:depthHint],
+		keyBuf:     pathBuf[depthHint:depthHint],
+		chain:      make([]Set, 0, depthHint),
+		candStack:  make([][]seq.EventID, 0, depthHint),
+		frames:     make([]wsFrame, 0, depthHint),
 	}
+	m.res = &m.firstRes
+	return m
 }
 
 // getSet pops a recycled support-set buffer (len 0) or allocates one.
@@ -149,23 +218,26 @@ func Mine(v IndexView, opt Options) (*Result, error) {
 		m.res.Stats.Truncated = true
 		m.stopped = true
 	}
-	for _, e := range m.freqEvents {
+	for i, e := range m.freqEvents {
 		if m.stopped {
 			break
 		}
-		m.mineSeed(e)
+		m.mineSeed(i, e)
 	}
 	m.res.Stats.Duration = time.Since(start)
 	return m.res, nil
 }
 
-// mineSeed runs the DFS rooted at the size-1 pattern e, recycling the root
+// mineSeed runs the DFS rooted at the size-1 pattern e (the idx-th
+// frequent event — the root of the branch path), recycling the root
 // support set afterwards. The closure-check memo is empty between seeds
 // (every growClosed reverts its own entries), so per-seed subtrees are
 // independent — the property parallel mining relies on for determinism.
-func (m *miner) mineSeed(e seq.EventID) {
+func (m *miner) mineSeed(idx int, e seq.EventID) {
 	I := appendSingleton(m.getSet(m.ix.SingletonSupport(e)), m.ix, e)
 	m.pattern = append(m.pattern[:0], e)
+	m.path = append(m.path[:0], int32(idx))
+	m.rootLen = 1
 	m.chain = append(m.chain[:0], I)
 	if m.opt.Closed {
 		m.growClosed(I)
@@ -176,14 +248,24 @@ func (m *miner) mineSeed(e seq.EventID) {
 }
 
 // grow is subroutine mineFre of Algorithm 3: the pattern on m.pattern is
-// frequent with support set I; emit it and extend depth-first.
+// frequent with support set I; emit it and extend depth-first. The
+// candidate loop runs over an explicit frame so that maybeDonate can hand
+// the untaken tail of any ancestor's candidates to an idle worker.
 func (m *miner) grow(I Set) {
+	if m.tracker != nil && m.tracker.pruneSubtree(m.path) {
+		return
+	}
 	m.enterNode()
 	if m.stopped {
 		return
 	}
 	m.emit(I)
 	if m.stopped {
+		return
+	}
+	if m.tracker != nil && m.tracker.pruneSubtree(m.path) {
+		// The node's own emission key is minimal in its subtree
+		// (pre-order), so a rejected node means a dead subtree.
 		return
 	}
 	if m.opt.MaxPatternLength > 0 && len(m.pattern) >= m.opt.MaxPatternLength {
@@ -198,23 +280,44 @@ func (m *miner) grow(I Set) {
 		pooled = true
 	}
 	m.candStack = append(m.candStack, cands)
-	for _, e := range cands {
+	// The loop cursors live in locals for speed; the frame mirrors them
+	// for maybeDonate, which only ever runs inside the recursive child
+	// call (same goroutine), so next is synced before recursing and end —
+	// which donation moves down — is reloaded after.
+	fi := len(m.frames)
+	m.frames = append(m.frames, wsFrame{cands: cands, end: len(cands), I: I})
+	next, end := 0, len(cands)
+	for next < end {
+		ci := next
+		next++
+		e := cands[ci]
 		m.res.Stats.INSgrowCalls++
 		I2 := appendGrow(m.getSet(len(I)), m.ix, I, e)
 		if len(I2) < m.opt.MinSupport {
 			m.putSet(I2)
 			continue
 		}
+		m.frames[fi].next = next
 		m.pattern = append(m.pattern, e)
+		m.path = append(m.path, int32(ci))
 		m.chain = append(m.chain, I2)
 		m.grow(I2)
 		m.pattern = m.pattern[:len(m.pattern)-1]
+		m.path = m.path[:len(m.path)-1]
 		m.chain = m.chain[:len(m.chain)-1]
 		m.putSet(I2)
+		end = m.frames[fi].end
 		if m.stopped {
 			break
 		}
 	}
+	if m.frames[fi].donated && next >= end && !m.stopped {
+		// The local cursor crossed the donated region: everything this
+		// task emits from here on follows the donated subtrees in
+		// sequential order, so the next emission opens a new block.
+		m.splitPending = true
+	}
+	m.frames = m.frames[:fi]
 	m.candStack = m.candStack[:len(m.candStack)-1]
 	if pooled {
 		m.putCands(cands)
@@ -267,40 +370,76 @@ func (m *miner) enterNode() {
 			m.stopAll.Store(true)
 		}
 	}
+	if m.sched != nil && !m.stopped {
+		m.maybeDonate()
+	}
 }
 
 // emit records the current pattern as part of the output. In counting-only
 // runs (DiscardPatterns with no OnPattern callback) nothing is
-// materialized — the pattern-copy allocation is skipped entirely.
+// materialized — the pattern-copy allocation is skipped entirely. Under a
+// parallel deterministic budget the tracker decides whether the pattern
+// can still be among the first N of the merge order; sequential runs count
+// against MaxPatterns directly.
 func (m *miner) emit(I Set) {
 	if m.stopAll != nil && m.stopAll.Load() {
 		m.stopped = true
 		return
 	}
-	if m.budget != nil {
-		if atomic.AddInt64(m.budget, -1) < 0 {
-			m.stopped = true
-			m.res.Stats.Truncated = true
+	if m.tracker != nil {
+		if !m.tracker.offer(m.emissionKey()) {
 			return
 		}
+		m.record(I)
+		return
 	}
-	m.res.NumPatterns++
-	if !m.opt.DiscardPatterns || m.opt.OnPattern != nil {
-		p := Pattern{Events: append([]seq.EventID(nil), m.pattern...), Support: len(I)}
-		if m.opt.CollectInstances {
-			p.Instances = ComputeSupportSet(m.ix, p.Events)
-		}
-		if !m.opt.DiscardPatterns {
-			m.res.Patterns = append(m.res.Patterns, p)
-		}
-		if m.opt.OnPattern != nil && !m.opt.OnPattern(p) {
-			m.stopped = true
-			m.res.Stats.Truncated = true
-			return
-		}
+	m.record(I)
+	if m.stopped {
+		return
 	}
 	if m.opt.MaxPatterns > 0 && m.res.NumPatterns >= m.opt.MaxPatterns {
 		m.stopped = true
 		m.res.Stats.Truncated = true
 	}
+}
+
+// record materializes the current pattern into the result and the
+// OnPattern stream, opening a new result block first when a steal point
+// was crossed since the previous emission.
+func (m *miner) record(I Set) {
+	m.res.NumPatterns++
+	if m.opt.DiscardPatterns && m.opt.OnPattern == nil {
+		return
+	}
+	if m.sched != nil && !m.opt.DiscardPatterns && m.splitPending {
+		m.blockMarks = append(m.blockMarks, blockMark{
+			start: len(m.res.Patterns),
+			key:   append([]int32(nil), m.emissionKey()...),
+		})
+		m.splitPending = false
+	}
+	p := Pattern{Events: append([]seq.EventID(nil), m.pattern...), Support: len(I)}
+	if m.opt.CollectInstances {
+		p.Instances = ComputeSupportSet(m.ix, p.Events)
+	}
+	if !m.opt.DiscardPatterns {
+		m.res.Patterns = append(m.res.Patterns, p)
+	}
+	if m.opt.OnPattern != nil && !m.opt.OnPattern(p) {
+		m.stopped = true
+		m.res.Stats.Truncated = true
+	}
+}
+
+// emissionKey returns the order key of the current node's emission: the
+// branch path plus a sentinel placing it before (pre-order, GSgrow) or
+// after (post-order, CloGSgrow) its descendants. The buffer is reused;
+// callers needing to retain the key must copy it.
+func (m *miner) emissionKey() []int32 {
+	sentinel := preSentinel
+	if m.opt.Closed {
+		sentinel = postSentinel
+	}
+	m.keyBuf = append(append(m.keyBuf[:0], m.path...), sentinel)
+	return m.keyBuf
 }

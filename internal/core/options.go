@@ -42,7 +42,11 @@ type Options struct {
 	// MaxPatterns stops mining after this many patterns have been emitted;
 	// 0 means unbounded. The run is marked Truncated in the stats. This is
 	// how the harness imitates the paper's "cut-off" points where GSgrow
-	// "takes too long to complete".
+	// "takes too long to complete". The cut is deterministic in every
+	// mode: MineParallel returns exactly the first MaxPatterns patterns
+	// of the sequential emission order (enforced by a shared bound over
+	// emission-order keys; see scheduler.go), so a budgeted result never
+	// depends on worker count or scheduling.
 	MaxPatterns int
 
 	// CollectInstances attaches the leftmost support set (with full

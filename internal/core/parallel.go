@@ -9,14 +9,31 @@ import (
 	"repro/internal/seq"
 )
 
-// MineParallel runs the same mining as Mine but fans the DFS out over the
-// frequent seed events across `workers` goroutines. The inverted index is
-// shared read-only; each worker owns its full DFS state, so no locks are
-// taken on the hot path. Results are merged in ascending seed-event order,
-// making the output deterministic and equal to the sequential run — except
-// under a MaxPatterns budget, where exactly MaxPatterns patterns are
-// produced but which ones depends on scheduling. OnPattern callbacks are
-// serialized with a mutex; a false return stops all workers.
+// MineParallel runs the same mining as Mine, fanned out over `workers`
+// goroutines by the work-stealing scheduler (see scheduler.go): every
+// frequent seed event starts as one task, and workers that run dry steal
+// the shallowest published branches of busy workers' subtrees, so a single
+// deep subtree no longer serializes the tail of the run. The inverted
+// index is shared read-only; each worker owns its full DFS state (miner
+// arena, memo, scratch), so the hot path takes no locks.
+//
+// The output is deterministic and identical to the sequential run —
+// patterns, supports, and order — regardless of worker count or steal
+// timing: every emission carries a (seed, branch-path) order key and the
+// merge reassembles the sequential emission sequence from keyed blocks.
+// Under a MaxPatterns budget the same guarantee holds: exactly the first
+// MaxPatterns patterns of the sequential emission order are returned (a
+// shared bound over order keys prunes everything that cannot be among
+// them). Of the stats counters only MemoHits and ClosureChainGrowths may
+// differ from the sequential run (a thief restarts a stolen subtree with
+// an empty path-scoped closure-check memo), plus the scheduler's own
+// TasksDonated/TasksStolen/StealSetupGrowths; every output-determining
+// counter matches.
+//
+// OnPattern callbacks are serialized with a mutex but observe an
+// unspecified order; a false return stops all workers. With a MaxPatterns
+// budget the callback may additionally observe patterns that the final
+// merge-order trim excludes from the returned Result.
 func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -25,19 +42,21 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 	if workers <= 1 {
 		return Mine(ix, opt)
 	}
+	if workers > maxParallelWorkers {
+		workers = maxParallelWorkers
+	}
 	start := time.Now()
 	seeds := ix.FrequentEvents(opt.MinSupport)
-	results := make([]*Result, len(seeds))
 
-	var budget *int64
-	if opt.MaxPatterns > 0 {
-		b := int64(opt.MaxPatterns)
-		budget = &b
-	}
 	var stop atomic.Bool
-	var cbMu sync.Mutex
+	var tracker *budgetTracker
+	if opt.MaxPatterns > 0 {
+		tracker = newBudgetTracker(opt.MaxPatterns)
+	}
+
 	workerOpt := opt
-	workerOpt.MaxPatterns = 0 // enforced through the shared budget instead
+	workerOpt.MaxPatterns = 0 // enforced through the shared tracker instead
+	var cbMu sync.Mutex
 	if opt.OnPattern != nil {
 		inner := opt.OnPattern
 		workerOpt.OnPattern = func(p Pattern) bool {
@@ -51,72 +70,82 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 		}
 	}
 
-	jobs := make(chan int)
+	sched := newScheduler(workers, &stop)
+	// Seed the deques round-robin, heaviest seeds (by singleton support, a
+	// cheap proxy for subtree size) first, so the initial distribution is
+	// already balanced and stealing only has to fix what the proxy missed.
+	// Seed tasks carry no support set — the executing worker materializes
+	// it from its arena — so enqueuing every seed up front costs no
+	// instance memory.
+	for i, si := range sortSeedsByWork(ix, seeds) {
+		sched.submit(sched.deques[i%workers], &wsTask{
+			key:     []int32{int32(si)},
+			pattern: []seq.EventID{seeds[si]},
+		})
+	}
+	if ctxDone(opt.Ctx) {
+		stop.Store(true)
+	}
+
+	miners := make([]*miner, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		m := newMinerWithSeeds(ix, workerOpt, seeds)
+		m.sched = sched
+		m.deque = sched.deques[w]
+		m.tracker = tracker
+		m.stopAll = &stop
+		miners[w] = m
 		wg.Add(1)
-		go func() {
+		go func(m *miner, w int) {
 			defer wg.Done()
-			// One miner — and hence one arena of recycled buffers and
-			// one closure-check memo — per worker; both GSgrow and
-			// CloGSgrow subtrees reuse it across seeds with no locking.
-			m := newMiner(ix, workerOpt)
-			m.freqEvents = seeds
-			m.budget = budget
-			m.stopAll = &stop
-			for job := range jobs {
-				if stop.Load() {
-					continue // drain
-				}
-				m.res = &Result{}
-				m.stopped = false
-				m.candStack = m.candStack[:0]
-				m.mineSeed(seeds[job])
-				results[job] = m.res
-			}
-		}()
+			sched.run(m, w)
+		}(m, w)
 	}
-	// Feed heavier seeds first (descending singleton support) so the tail
-	// of the run is not dominated by one straggler subtree.
-	fedAll := true
-	for _, job := range sortSeedsByWork(ix, seeds) {
-		if ctxDone(opt.Ctx) {
-			stop.Store(true)
-			fedAll = false
-			break
-		}
-		jobs <- job
-	}
-	close(jobs)
 	wg.Wait()
 
 	merged := &Result{}
-	for _, r := range results {
-		if r == nil {
-			continue
+	var blocks []resultBlock
+	for _, m := range miners {
+		merged.NumPatterns += m.res.NumPatterns
+		mergeStats(&merged.Stats, &m.res.Stats)
+		blocks = append(blocks, m.blocks...)
+	}
+	// Reassemble the sequential emission sequence: blocks are contiguous
+	// runs of it, keyed by their first emission.
+	sort.Slice(blocks, func(a, b int) bool { return keyCmp(blocks[a].key, blocks[b].key) < 0 })
+	if !opt.DiscardPatterns {
+		n := 0
+		for _, b := range blocks {
+			n += len(b.patterns)
 		}
-		merged.Patterns = append(merged.Patterns, r.Patterns...)
-		merged.NumPatterns += r.NumPatterns
-		mergeStats(&merged.Stats, &r.Stats)
+		merged.Patterns = make([]Pattern, 0, n)
+		for _, b := range blocks {
+			merged.Patterns = append(merged.Patterns, b.patterns...)
+		}
 	}
-	if opt.MaxPatterns > 0 && merged.NumPatterns >= opt.MaxPatterns {
+	if tracker != nil {
+		// Deterministic budget: keep exactly the first MaxPatterns of the
+		// merge order; later-keyed emissions that slipped in while the
+		// bound was still loose are dropped here.
+		if !opt.DiscardPatterns {
+			if len(merged.Patterns) > opt.MaxPatterns {
+				merged.Patterns = merged.Patterns[:opt.MaxPatterns]
+			}
+			merged.NumPatterns = len(merged.Patterns)
+		} else {
+			merged.NumPatterns = tracker.size()
+		}
+		if tracker.full() {
+			merged.Stats.Truncated = true
+		}
+	}
+	// stop is set by a cancelled context, a false-returning callback, or a
+	// pre-cancelled run — all truncations. A cancellation that landed
+	// after every worker finished cleanly left a complete result and sets
+	// nothing.
+	if stop.Load() {
 		merged.Stats.Truncated = true
-	}
-	// Truncation is about the result, not the context: a cancellation that
-	// landed after every seed was fed and every worker finished cleanly
-	// left a complete result (worker-observed cancellations arrive through
-	// mergeStats above).
-	if !fedAll {
-		merged.Stats.Truncated = true
-	}
-	// Keep the sequential run's deterministic DFS-preorder output when no
-	// budget interfered (per-seed blocks are already in preorder; seeds
-	// were processed in arbitrary order but results merged in seed order,
-	// so only cross-block order needs no fixing — it is already sorted by
-	// construction of `results`). Under a budget, order is scheduling-
-	// dependent; normalize it for reproducibility.
-	if merged.Stats.Truncated && !opt.DiscardPatterns {
-		merged.SortLex()
 	}
 	merged.Stats.Duration = time.Since(start)
 	return merged, nil
@@ -130,6 +159,9 @@ func mergeStats(dst, src *MineStats) {
 	dst.ClosureChecks += src.ClosureChecks
 	dst.LBPrunes += src.LBPrunes
 	dst.NonClosedSkipped += src.NonClosedSkipped
+	dst.TasksDonated += src.TasksDonated
+	dst.TasksStolen += src.TasksStolen
+	dst.StealSetupGrowths += src.StealSetupGrowths
 	if src.MaxDepth > dst.MaxDepth {
 		dst.MaxDepth = src.MaxDepth
 	}
@@ -137,8 +169,8 @@ func mergeStats(dst, src *MineStats) {
 }
 
 // sortSeedsByWork orders seed indices by descending singleton support, a
-// cheap proxy for subtree size that improves load balance when seeds vary
-// wildly (exported for the scheduler test).
+// cheap proxy for subtree size that improves the initial load balance when
+// seeds vary wildly (work stealing corrects the rest at run time).
 func sortSeedsByWork(ix *seq.Index, seeds []seq.EventID) []int {
 	order := make([]int, len(seeds))
 	for i := range order {

@@ -86,11 +86,20 @@ func TestParallelBudget(t *testing.T) {
 	if !res.Stats.Truncated {
 		t.Error("Truncated not set")
 	}
-	// Output normalized for reproducibility even though the SET is
-	// scheduling-dependent.
-	for i := 1; i < len(res.Patterns); i++ {
-		if db.PatternString(res.Patterns[i-1].Events) > db.PatternString(res.Patterns[i].Events) {
-			t.Fatal("truncated parallel output not sorted")
+	// The budget is deterministic: exactly the sequential run's first 100
+	// patterns, which for GSgrow (pre-order DFS over sorted candidates) is
+	// the lexicographic prefix of the pattern space.
+	seqRes, err := core.Mine(ix, core.Options{MinSupport: 1, MaxPatterns: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqRes.Patterns) != len(res.Patterns) {
+		t.Fatalf("sequential prefix has %d patterns, parallel %d", len(seqRes.Patterns), len(res.Patterns))
+	}
+	for i := range res.Patterns {
+		if db.PatternString(res.Patterns[i].Events) != db.PatternString(seqRes.Patterns[i].Events) {
+			t.Fatalf("budget pattern %d: %s vs sequential %s", i,
+				db.PatternString(res.Patterns[i].Events), db.PatternString(seqRes.Patterns[i].Events))
 		}
 	}
 }

@@ -49,6 +49,19 @@ type MineStats struct {
 	NonClosedSkipped int
 	// MaxDepth is the deepest pattern length reached.
 	MaxDepth int
+	// TasksDonated counts DFS branches a parallel worker published for
+	// stealing; TasksStolen counts tasks a worker took from another
+	// worker's deque (always 0 in sequential runs — and TasksStolen also
+	// counts the initial seed tasks a worker drained from a peer's deque,
+	// so it can be non-zero even when no mid-subtree donation occurred).
+	TasksDonated int
+	TasksStolen  int
+	// StealSetupGrowths counts the instance-growth steps spent
+	// reconstructing the prefix support-set chain of stolen closed-mining
+	// tasks. They are scheduler overhead, kept out of INSgrowCalls so that
+	// the work counters of a parallel run remain comparable to the
+	// sequential run's.
+	StealSetupGrowths int
 	// Truncated records that the run stopped early (MaxPatterns reached or
 	// OnPattern returned false), so the result set may be incomplete.
 	Truncated bool

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/seq"
+)
+
+// Work-stealing DFS scheduler.
+//
+// MineParallel used to fan out over frequent seed events only: one job per
+// size-1 pattern, workers pulling jobs from a channel. That leaves cores
+// idle whenever one seed's subtree dominates the run (at low minsup a
+// single subtree can be >90% of the work). The scheduler below splits
+// subtrees dynamically instead:
+//
+//   - every worker owns a bounded deque of stealable DFS tasks (pattern
+//     prefix + compressed instance Set);
+//   - while mining, a worker that sees idle peers and a low deque publishes
+//     its shallowest untaken branches as tasks (donation happens on the
+//     owner's goroutine, so the miner's recursion stack needs no locks);
+//   - idle workers steal from the shallow end of a victim's deque, so the
+//     biggest remaining chunks of the search space move first.
+//
+// Determinism. Every task carries an order key: the branch path that leads
+// to its root — the seed's index in the frequent-event list followed by the
+// candidate index taken at each DFS level. Emissions are grouped into
+// blocks that are contiguous runs of the sequential emission sequence, each
+// keyed by its first emission's key (node path plus a pre-order or
+// post-order sentinel). Sorting the blocks by key and concatenating
+// reproduces the sequential output exactly, regardless of which worker ran
+// what when. The one scheduling-visible difference is the path-scoped
+// closure-check memo: a thief starts a stolen subtree with an empty memo,
+// so MemoHits/ClosureChainGrowths (pure work counters) can differ from the
+// sequential run while every output-determining counter stays identical.
+
+// dequeLowWater is the deque size below which a worker with idle peers
+// publishes branches. Two keeps one task stealable while a second is being
+// taken without turning the owner into a full-time publisher.
+const dequeLowWater = 2
+
+// maxParallelWorkers caps the worker count of a parallel run. Per-worker
+// state (miner arena, deque, frontier shard, goroutine) is allocated
+// eagerly, so an absurd caller-chosen count must degrade to a clamp, not
+// an allocation storm. Far above the point where extra workers stop
+// helping (work stealing saturates at NumCPU).
+const maxParallelWorkers = 1024
+
+// preSentinel and postSentinel terminate emission keys. Branch indices are
+// always >= 0, so preSentinel orders a node's own emission before every
+// descendant (GSgrow emits in DFS pre-order) and postSentinel after them
+// (CloGSgrow emits in post-order). No emission key is a prefix of another,
+// making key comparison a plain element-wise lexicographic compare.
+const (
+	preSentinel  int32 = -1
+	postSentinel int32 = 1<<31 - 1
+)
+
+// keyCmp compares two branch-path keys lexicographically. When one key is
+// a strict prefix of the other it returns 0: for emission keys the case
+// cannot arise (every key ends in a sentinel that is never a branch
+// index), and for subtree-pruning queries "prefix" means the subtree
+// straddles the bound, so the caller must not prune.
+func keyCmp(a, b []int32) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// wsTask is one stealable unit of DFS work: the subtree rooted at pattern,
+// whose leftmost support set is set. A nil set marks a seed task (pattern
+// length 1): the executing worker materializes the singleton support set
+// from its own arena, so queuing every seed up front costs no instance
+// memory. For donated tasks the set buffer's ownership moves with the
+// task: the donor computed it from its arena and never touches it again;
+// the executor recycles it into its own arena when the subtree completes.
+type wsTask struct {
+	key     []int32 // seed index + branch index per level
+	pattern []seq.EventID
+	set     Set
+}
+
+// resultBlock is one contiguous run of the sequential emission sequence,
+// produced by one task between two steal points. key is the emission key
+// of its first pattern.
+type resultBlock struct {
+	key      []int32
+	patterns []Pattern
+}
+
+// wsDeque is one worker's task queue. The owner pushes and pops at the
+// back (deepest published branch, best locality); thieves steal from the
+// front, which holds the shallowest — and so typically largest — published
+// subtree. A mutex suffices: pushes happen only when workers are idle and
+// steals only when a deque is non-empty, so contention is bounded by the
+// steal rate, not the node rate.
+type wsDeque struct {
+	mu    sync.Mutex
+	tasks []*wsTask
+	size  atomic.Int32
+}
+
+func (d *wsDeque) push(t *wsTask) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.size.Store(int32(len(d.tasks)))
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) popBack() *wsTask {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	d.size.Store(int32(n - 1))
+	return t
+}
+
+func (d *wsDeque) popFront() *wsTask {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	t := d.tasks[0]
+	copy(d.tasks, d.tasks[1:])
+	d.tasks[len(d.tasks)-1] = nil
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	d.size.Store(int32(len(d.tasks)))
+	return t
+}
+
+// wsScheduler coordinates one MineParallel run.
+type wsScheduler struct {
+	deques  []*wsDeque
+	idle    atomic.Int32 // workers currently hunting for work
+	pending atomic.Int64 // tasks pushed but not yet completed
+	stop    *atomic.Bool // the run's stop-everything flag
+}
+
+func newScheduler(workers int, stop *atomic.Bool) *wsScheduler {
+	s := &wsScheduler{
+		deques: make([]*wsDeque, workers),
+		stop:   stop,
+	}
+	for i := range s.deques {
+		s.deques[i] = &wsDeque{}
+	}
+	return s
+}
+
+// submit publishes a task to the given deque, accounting it as pending.
+func (s *wsScheduler) submit(d *wsDeque, t *wsTask) {
+	s.pending.Add(1)
+	d.push(t)
+}
+
+// stealFrom scans the other deques round-robin from self+1 and takes the
+// front (shallowest) task of the first non-empty one.
+func (s *wsScheduler) stealFrom(self int) *wsTask {
+	n := len(s.deques)
+	for i := 1; i < n; i++ {
+		d := s.deques[(self+i)%n]
+		if d.size.Load() == 0 {
+			continue
+		}
+		if t := d.popFront(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// idleWait is how long a worker sleeps between steal attempts once spinning
+// has failed. Far below the cost of any stealable subtree, far above the
+// cost of a futex sleep.
+const idleWait = 20 * time.Microsecond
+
+// run is one worker's main loop: drain the own deque back-to-front, steal
+// when it runs dry, park briefly when the whole system looks empty, exit
+// when every task completed or the run was stopped.
+func (s *wsScheduler) run(m *miner, id int) {
+	d := s.deques[id]
+	idle := false
+	leave := func() {
+		if idle {
+			s.idle.Add(-1)
+		}
+	}
+	for {
+		if s.stop.Load() {
+			leave()
+			return
+		}
+		t := d.popBack()
+		if t == nil {
+			if t = s.stealFrom(id); t != nil {
+				m.res.Stats.TasksStolen++
+			}
+		}
+		if t != nil {
+			if idle {
+				idle = false
+				s.idle.Add(-1)
+			}
+			m.runTask(t)
+			s.pending.Add(-1)
+			continue
+		}
+		if s.pending.Load() == 0 {
+			leave()
+			return
+		}
+		if !idle {
+			idle = true
+			s.idle.Add(1)
+		}
+		time.Sleep(idleWait)
+	}
+}
+
+// maybeDonate publishes untaken DFS branches when peers are idle and the
+// own deque is low. Branches come off the back of the shallowest frame
+// that still has at least two untaken candidates (the owner keeps one, so
+// donation never stalls the donor), which splits the largest remaining
+// chunk of the subtree. The donated child's support set is grown here — the
+// owner needed that instance growth anyway (in closed mode its equal-
+// support outcome feeds the frame's closure verdict), so donation costs
+// one task allocation, not recomputation. Runs on the owner's goroutine:
+// the recursion stack needs no synchronization.
+func (m *miner) maybeDonate() {
+	s := m.sched
+	if s.idle.Load() == 0 || m.deque.size.Load() >= dequeLowWater {
+		return
+	}
+	for fi := range m.frames {
+		f := &m.frames[fi]
+		if f.noRecurse {
+			continue
+		}
+		for f.end-f.next >= 2 {
+			f.end--
+			ci := f.end
+			e := f.cands[ci]
+			m.res.Stats.INSgrowCalls++
+			I2 := appendGrow(m.getSet(len(f.I)), m.ix, f.I, e)
+			if len(I2) == len(f.I) {
+				f.appendEqual = true
+			}
+			if len(I2) < m.opt.MinSupport {
+				m.putSet(I2)
+				continue
+			}
+			f.donated = true
+			nodeLen := m.rootLen + fi + 1 // pattern length of the donated child
+			key := make([]int32, nodeLen)
+			copy(key, m.path[:nodeLen-1])
+			key[nodeLen-1] = int32(ci)
+			pat := make([]seq.EventID, nodeLen)
+			copy(pat, m.pattern[:nodeLen-1])
+			pat[nodeLen-1] = e
+			m.res.Stats.TasksDonated++
+			s.submit(m.deque, &wsTask{key: key, pattern: pat, set: I2})
+			if m.deque.size.Load() >= dequeLowWater {
+				return
+			}
+		}
+	}
+}
+
+// runTask executes one task: reconstruct the miner state for the task's
+// root pattern, run the DFS subtree, then cut the emissions into keyed
+// result blocks. For closed mining the prefix support-set chain and the
+// per-prefix candidate lists are re-grown (closure checking consults them
+// for insertion/prepend chains); the growth steps are accounted as
+// StealSetupGrowths, not INSgrowCalls, because the sequential run never
+// performs them. The thief starts with an empty closure-check memo — the
+// memo is a pure optimization, so only MemoHits/ClosureChainGrowths can
+// differ from the sequential run, never the output.
+func (m *miner) runTask(t *wsTask) {
+	if m.stopAll.Load() {
+		if t.set != nil {
+			m.putSet(t.set)
+		}
+		return
+	}
+	if m.tracker != nil && m.tracker.pruneSubtree(t.key) {
+		if t.set != nil {
+			m.putSet(t.set)
+		}
+		return
+	}
+	m.rootLen = len(t.pattern)
+	m.path = append(m.path[:0], t.key...)
+	m.pattern = append(m.pattern[:0], t.pattern...)
+	m.chain = m.chain[:0]
+	m.candStack = m.candStack[:0]
+	m.splitPending = true // first emission opens the task's first block
+	m.blockMarks = m.blockMarks[:0]
+
+	I := t.set
+	if I == nil { // seed task: materialize the singleton support set
+		I = appendSingleton(m.getSet(m.ix.SingletonSupport(t.pattern[0])), m.ix, t.pattern[0])
+	}
+	if m.opt.Closed {
+		if L := len(t.pattern); L > 1 {
+			// Rebuild chain[j] (support set of pattern[:j+1]) and
+			// candStack[j] (the candidate list the sequential DFS had at
+			// that prefix — the full alphabet under the A1 ablation) for
+			// every strict prefix; chain[L-1] is I itself, delivered
+			// with the task.
+			prefixCands := func(cur Set) []seq.EventID {
+				if m.opt.FullAlphabetCandidates {
+					return m.allFrequentEvents()
+				}
+				return m.candidates(cur)
+			}
+			cur := appendSingleton(m.getSet(m.ix.SingletonSupport(t.pattern[0])), m.ix, t.pattern[0])
+			m.chain = append(m.chain, cur)
+			for j := 1; j < L-1; j++ {
+				m.candStack = append(m.candStack, prefixCands(cur))
+				m.res.Stats.StealSetupGrowths++
+				cur = appendGrow(m.getSet(len(cur)), m.ix, cur, t.pattern[j])
+				m.chain = append(m.chain, cur)
+			}
+			m.candStack = append(m.candStack, prefixCands(cur))
+			m.chain = append(m.chain, I)
+		} else {
+			m.chain = append(m.chain, I)
+		}
+		m.growClosed(I)
+	} else {
+		m.grow(I)
+	}
+
+	// Recycle the reconstructed prefix state. chain[len-1] is I (recycled
+	// below); the prefixes were grown from this miner's arena. Under the
+	// A1 ablation the candidate stack holds the shared frequent-event
+	// list, which must not enter the recycle pool.
+	for j := 0; j < len(m.chain)-1; j++ {
+		m.putSet(m.chain[j])
+	}
+	m.chain = m.chain[:0]
+	if !m.opt.FullAlphabetCandidates {
+		for _, c := range m.candStack {
+			m.putCands(c)
+		}
+	}
+	m.candStack = m.candStack[:0]
+	m.putSet(I)
+	m.flushBlocks()
+}
+
+// flushBlocks converts the block marks of the finished task into
+// resultBlocks over the worker's pattern slice. Slices stay views into
+// res.Patterns' backing array: later appends only ever write past the
+// high-water mark or into a fresh array, never into a published block.
+func (m *miner) flushBlocks() {
+	for i, mark := range m.blockMarks {
+		end := len(m.res.Patterns)
+		if i+1 < len(m.blockMarks) {
+			end = m.blockMarks[i+1].start
+		}
+		if end > mark.start {
+			m.blocks = append(m.blocks, resultBlock{key: mark.key, patterns: m.res.Patterns[mark.start:end]})
+		}
+	}
+	m.blockMarks = m.blockMarks[:0]
+}
+
+// budgetTracker makes MaxPatterns deterministic under parallelism. The
+// sequential run returns the first N patterns of its emission sequence;
+// the tracker reproduces that by keeping the N smallest emission keys seen
+// so far in a max-heap. A full heap's maximum is the bound: any pattern —
+// or whole subtree, since a subtree's emission keys all extend its root
+// path — that compares greater can never be among the first N, so workers
+// prune it and the search converges on exactly the sequential prefix. The
+// final merge trims to the first N in key order. Compared to the
+// sequential run the workers may transiently emit (and stream, when an
+// OnPattern callback is set) patterns that a later, smaller key evicts;
+// the returned Result never includes them.
+type budgetTracker struct {
+	max   int
+	bound atomic.Pointer[[]int32] // heap max while full, nil before
+	mu    sync.Mutex
+	keys  [][]int32
+}
+
+func newBudgetTracker(max int) *budgetTracker {
+	return &budgetTracker{max: max, keys: make([][]int32, 0, max)}
+}
+
+// pruneSubtree reports whether the subtree rooted at the given branch path
+// cannot contribute any of the first-N patterns.
+func (t *budgetTracker) pruneSubtree(path []int32) bool {
+	b := t.bound.Load()
+	return b != nil && keyCmp(path, *b) > 0
+}
+
+// offer submits one emission key. It reports whether the pattern may still
+// be among the first N (record it); false means it is definitively
+// outside. The key is copied when retained, so callers can reuse the
+// buffer.
+func (t *budgetTracker) offer(key []int32) bool {
+	if b := t.bound.Load(); b != nil && keyCmp(key, *b) > 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.keys) == t.max {
+		if keyCmp(key, t.keys[0]) > 0 {
+			return false
+		}
+		t.keys[0] = append([]int32(nil), key...)
+		t.siftDown(0)
+		t.publishBound()
+		return true
+	}
+	t.keys = append(t.keys, append([]int32(nil), key...))
+	t.siftUp(len(t.keys) - 1)
+	if len(t.keys) == t.max {
+		t.publishBound()
+	}
+	return true
+}
+
+// full reports whether N keys have been collected — the run hit the
+// budget, so the result is truncated exactly like the sequential run's.
+func (t *budgetTracker) full() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.keys) == t.max
+}
+
+// size returns the number of retained keys: the number of patterns the
+// deterministic first-N prefix actually contains (< N when the whole
+// search emitted fewer).
+func (t *budgetTracker) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.keys)
+}
+
+func (t *budgetTracker) publishBound() {
+	b := append([]int32(nil), t.keys[0]...)
+	t.bound.Store(&b)
+}
+
+func (t *budgetTracker) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if keyCmp(t.keys[i], t.keys[p]) <= 0 {
+			return
+		}
+		t.keys[i], t.keys[p] = t.keys[p], t.keys[i]
+		i = p
+	}
+}
+
+func (t *budgetTracker) siftDown(i int) {
+	n := len(t.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && keyCmp(t.keys[l], t.keys[big]) > 0 {
+			big = l
+		}
+		if r < n && keyCmp(t.keys[r], t.keys[big]) > 0 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		t.keys[i], t.keys[big] = t.keys[big], t.keys[i]
+		i = big
+	}
+}

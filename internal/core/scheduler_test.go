@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestKeyCmp(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{[]int32{1, preSentinel}, []int32{1, 0, preSentinel}, -1},  // node before its subtree (pre-order)
+		{[]int32{1, postSentinel}, []int32{1, 0, postSentinel}, 1}, // node after its subtree (post-order)
+		{[]int32{1, 2, preSentinel}, []int32{1, 3, preSentinel}, -1},
+		{[]int32{2}, []int32{1, 5, 5, postSentinel}, 1},
+		{[]int32{1}, []int32{1, 5, postSentinel}, 0}, // prefix: subtree straddles the key
+		{[]int32{1, preSentinel}, []int32{1, preSentinel}, 0},
+	}
+	for _, c := range cases {
+		if got := keyCmp(c.a, c.b); got != c.want {
+			t.Errorf("keyCmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := keyCmp(c.b, c.a); got != -c.want {
+			t.Errorf("keyCmp(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+// TestBudgetTracker: the tracker retains exactly the N smallest emission
+// keys, its bound tightens monotonically, and subtree pruning fires only
+// for paths that cannot prefix any retained key.
+func TestBudgetTracker(t *testing.T) {
+	tr := newBudgetTracker(3)
+	offer := func(key ...int32) bool { return tr.offer(key) }
+	if tr.pruneSubtree([]int32{0}) {
+		t.Error("empty tracker must not prune")
+	}
+	if !offer(5, preSentinel) || !offer(3, preSentinel) || !offer(7, preSentinel) {
+		t.Error("tracker rejected offers before reaching capacity")
+	}
+	if !tr.full() {
+		t.Fatal("tracker should be full after 3 offers")
+	}
+	// Bound is now {7,·}: key {8,·} is out, key {1,·} evicts {7,·}.
+	if offer(8, preSentinel) {
+		t.Error("key beyond the bound accepted")
+	}
+	if !offer(1, preSentinel) {
+		t.Error("key below the bound rejected")
+	}
+	// Bound tightened to {5,·}: subtree at path {6} is dead, {5} prefixes
+	// the bound and must survive, {4} is alive.
+	if !tr.pruneSubtree([]int32{6}) {
+		t.Error("subtree beyond the bound not pruned")
+	}
+	if tr.pruneSubtree([]int32{5}) {
+		t.Error("subtree prefixing the bound pruned")
+	}
+	if tr.pruneSubtree([]int32{4}) {
+		t.Error("subtree below the bound pruned")
+	}
+	if got := tr.size(); got != 3 {
+		t.Errorf("size = %d, want 3", got)
+	}
+}
+
+func TestDequeOrder(t *testing.T) {
+	d := &wsDeque{}
+	a := &wsTask{key: []int32{0}}
+	b := &wsTask{key: []int32{1}}
+	c := &wsTask{key: []int32{2}}
+	d.push(a)
+	d.push(b)
+	d.push(c)
+	if got := d.popFront(); got != a {
+		t.Errorf("steal end returned %v, want the oldest (shallowest) task", got.key)
+	}
+	if got := d.popBack(); got != c {
+		t.Errorf("owner end returned %v, want the newest task", got.key)
+	}
+	if got := d.popBack(); got != b {
+		t.Errorf("owner end returned %v, want the remaining task", got.key)
+	}
+	if d.popBack() != nil || d.popFront() != nil {
+		t.Error("empty deque returned a task")
+	}
+}
+
+// TestWorkerSteadyStateAllocs: a parallel worker's steady-state hot path —
+// running whole counting-only tasks through runTask, frames, path and
+// donation checks included — allocates nothing once the arena is warm.
+// Donation itself is excluded by construction (no peer ever registers as
+// idle), exactly the common case of a saturated worker.
+func TestWorkerSteadyStateAllocs(t *testing.T) {
+	for _, closed := range []bool{false, true} {
+		ix := seq.NewIndexWith(allocDB(), seq.IndexOptions{FastNext: true})
+		opt := Options{MinSupport: 2, Closed: closed, DiscardPatterns: true}
+		var stop atomic.Bool
+		sched := newScheduler(2, &stop)
+		m := newMiner(ix, opt)
+		m.sched = sched
+		m.deque = sched.deques[0]
+		m.stopAll = &stop
+		// Reusable seed tasks: runTask never mutates a task.
+		tasks := make([]*wsTask, len(m.freqEvents))
+		for i, e := range m.freqEvents {
+			tasks[i] = &wsTask{key: []int32{int32(i)}, pattern: []seq.EventID{e}}
+		}
+		run := func() {
+			m.res = &Result{}
+			m.stopped = false
+			for _, task := range tasks {
+				m.runTask(task)
+			}
+		}
+		run() // warm the arena to steady state
+		want := m.res.NumPatterns
+		if want == 0 {
+			t.Fatalf("closed=%v: empty run cannot exercise the worker path", closed)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			run()
+			if m.res.NumPatterns != want {
+				t.Fatalf("closed=%v: pattern count drifted: %d != %d", closed, m.res.NumPatterns, want)
+			}
+		})
+		// One Result allocation per run is the harness's own cost; the
+		// worker itself must add nothing.
+		if allocs > 1 {
+			t.Errorf("closed=%v: steady-state worker allocates %.1f times per run, want <= 1", closed, allocs)
+		}
+	}
+}

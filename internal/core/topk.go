@@ -4,6 +4,9 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/seq"
@@ -57,41 +60,276 @@ func MineTopKCtx(ctx context.Context, v IndexView, k int, closed bool, maxLen in
 			return m.res, nil
 		}
 		n := heap.Pop(pq).(*searchNode)
-		m.enterNode()
-		emit := true
-		if closed {
-			emit = m.isClosedStandalone(n.pattern, n.set)
-			if !emit {
-				m.res.Stats.NonClosedSkipped++
-			}
-		}
-		if emit {
-			p := Pattern{Events: n.pattern, Support: len(n.set)}
+		if m.visitTopK(pq, n, closed, maxLen) {
 			m.res.NumPatterns++
-			m.res.Patterns = append(m.res.Patterns, p)
+			m.res.Patterns = append(m.res.Patterns, Pattern{Events: n.pattern, Support: len(n.set)})
 		}
-		if maxLen > 0 && len(n.pattern) >= maxLen {
-			continue
-		}
-		// Expand regardless of closedness: closed descendants can hide
-		// under non-closed nodes (Example 3.5).
-		m.pattern = append(m.pattern[:0], n.pattern...)
-		cands := m.candidates(n.set)
-		for _, e := range cands {
-			m.res.Stats.INSgrowCalls++
-			I2 := insGrow(ix, n.set, e)
-			if len(I2) == 0 {
-				continue
-			}
-			child := make([]seq.EventID, len(n.pattern)+1)
-			copy(child, n.pattern)
-			child[len(n.pattern)] = e
-			heap.Push(pq, &searchNode{pattern: child, set: I2})
-		}
-		m.putCands(cands)
 	}
 	m.res.Stats.Duration = time.Since(start)
 	return m.res, nil
+}
+
+// visitTopK performs the per-pop work shared by the sequential and the
+// sharded best-first searches: count the node, run the closure check in
+// closed mode, and expand the node's children into pq — expansion happens
+// regardless of closedness, because closed descendants can hide under
+// non-closed nodes (Example 3.5). It reports whether the node is a
+// (closed) pattern the caller should emit.
+func (m *miner) visitTopK(pq *nodeHeap, n *searchNode, closed bool, maxLen int) bool {
+	m.enterNode()
+	emit := true
+	if closed {
+		emit = m.isClosedStandalone(n.pattern, n.set)
+		if !emit {
+			m.res.Stats.NonClosedSkipped++
+		}
+	}
+	if maxLen > 0 && len(n.pattern) >= maxLen {
+		return emit
+	}
+	m.pattern = append(m.pattern[:0], n.pattern...)
+	cands := m.candidates(n.set)
+	for _, e := range cands {
+		m.res.Stats.INSgrowCalls++
+		I2 := insGrow(m.ix, n.set, e)
+		if len(I2) == 0 {
+			continue
+		}
+		child := make([]seq.EventID, len(n.pattern)+1)
+		copy(child, n.pattern)
+		child[len(n.pattern)] = e
+		heap.Push(pq, &searchNode{pattern: child, set: I2})
+	}
+	m.putCands(cands)
+	return emit
+}
+
+// MineTopKParallel is MineTopKCtx fanned out over `workers` goroutines.
+// The frontier is sharded: every worker owns a private best-first heap
+// seeded with a round-robin share of the size-1 patterns (heaviest first)
+// and expands it independently — no locks on the expansion path. The
+// workers coordinate through a shared bound holding the k best candidate
+// patterns found so far, with the k-th best support readable atomically:
+// because support never increases along a growth edge and appending events
+// only moves a pattern lexicographically later, a frontier node that ranks
+// after the current k-th best candidate can be discarded together with its
+// whole subtree — and since each shard's heap pops best-first, the first
+// prunable pop empties that worker's entire frontier. The final merge
+// sorts the surviving candidates by (support desc, pattern lex asc) — the
+// sequential pop order — so the result is byte-identical to MineTopK's for
+// any worker count and any steal/schedule timing.
+//
+// The search typically visits somewhat more nodes than the sequential run
+// (each shard explores until the shared bound proves its frontier dead,
+// where the sequential search stops at the k-th emission), in exchange for
+// expanding the deep, expensive subtrees concurrently.
+//
+// A cancelled run returns the best candidates found so far with
+// Stats.Truncated set; unlike the sequential search, those are not
+// guaranteed to be the true top-k (an unexplored shard may still have held
+// better patterns).
+func MineTopKParallel(ctx context.Context, v IndexView, k int, closed bool, maxLen, workers int) (*Result, error) {
+	if workers <= 1 {
+		return MineTopKCtx(ctx, v, k, closed, maxLen)
+	}
+	if workers > maxParallelWorkers {
+		workers = maxParallelWorkers
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	ix := v.MiningIndex()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	merged := &Result{}
+	if ctxDone(ctx) {
+		merged.Stats.Truncated = true
+		merged.Stats.Duration = time.Since(start)
+		return merged, nil
+	}
+
+	// Shard the seeds round-robin by descending singleton support so the
+	// initial frontiers are balanced.
+	seeds := ix.FrequentEvents(1)
+	order := sortSeedsByWork(ix, seeds)
+	heaps := make([]*nodeHeap, workers)
+	for w := range heaps {
+		heaps[w] = &nodeHeap{}
+	}
+	for i, si := range order {
+		e := seeds[si]
+		heap.Push(heaps[i%workers], &searchNode{pattern: []seq.EventID{e}, set: singletonSet(ix, e)})
+	}
+
+	bound := newTopkBound(k)
+	miners := make([]*miner, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		m := newMinerWithSeeds(ix, Options{MinSupport: 1, Closed: closed}, seeds)
+		miners[w] = m
+		wg.Add(1)
+		go func(m *miner, pq *nodeHeap) {
+			defer wg.Done()
+			tick := 0
+			for pq.Len() > 0 {
+				if ctxPoll(ctx, &tick) {
+					m.res.Stats.Truncated = true
+					return
+				}
+				n := heap.Pop(pq).(*searchNode)
+				if bound.ranksAfter(len(n.set), n.pattern) {
+					// The local heap pops best-first: if its best node
+					// cannot beat the k-th candidate, neither can anything
+					// below it, nor any descendant. The shard is done.
+					return
+				}
+				if m.visitTopK(pq, n, closed, maxLen) {
+					bound.offer(n.pattern, len(n.set))
+				}
+			}
+		}(miners[w], heaps[w])
+	}
+	wg.Wait()
+
+	for _, m := range miners {
+		mergeStats(&merged.Stats, &m.res.Stats)
+	}
+	// Final merge: the bound retains exactly the k best candidates (or all
+	// of them when fewer exist); emitting them in rank order reproduces
+	// the sequential pop order, ties included.
+	merged.Patterns = bound.ranked()
+	merged.NumPatterns = len(merged.Patterns)
+	merged.Stats.Duration = time.Since(start)
+	return merged, nil
+}
+
+// topkBound is the shared coordination point of the parallel best-first
+// search: the k best candidate patterns seen so far, kept in a min-heap
+// with the worst retained candidate at the root, plus its support in an
+// atomic so the no-contention reject path costs one load. The k-th best
+// rank only ever improves, which is what makes discarding against it safe.
+type topkBound struct {
+	k        int
+	worstSup atomic.Int64 // support of the k-th best candidate; -1 until k were seen
+	mu       sync.Mutex
+	cands    []topkCand
+}
+
+type topkCand struct {
+	pattern []seq.EventID
+	sup     int
+}
+
+// ranksBefore reports whether candidate a outranks b in the sequential
+// emission order: higher support first, ties broken by lexicographically
+// smaller pattern.
+func (a topkCand) ranksBefore(b topkCand) bool {
+	if a.sup != b.sup {
+		return a.sup > b.sup
+	}
+	return lessEvents(a.pattern, b.pattern)
+}
+
+func newTopkBound(k int) *topkBound {
+	b := &topkBound{k: k, cands: make([]topkCand, 0, k)}
+	b.worstSup.Store(-1)
+	return b
+}
+
+// ranksAfter reports whether a frontier node with the given support and
+// pattern ranks after the current k-th best candidate — in which case the
+// node and its entire subtree (support can only drop, patterns only grow
+// lexicographically later) are irrelevant.
+func (b *topkBound) ranksAfter(sup int, pattern []seq.EventID) bool {
+	w := b.worstSup.Load()
+	if w < 0 || int64(sup) > w {
+		return false
+	}
+	if int64(sup) < w {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.cands) < b.k {
+		return false
+	}
+	worst := b.cands[0]
+	return sup < worst.sup || (sup == worst.sup && !lessEvents(pattern, worst.pattern))
+}
+
+// offer submits a candidate result. The pattern slice is retained; callers
+// must not mutate it afterwards (search nodes never are).
+func (b *topkBound) offer(pattern []seq.EventID, sup int) {
+	if w := b.worstSup.Load(); w >= 0 && int64(sup) < w {
+		return
+	}
+	c := topkCand{pattern: pattern, sup: sup}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.cands) < b.k {
+		b.cands = append(b.cands, c)
+		b.siftUp(len(b.cands) - 1)
+		if len(b.cands) == b.k {
+			b.worstSup.Store(int64(b.cands[0].sup))
+		}
+		return
+	}
+	if !c.ranksBefore(b.cands[0]) {
+		return
+	}
+	b.cands[0] = c
+	b.siftDown(0)
+	b.worstSup.Store(int64(b.cands[0].sup))
+}
+
+// ranked returns the retained candidates in rank order (the sequential
+// emission order).
+func (b *topkBound) ranked() []Pattern {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]topkCand, len(b.cands))
+	copy(out, b.cands)
+	sort.Slice(out, func(i, j int) bool { return out[i].ranksBefore(out[j]) })
+	patterns := make([]Pattern, len(out))
+	for i, c := range out {
+		patterns[i] = Pattern{Events: c.pattern, Support: c.sup}
+	}
+	return patterns
+}
+
+// Heap invariant: cands[0] is the WORST retained candidate (every child
+// ranks before its parent), so eviction replaces the root.
+func (b *topkBound) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if b.cands[p].ranksBefore(b.cands[i]) {
+			b.cands[i], b.cands[p] = b.cands[p], b.cands[i]
+			i = p
+			continue
+		}
+		return
+	}
+}
+
+func (b *topkBound) siftDown(i int) {
+	n := len(b.cands)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && b.cands[worst].ranksBefore(b.cands[l]) {
+			worst = l
+		}
+		if r < n && b.cands[worst].ranksBefore(b.cands[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		b.cands[i], b.cands[worst] = b.cands[worst], b.cands[i]
+		i = worst
+	}
 }
 
 // isClosedStandalone runs the full closure check (Theorem 4) for a pattern

@@ -34,6 +34,11 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	if key(same) != key(base) {
 		t.Error("workers and stream must not change the cache key")
 	}
+	topk := mineRequest{TopK: 5}
+	topkWorkers := mineRequest{TopK: 5, Workers: 8}
+	if key(topk) != key(topkWorkers) {
+		t.Error("workers must not change the top-k cache key (results are identical)")
+	}
 	if key(base) == base.cacheKey("db", 4, 1) {
 		t.Error("upload generation must change the cache key")
 	}

@@ -311,6 +311,7 @@ func (s *Server) runMine(ctx context.Context, snap *repro.Snapshot, q *mineReque
 		res, err = snap.MineTopKWith(q.TopK, q.Closed, repro.TopKOptions{
 			Ctx:              ctx,
 			MaxPatternLength: q.MaxPatternLength,
+			Workers:          q.Workers,
 			DisableFastNext:  q.DisableFastNext,
 		})
 	} else {
@@ -333,7 +334,11 @@ func (s *Server) runMine(ctx context.Context, snap *repro.Snapshot, q *mineReque
 	if err != nil {
 		return nil, err
 	}
-	return &mineOutcome{algorithm: q.algorithm(), generation: snap.Generation(), result: res}, nil
+	workers := q.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return &mineOutcome{algorithm: q.algorithm(), generation: snap.Generation(), workers: workers, result: res}, nil
 }
 
 // maybeCache stores complete results only: truncated runs (budget hit,
@@ -362,6 +367,7 @@ func buildSummary(e *dbEntry, out *mineOutcome, cached bool) mineSummary {
 		Generation:         e.generation,
 		SnapshotGeneration: out.generation,
 		Algorithm:          out.algorithm,
+		Workers:            out.workers,
 		NumPatterns:        out.result.NumPatterns,
 		Truncated:          out.result.Truncated,
 		ElapsedMS:          float64(out.result.Elapsed) / float64(time.Millisecond),

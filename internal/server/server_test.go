@@ -239,6 +239,47 @@ func TestMineWorkersParity(t *testing.T) {
 	}
 }
 
+// TestMineTopKWorkers: the top-k route honors workers — identical results
+// to the sequential top-k run at every worker count, the worker count is
+// reported in the summary, and (like GSgrow/CloGSgrow requests) the worker
+// count is canonicalized out of the cache key so any worker count serves
+// any other.
+func TestMineTopKWorkers(t *testing.T) {
+	h := newHandler(t)
+	upload(t, h, "dense", "tokens", denseTokens(6, 30))
+
+	seqResp := mineJSON(t, h, "dense", `{"closed":true,"topK":25}`)
+	if seqResp.Workers != 1 {
+		t.Errorf("sequential top-k summary reports workers=%d, want 1", seqResp.Workers)
+	}
+	parResp := mineJSON(t, h, "dense", `{"closed":true,"topK":25,"workers":4}`)
+	if !parResp.Cached {
+		t.Error("workers must not fragment the top-k cache key")
+	}
+	if got, exp := mustJSON(t, parResp.Patterns), mustJSON(t, seqResp.Patterns); !bytes.Equal(got, exp) {
+		t.Error("cached top-k replay differs from sequential result")
+	}
+
+	// Fresh database: the parallel path actually runs and must match.
+	upload(t, h, "dense2", "tokens", denseTokens(6, 30))
+	parResp2 := mineJSON(t, h, "dense2", `{"closed":true,"topK":25,"workers":4}`)
+	if parResp2.Cached {
+		t.Fatal("fresh database served from cache")
+	}
+	if parResp2.Workers != 4 {
+		t.Errorf("parallel top-k summary reports workers=%d, want 4", parResp2.Workers)
+	}
+	if got, exp := mustJSON(t, parResp2.Patterns), mustJSON(t, seqResp.Patterns); !bytes.Equal(got, exp) {
+		t.Error("parallel top-k differs from sequential top-k")
+	}
+
+	// Absurd worker counts are a request error, not an allocation storm.
+	rec := doJSON(t, h, "POST", "/v1/databases/dense/mine", `{"topK":2,"workers":1000000000}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("workers=1e9: status %d, want 400", rec.Code)
+	}
+}
+
 func decodeNDJSON(t *testing.T, body string) (patterns []patternJSON, summary *mineSummary) {
 	t.Helper()
 	sc := bufio.NewScanner(strings.NewReader(body))

@@ -17,7 +17,11 @@ type mineRequest struct {
 	// TopK, when >= 1, mines the K highest-support patterns instead of
 	// thresholding; MinSupport is ignored.
 	TopK int `json:"topK"`
-	// Workers > 1 mines with that many goroutines (ignored in top-k mode).
+	// Workers > 1 mines with that many goroutines — work-stealing DFS for
+	// GSgrow/CloGSgrow, sharded best-first search for top-k. Results are
+	// identical to the single-worker run in every mode. Requests above
+	// maxWorkers are rejected: per-worker state is allocated eagerly, so
+	// an unbounded client-chosen count would be a memory DoS vector.
 	Workers int `json:"workers"`
 	// MaxPatternLength bounds pattern length; 0 = unbounded.
 	MaxPatternLength int `json:"maxPatternLength"`
@@ -36,9 +40,17 @@ type mineRequest struct {
 	DisableFastNext bool `json:"disableFastNext"`
 }
 
+// maxWorkers bounds the per-request worker count. Far above any useful
+// parallelism (work stealing saturates at NumCPU), low enough that the
+// eager per-worker allocations stay trivial.
+const maxWorkers = 256
+
 func (q *mineRequest) validate() error {
 	if q.TopK < 0 {
 		return fmt.Errorf("topK must be >= 0, got %d", q.TopK)
+	}
+	if q.Workers > maxWorkers {
+		return fmt.Errorf("workers must be <= %d, got %d", maxWorkers, q.Workers)
 	}
 	if q.TopK == 0 && q.MinSupport < 1 {
 		return fmt.Errorf("minSupport must be >= 1 (got %d) unless topK is set", q.MinSupport)
@@ -75,14 +87,16 @@ func (q *mineRequest) algorithm() string {
 // across delete + re-upload), and the snapshot generation advances with
 // every append — so appending to one database invalidates exactly its own
 // entries while every other database keeps its warm cache. Workers is
-// deliberately excluded: only complete results are cached, and those are
-// identical across worker counts. Stream is excluded too — a cached
-// result can be replayed in either representation. DisableFastNext is
-// included even though both index variants provably produce identical
-// results (the parity tests assert it): the knob exists precisely to
-// measure the variants against each other, and serving a cached
-// fast-index result to a disableFastNext probe would silently invalidate
-// the measurement.
+// deliberately canonicalized away — for every request shape, top-k
+// included: only complete results are cached, those are deterministic
+// and identical across worker counts (the core's parity tests assert
+// byte-equality), so a result mined at any worker count serves every
+// other. Stream is excluded too — a cached result can be replayed in
+// either representation. DisableFastNext is included even though both
+// index variants provably produce identical results (the parity tests
+// assert it): the knob exists precisely to measure the variants against
+// each other, and serving a cached fast-index result to a
+// disableFastNext probe would silently invalidate the measurement.
 func (q *mineRequest) cacheKey(db string, uploadGen, snapGen uint64) string {
 	return fmt.Sprintf("%s@%d.%d|closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t fastnext=%t",
 		db, uploadGen, snapGen, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances, !q.DisableFastNext)
@@ -92,6 +106,7 @@ func (q *mineRequest) cacheKey(db string, uploadGen, snapGen uint64) string {
 type mineOutcome struct {
 	algorithm  string
 	generation uint64 // snapshot generation the run was pinned to
+	workers    int    // worker count the run actually used (>= 1)
 	result     *repro.Result
 }
 
@@ -125,11 +140,15 @@ func toPatternJSON(p repro.Pattern) patternJSON {
 // envelope fields of the buffered JSON response. Generation is the
 // server-wide upload counter; SnapshotGeneration identifies the exact
 // data generation the result was mined from (it advances with appends).
+// Workers is the goroutine count the run actually used; replayed cache
+// hits report the original run's count (results are identical across
+// worker counts, which is also why workers does not fragment the cache).
 type mineSummary struct {
 	Database           string  `json:"database"`
 	Generation         uint64  `json:"generation"`
 	SnapshotGeneration uint64  `json:"snapshotGeneration"`
 	Algorithm          string  `json:"algorithm"`
+	Workers            int     `json:"workers"`
 	NumPatterns        int     `json:"numPatterns"`
 	Truncated          bool    `json:"truncated"`
 	ElapsedMS          float64 `json:"elapsedMs"`

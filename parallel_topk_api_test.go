@@ -29,6 +29,68 @@ func TestPublicWorkers(t *testing.T) {
 	}
 }
 
+// TestPublicTopKWorkers: TopKOptions.Workers returns byte-identical
+// results to the sequential search for every k, and a deterministic
+// MaxPatterns budget under Workers matches the sequential prefix.
+func TestPublicTopKWorkers(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("S1", "ABCACBDDBABCACBDDB")
+	db.AddString("S2", "ACDBACADDACDBACADD")
+	for _, closed := range []bool{false, true} {
+		for _, k := range []int{1, 10, 100} {
+			seqRes, err := db.MineTopKWith(k, closed, TopKOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRes, err := db.MineTopKWith(k, closed, TopKOptions{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seqRes.Patterns) != len(parRes.Patterns) {
+				t.Fatalf("closed=%v k=%d: sequential %d vs parallel %d patterns",
+					closed, k, len(seqRes.Patterns), len(parRes.Patterns))
+			}
+			for i := range seqRes.Patterns {
+				a := strings.Join(seqRes.Patterns[i].Events, "")
+				b := strings.Join(parRes.Patterns[i].Events, "")
+				if a != b || seqRes.Patterns[i].Support != parRes.Patterns[i].Support {
+					t.Errorf("closed=%v k=%d rank %d: %s/%d vs %s/%d",
+						closed, k, i, a, seqRes.Patterns[i].Support, b, parRes.Patterns[i].Support)
+				}
+			}
+		}
+	}
+}
+
+// TestPublicWorkersBudgetDeterministic: Options.MaxPatterns under Workers
+// returns exactly the sequential run's first N patterns, as documented.
+func TestPublicWorkersBudgetDeterministic(t *testing.T) {
+	db := NewDatabase()
+	db.AddString("S1", "ABCACBDDBABCACBDDB")
+	db.AddString("S2", "ACDBACADDACDBACADD")
+	seqRes, err := db.Mine(Options{MinSupport: 2, MaxPatterns: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := db.Mine(Options{MinSupport: 2, MaxPatterns: 25, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seqRes.Truncated || !parRes.Truncated {
+		t.Fatalf("expected both runs truncated (seq=%v par=%v)", seqRes.Truncated, parRes.Truncated)
+	}
+	if len(parRes.Patterns) != len(seqRes.Patterns) {
+		t.Fatalf("budget: sequential %d vs parallel %d patterns", len(seqRes.Patterns), len(parRes.Patterns))
+	}
+	for i := range seqRes.Patterns {
+		a := strings.Join(seqRes.Patterns[i].Events, "")
+		b := strings.Join(parRes.Patterns[i].Events, "")
+		if a != b {
+			t.Errorf("budget rank %d: %s vs %s", i, a, b)
+		}
+	}
+}
+
 func TestPublicMineTopK(t *testing.T) {
 	db := NewDatabase()
 	db.AddString("S1", "ABCACBDDB")

@@ -235,14 +235,21 @@ type Options struct {
 	// MaxPatternLength bounds pattern length; 0 = unbounded.
 	MaxPatternLength int
 	// MaxPatterns stops the run after that many patterns (0 = unbounded);
-	// Result.Truncated reports whether the cap was hit.
+	// Result.Truncated reports whether the cap was hit. The cap is
+	// deterministic at every worker count: the returned patterns are
+	// exactly the first MaxPatterns of the sequential emission order.
 	MaxPatterns int
 	// CollectInstances attaches each pattern's leftmost support set.
 	CollectInstances bool
-	// Workers > 1 fans the mining DFS out over that many goroutines
-	// (seed-event parallelism). The result is identical to the sequential
-	// run; under MaxPatterns, exactly that many patterns are returned but
-	// which ones depends on scheduling.
+	// Workers > 1 fans the mining DFS out over that many goroutines,
+	// scheduled by work stealing: idle workers take untaken branches from
+	// busy workers' subtrees, so deep skewed search spaces parallelize,
+	// not just wide ones. The result — patterns, supports, order, and the
+	// first-MaxPatterns prefix under a budget — is identical to the
+	// sequential run regardless of worker count or steal timing. More
+	// workers than cores, or tiny databases whose whole mine takes
+	// microseconds, only add scheduling overhead; see the package
+	// documentation for guidance.
 	Workers int
 	// Ctx, when non-nil, cancels the run: mining polls the context
 	// periodically and, once it is done, stops and returns the patterns
@@ -403,9 +410,16 @@ func (d *Database) MineTopK(k int, closed bool) (*Result, error) {
 type TopKOptions struct {
 	// MaxPatternLength bounds pattern length; 0 = unbounded.
 	MaxPatternLength int
+	// Workers > 1 runs the best-first search over that many goroutines,
+	// each expanding a shard of the frontier, coordinated through the
+	// current k-th best support so dead shards stop early. The result is
+	// byte-identical to the sequential search for any worker count.
+	Workers int
 	// Ctx, when non-nil, cancels the search: the patterns found so far
-	// come back with Result.Truncated set. Best-first order guarantees
-	// those are still the true highest-support patterns.
+	// come back with Result.Truncated set. With Workers <= 1, best-first
+	// order guarantees those are still the true highest-support patterns;
+	// a cancelled parallel search returns its best candidates so far
+	// without that guarantee.
 	Ctx context.Context
 	// DisableFastNext runs the search against the binary-search next()
 	// index, with the same contract as Options.DisableFastNext.
@@ -428,7 +442,7 @@ func (d *Database) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, e
 // MineTopKWith mines the k highest-support (closed) patterns of this
 // generation; see Database.MineTopK.
 func (s *Snapshot) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, error) {
-	res, err := core.MineTopKCtx(opt.Ctx, s.s.Index(opt.DisableFastNext), k, closed, opt.MaxPatternLength)
+	res, err := core.MineTopKParallel(opt.Ctx, s.s.Index(opt.DisableFastNext), k, closed, opt.MaxPatternLength, opt.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,12 @@
 #   - ns/op regression in (WARN_PCT, FAIL_PCT]    -> exit 0 with a GitHub
 #     ::warning:: annotation (noisy-runner territory)
 #
+# Benchmarks present on only one side are SKIPPED, never failed: a
+# benchmark absent from the baseline is new in this PR (it gets a baseline
+# when the PR records its own BENCH_PR<N>.json), and one absent from the
+# new run was removed or renamed. Both are reported in the summary line so
+# a silently shrinking suite is still visible.
+#
 # Usage: scripts/bench_compare.sh OLD.json NEW.json [warn_pct] [fail_pct]
 set -euo pipefail
 
@@ -52,10 +58,10 @@ function name(line,    s) {
 }
 END {
 	printf "%-40s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op old -> new"
-	worst = 0; nfail_ns = 0; nfail_alloc = 0; nwarn = 0
+	worst = 0; nfail_ns = 0; nfail_alloc = 0; nwarn = 0; ngone = 0; nnew = 0
 	for (i = 0; i < oc; i++) {
 		n = old_order[i]
-		if (!(n in new_ns)) { printf "%-40s %12s %12s %8s\n", n, old_ns[n], "-", "gone"; continue }
+		if (!(n in new_ns)) { printf "%-40s %12s %12s %8s\n", n, old_ns[n], "-", "gone"; ngone++; continue }
 		o = old_ns[n] + 0; w = new_ns[n] + 0
 		delta = (o > 0) ? (w - o) * 100.0 / o : 0
 		if (delta > worst) { worst = delta; worst_name = n }
@@ -73,13 +79,13 @@ END {
 		}
 		printf "%-40s %12d %12d %+7.1f%%  %s -> %s%s\n", n, o, w, delta, old_allocs[n], new_allocs[n], mark
 	}
-	for (n in new_ns) if (!(n in old_ns)) printf "%-40s %12s %12d %8s\n", n, "-", new_ns[n] + 0, "new"
+	for (n in new_ns) if (!(n in old_ns)) { printf "%-40s %12s %12d %8s\n", n, "-", new_ns[n] + 0, "new"; nnew++ }
 
 	for (i = 0; i < nwarn; i++) printf "::warning::benchmark regression: %s\n", warns[i]
 	failed = 0
 	for (i = 0; i < nfail_ns; i++) { printf "\nFAIL: %s\n", ns_fail[i]; failed = 1 }
 	for (i = 0; i < nfail_alloc; i++) { printf "\nFAIL: %s\n", alloc_fail[i]; failed = 1 }
 	if (failed) exit 1
-	printf "\nOK: worst ns/op delta %+.1f%% (warn >%s%%, fail >%s%% or any alloc increase); %d warning(s)\n", worst, warn_pct, fail_pct, nwarn
+	printf "\nOK: worst ns/op delta %+.1f%% (warn >%s%%, fail >%s%% or any alloc increase); %d warning(s); skipped %d new / %d gone\n", worst, warn_pct, fail_pct, nwarn, nnew, ngone
 }
 ' "$OLD" "$NEW"

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Benchmark smoke run: one iteration of the Fig2 min_sup sweep and the
-# Table 1 semantics check, emitted as BENCH_PR<N>.json with per-benchmark
-# pattern counts, ns/op, B/op and allocs/op plus total wall time. This is
-# the repo's perf trajectory: each PR emits BENCH_PR<N>.json from the same
-# suite, and scripts/bench_compare.sh diffs two of them so regressions
-# show up as a per-benchmark delta table.
+# Benchmark smoke run: the Fig2 min_sup sweep, the parallel-scaling sweeps
+# and the Table 1 semantics check, emitted as BENCH_PR<N>.json with
+# per-benchmark pattern counts, ns/op, B/op and allocs/op plus total wall
+# time. This is the repo's perf trajectory: each PR emits BENCH_PR<N>.json
+# from the same suite, and scripts/bench_compare.sh diffs two of them so
+# regressions show up as a per-benchmark delta table.
+#
+# Each benchmark runs with -count=3 and the MEDIAN of each metric is
+# recorded, so a single noisy-scheduler outlier cannot trip the blocking
+# CI gate.
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 #
@@ -15,32 +19,53 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_LOCAL.json}"
+SUITE='Fig2|Table1|TopKParallelScaling'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 START_NS=$(date +%s%N)
-go test -run '^$' -bench 'Fig2|Table1' -benchtime 1x -benchmem | tee "$RAW"
+go test -run '^$' -bench "$SUITE" -benchtime 1x -count=3 -benchmem | tee "$RAW"
 END_NS=$(date +%s%N)
 WALL_MS=$(((END_NS - START_NS) / 1000000))
 
-awk -v wall_ms="$WALL_MS" \
+awk -v wall_ms="$WALL_MS" -v suite="$SUITE" \
 	-v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
 	-v go_version="$(go env GOVERSION)" '
+function median(arr, cnt,    i, j, tmp) {
+	# insertion sort the numeric samples, return the middle one
+	for (i = 2; i <= cnt; i++) {
+		tmp = arr[i]; j = i - 1
+		while (j >= 1 && arr[j] + 0 > tmp + 0) { arr[j + 1] = arr[j]; j-- }
+		arr[j + 1] = tmp
+	}
+	return arr[int((cnt + 1) / 2)]
+}
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
-	iters = $2; ns = "null"; patterns = "null"; bytes = "null"; allocs = "null"
+	if (!(name in idx)) { order[++n] = name; idx[name] = 1 }
+	cnt[name]++
+	iters[name] = $2
 	for (i = 3; i < NF; i++) {
-		if ($(i + 1) == "ns/op") ns = $i
-		if ($(i + 1) == "patterns") patterns = $i
-		if ($(i + 1) == "B/op") bytes = $i
-		if ($(i + 1) == "allocs/op") allocs = $i
+		if ($(i + 1) == "ns/op") ns[name, cnt[name]] = $i
+		if ($(i + 1) == "patterns") pat[name, cnt[name]] = $i
+		if ($(i + 1) == "B/op") by[name, cnt[name]] = $i
+		if ($(i + 1) == "allocs/op") al[name, cnt[name]] = $i
 	}
-	entries[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"patterns\": %s}",
-		name, iters, ns, bytes, allocs, patterns)
 }
 END {
-	printf "{\n  \"suite\": \"Fig2|Table1\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n  \"wall_ms\": %d,\n  \"benchmarks\": [\n", commit, go_version, wall_ms
-	for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i < n - 1 ? "," : "")
+	printf "{\n  \"suite\": \"%s\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\",\n  \"samples\": 3,\n  \"wall_ms\": %d,\n  \"benchmarks\": [\n", suite, commit, go_version, wall_ms
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		c = cnt[name]
+		for (s = 1; s <= c; s++) {
+			m_ns[s] = ((name, s) in ns) ? ns[name, s] : "null"
+			m_by[s] = ((name, s) in by) ? by[name, s] : "null"
+			m_al[s] = ((name, s) in al) ? al[name, s] : "null"
+			m_pat[s] = ((name, s) in pat) ? pat[name, s] : "null"
+		}
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"patterns\": %s}%s\n", \
+			name, iters[name], median(m_ns, c), median(m_by, c), median(m_al, c), median(m_pat, c), (i < n ? "," : "")
+	}
 	printf "  ]\n}\n"
 }' "$RAW" >"$OUT"
 
