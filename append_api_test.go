@@ -21,11 +21,14 @@ func TestAppendSnapshotAPI(t *testing.T) {
 		t.Fatalf("sup(AB) = %d, want 2", got)
 	}
 
-	after := db.Append([]Record{
+	after, err := db.Append([]Record{
 		{Label: "S1", Events: []string{"A", "B"}}, // extends S1
 		{Label: "S3", Events: []string{"A", "B"}}, // new labeled sequence
 		{Events: []string{"B", "B"}},              // new auto-named sequence
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if after.Generation() != before.Generation()+1 {
 		t.Fatalf("append bumped generation to %d from %d", after.Generation(), before.Generation())
 	}
@@ -69,7 +72,10 @@ func TestMineWhileAppend(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < rounds; i++ {
-			db.Append([]Record{{Label: "S1", Events: []string{"C", "A"}}})
+			if _, err := db.Append([]Record{{Label: "S1", Events: []string{"C", "A"}}}); err != nil {
+				t.Error(err)
+				return
+			}
 		}
 	}()
 	go func() {

@@ -486,3 +486,57 @@ func BenchmarkPublicAPI(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkDurableAppend measures durable append throughput: one
+// 8-record batch per op into a database directory, under the two fsync
+// policies a production deployment chooses between. fsync=always pays
+// one fsync per op (the acknowledged-writes-survive-anything contract);
+// fsync=interval decouples acknowledgment from the disk barrier. Auto-
+// checkpointing is left at the default, so the numbers include the
+// amortized compaction cost a real ingest pays.
+func BenchmarkDurableAppend(b *testing.B) {
+	batch := make([]Record, 8)
+	for i := range batch {
+		batch[i] = Record{Events: []string{
+			fmt.Sprintf("ev%d", i), "login", "view", fmt.Sprintf("ev%d", (i*7)%16), "logout",
+		}}
+	}
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval} {
+		b.Run("fsync="+policy.String(), func(b *testing.B) {
+			db, err := Open(b.TempDir(), OpenOptions{Sync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(8*b.N), "records")
+		})
+	}
+}
+
+// BenchmarkInMemoryAppend is the regression guard for the zero-config
+// default: the durable plumbing must cost the in-memory append path
+// nothing but a nil check.
+func BenchmarkInMemoryAppend(b *testing.B) {
+	batch := make([]Record, 8)
+	for i := range batch {
+		batch[i] = Record{Events: []string{
+			fmt.Sprintf("ev%d", i), "login", "view", fmt.Sprintf("ev%d", (i*7)%16), "logout",
+		}}
+	}
+	db := NewDatabase()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

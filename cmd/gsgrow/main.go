@@ -51,6 +51,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && (os.Args[1] == "inspect" || os.Args[1] == "compact") {
+		if err := runStorage(os.Args[1], os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "gsgrow %s: %v\n", os.Args[1], err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		input = flag.String("input", "", "input database file ('-' for stdin)")
 		cfg   cli.MineConfig
@@ -83,6 +90,10 @@ func runServe(args []string) error {
 	fs.IntVar(&cfg.CacheSize, "cache", 0, "result-cache entries (0 = default, negative disables)")
 	fs.StringVar(&cfg.DebugAddr, "debug-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	fs.DurationVar(&cfg.DrainTimeout, "drain-timeout", 0, "graceful-shutdown drain budget (0 = default 5s)")
+	fs.StringVar(&cfg.DataDir, "data-dir", "", "host databases durably in this directory (recovered on boot; empty = in-memory)")
+	fs.StringVar(&cfg.FsyncPolicy, "fsync", "always", "WAL fsync policy for -data-dir: always, interval, never")
+	fs.DurationVar(&cfg.FsyncInterval, "fsync-interval", 0, "background fsync cadence under -fsync=interval (0 = default 100ms)")
+	fs.Int64Var(&cfg.CheckpointBytes, "checkpoint-bytes", 0, "WAL size triggering automatic compaction (0 = default 4MiB, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +104,33 @@ func runServe(args []string) error {
 	// immediately instead of waiting out the drain.
 	go func() { <-ctx.Done(); stop() }()
 	return cli.Serve(ctx, cfg, os.Stderr)
+}
+
+// runStorage handles the durable-storage subcommands: `gsgrow inspect
+// <dir>` summarizes a database directory's segments, WAL, and the state
+// recovery would reconstruct; `gsgrow compact <dir>` checkpoints the
+// WAL into a fresh segment. Both take database directories (e.g.
+// <data-dir>/<name> of a reprod -data-dir deployment).
+func runStorage(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: gsgrow %s <dir> [<dir>...]", cmd)
+	}
+	for _, dir := range fs.Args() {
+		var err error
+		if cmd == "inspect" {
+			err = cli.Inspect(dir, os.Stdout)
+		} else {
+			err = cli.Compact(dir, os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runAppend(args []string) error {

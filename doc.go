@@ -57,6 +57,34 @@
 // Snapshot.Generation identifies database contents, which is what the
 // HTTP service keys its result cache by.
 //
+// # Durable databases
+//
+// NewDatabase and Load build in-memory databases: nothing touches disk,
+// and that remains the zero-configuration default. Open (recover or
+// start a database in a directory) and Create (seed a directory from a
+// data stream, replacing its previous contents) return databases with
+// the same API plus durability: every Append is encoded into a
+// CRC32C-framed write-ahead log before it is acknowledged, checkpoints
+// compact the log into an immutable segment file (automatically past
+// OpenOptions.CheckpointWALBytes, or explicitly via Compact), and Open
+// recovers state as latest segment + WAL tail replay. The lifecycle is
+//
+//	db, err := repro.Open(dir, repro.OpenOptions{})  // recover (or init)
+//	snap, err := db.Append(batch)                    // logged, then published
+//	err = db.Sync()                                  // durability barrier (weak policies)
+//	err = db.Close()                                 // flush + fsync + release
+//
+// OpenOptions.Sync selects when the log is fsynced: SyncAlways (the
+// default) makes every acknowledged append survive even a machine
+// crash; SyncInterval and SyncNever trade a bounded loss window for
+// throughput — acknowledged-then-lost writes are impossible only under
+// SyncAlways. Torn frames from a crash mid-write are detected by
+// checksums and dropped cleanly on recovery, never replayed as partial
+// batches. Snapshots recovered from disk rebuild their indexes lazily
+// on first use, exactly like freshly loaded databases, and
+// Database.Persistence reports the recovery state (checkpointed
+// generation, WAL size, sync policy) for monitoring.
+//
 // # Performance
 //
 // The mining core is allocation-free in steady state: support sets,

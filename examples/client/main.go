@@ -37,7 +37,10 @@ func main() {
 	base := *addr
 	if base == "" {
 		// Self-contained mode: serve the API from this process.
-		srv := server.New(server.Config{})
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)

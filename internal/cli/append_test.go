@@ -9,7 +9,11 @@ import (
 )
 
 func TestAppendCommand(t *testing.T) {
-	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	h, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Handler())
 	defer srv.Close()
 
 	// Seed a database over the upload endpoint.
@@ -54,7 +58,11 @@ func TestAppendCommand(t *testing.T) {
 }
 
 func TestAppendCommandErrors(t *testing.T) {
-	srv := httptest.NewServer(server.New(server.Config{}).Handler())
+	h, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Handler())
 	defer srv.Close()
 
 	if err := Append(AppendConfig{DB: "x", Format: "tokens"}, strings.NewReader("a\n"), &strings.Builder{}); err == nil {
@@ -67,7 +75,7 @@ func TestAppendCommandErrors(t *testing.T) {
 		t.Error("unknown format not rejected")
 	}
 	// Appending to a database the server does not host surfaces the 404.
-	err := Append(AppendConfig{Addr: srv.URL, DB: "missing", Format: "tokens"},
+	err = Append(AppendConfig{Addr: srv.URL, DB: "missing", Format: "tokens"},
 		strings.NewReader("T1: a b\n"), &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "404") {
 		t.Errorf("missing database error = %v, want a 404", err)

@@ -1,0 +1,114 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// buildDurableDB populates a durable database directory: 3 appends on
+// top of an initial Create, auto-checkpoint disabled so the WAL holds
+// all three batches.
+func buildDurableDB(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := repro.Create(dir, strings.NewReader("S1: AABCDABB\nS2: ABCD\n"), repro.Tokens,
+		repro.OpenOptions{CheckpointWALBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Append([]repro.Record{{Label: "S1", Events: []string{"A", "B"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestInspectReportsSegmentsAndWAL(t *testing.T) {
+	dir := buildDurableDB(t)
+	var out strings.Builder
+	if err := Inspect(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"segment gen=1",
+		"wal     base=1",
+		"3 records",
+		"recovers to: generation 4 (checkpoint 1 + 3 WAL batches), 2 sequences",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestInspectReportsTornTail(t *testing.T) {
+	dir := buildDurableDB(t)
+	// Tear the WAL: chop the last 3 bytes off the newest frame.
+	walPath := filepath.Join(dir, "wal-0000000000000001.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := Inspect(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "torn tail") || !strings.Contains(got, "2 records") {
+		t.Errorf("inspect did not report the torn tail:\n%s", got)
+	}
+	if !strings.Contains(got, "recovers to: generation 3") {
+		t.Errorf("inspect recovery summary must drop the torn batch:\n%s", got)
+	}
+}
+
+func TestInspectMissingDirErrors(t *testing.T) {
+	if err := Inspect(filepath.Join(t.TempDir(), "nope"), &strings.Builder{}); err == nil {
+		t.Fatal("inspect of a missing directory must error")
+	}
+}
+
+func TestCompactTruncatesWAL(t *testing.T) {
+	dir := buildDurableDB(t)
+	var out strings.Builder
+	if err := Compact(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "generation 4 checkpointed") || !strings.Contains(out.String(), "-> 0 B") {
+		t.Errorf("compact output: %s", out.String())
+	}
+
+	// After compaction: one segment at gen 4, empty WAL, same contents.
+	var insp strings.Builder
+	if err := Inspect(dir, &insp); err != nil {
+		t.Fatal(err)
+	}
+	got := insp.String()
+	if !strings.Contains(got, "segment gen=4") || strings.Contains(got, "segment gen=1") {
+		t.Errorf("compact did not install the new segment:\n%s", got)
+	}
+	if !strings.Contains(got, "recovers to: generation 4 (checkpoint 4 + 0 WAL batches), 2 sequences") {
+		t.Errorf("post-compact recovery summary:\n%s", got)
+	}
+
+	db, err := repro.Open(dir, repro.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.NumSequences() != 2 || db.Snapshot().Support([]string{"A", "B"}) == 0 {
+		t.Fatalf("compacted database lost data: %d sequences", db.NumSequences())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"repro"
 	"repro/internal/server"
 )
 
@@ -28,6 +29,21 @@ type ServeConfig struct {
 	// responses to drain before force-closing the remaining connections.
 	// 0 selects DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// DataDir, when non-empty, makes hosted databases durable: every
+	// database is recovered from this directory on boot, and uploads and
+	// appends are write-ahead-logged before they are acknowledged. Empty
+	// (the default) hosts everything in memory.
+	DataDir string
+	// FsyncPolicy is the WAL fsync policy for durable databases:
+	// "always" (default; acknowledged writes survive any crash),
+	// "interval", or "never".
+	FsyncPolicy string
+	// FsyncInterval is the background fsync cadence under "interval";
+	// 0 selects the 100ms default.
+	FsyncInterval time.Duration
+	// CheckpointBytes triggers automatic WAL compaction when the log
+	// exceeds this size; 0 selects the 4 MiB default, negative disables.
+	CheckpointBytes int64
 }
 
 // DefaultDrainTimeout is the graceful-shutdown drain budget when
@@ -51,10 +67,36 @@ func debugHandler() http.Handler {
 
 // Serve runs the mining HTTP service until ctx is cancelled, then shuts
 // down gracefully (in-flight mining requests are aborted through their own
-// request contexts). The bound address is reported on out before serving,
-// so callers binding ":0" can discover the port.
+// request contexts, and with DataDir set every database's write-ahead log
+// is flushed and fsynced before Serve returns). The bound address is
+// reported on out before serving, so callers binding ":0" can discover
+// the port.
 func Serve(ctx context.Context, cfg ServeConfig, out io.Writer) error {
-	srv := server.New(server.Config{CacheSize: cfg.CacheSize})
+	sync := repro.SyncAlways
+	if cfg.FsyncPolicy != "" {
+		var err error
+		if sync, err = repro.ParseSyncPolicy(cfg.FsyncPolicy); err != nil {
+			return err
+		}
+	}
+	srv, err := server.New(server.Config{
+		CacheSize:          cfg.CacheSize,
+		DataDir:            cfg.DataDir,
+		Sync:               sync,
+		SyncInterval:       cfg.FsyncInterval,
+		CheckpointWALBytes: cfg.CheckpointBytes,
+	})
+	if err != nil {
+		return err
+	}
+	// Whatever way Serve exits, flush and fsync every database's WAL:
+	// a graceful shutdown must never lose acknowledged appends, even
+	// under fsync policies that leave a tail unsynced in steady state.
+	defer func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(out, "closing databases: %v\n", err)
+		}
+	}()
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

@@ -1,0 +1,234 @@
+package seq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary (de)serialization of Dict and DB: the payload format of the
+// durable store's checkpoint segments. The encoding is self-contained
+// and versioned so segments written today stay loadable after format
+// evolution, and the decoder is hardened for hostile input: every length
+// and count is validated against the bytes actually remaining, so a
+// corrupt or adversarial payload yields an error — never a panic and
+// never an allocation larger than the input could justify.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	u8 version (binaryVersion)
+//	dict:  count, then per name: length, raw bytes
+//	seqs:  count, then per sequence:
+//	       label length, raw bytes, event count, events as varint IDs
+//	labels beyond sequences never occur (the encoder pads/clips to Seqs)
+//
+// Event IDs are validated against the dictionary size on decode, so a
+// decoded DB always passes DB.Validate.
+
+// binaryVersion is the current encoding version.
+const binaryVersion = 1
+
+// ErrBinaryVersion reports a payload whose version byte is newer than
+// this build understands.
+var ErrBinaryVersion = errors.New("seq: unsupported binary version")
+
+// AppendDB appends the binary encoding of db to buf and returns the
+// extended slice.
+func AppendDB(buf []byte, db *DB) []byte {
+	buf = append(buf, binaryVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(db.Dict.names)))
+	for _, name := range db.Dict.names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(db.Seqs)))
+	for i, s := range db.Seqs {
+		label := ""
+		if i < len(db.Labels) {
+			label = db.Labels[i]
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(label)))
+		buf = append(buf, label...)
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		for _, e := range s {
+			buf = binary.AppendUvarint(buf, uint64(e))
+		}
+	}
+	return buf
+}
+
+// EncodedDBSize returns a close upper bound on the encoded size of db,
+// for pre-sizing the AppendDB buffer.
+func EncodedDBSize(db *DB) int {
+	n := 1 + binary.MaxVarintLen64 // version + dict count
+	for _, name := range db.Dict.names {
+		n += binary.MaxVarintLen32 + len(name)
+	}
+	n += binary.MaxVarintLen64
+	for i, s := range db.Seqs {
+		if i < len(db.Labels) {
+			n += len(db.Labels[i])
+		}
+		n += 2*binary.MaxVarintLen32 + len(s)*binary.MaxVarintLen32
+	}
+	return n
+}
+
+// DecodeDB decodes a DB from data. The input must contain exactly one
+// encoded database; trailing bytes are an error (segments frame the
+// payload, so slack means corruption).
+func DecodeDB(data []byte) (*DB, error) {
+	d := NewDecoder("seq: binary decode", data)
+	version, err := d.U8("version byte")
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("%w: %d (max %d)", ErrBinaryVersion, version, binaryVersion)
+	}
+
+	dictN, err := d.Count("dictionary size", 1)
+	if err != nil {
+		return nil, err
+	}
+	dict := &Dict{
+		byName: make(map[string]EventID, dictN),
+		names:  make([]string, 0, dictN),
+	}
+	for i := 0; i < dictN; i++ {
+		name, err := d.Str("event name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := dict.byName[name]; dup {
+			return nil, fmt.Errorf("seq: binary decode: duplicate event name %q", name)
+		}
+		dict.byName[name] = EventID(len(dict.names))
+		dict.names = append(dict.names, name)
+	}
+
+	// Each sequence costs >= 2 bytes (label length + event count), each
+	// event >= 1 byte; use those floors to cap pre-allocation.
+	seqN, err := d.Count("sequence count", 2)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		Dict:   dict,
+		Seqs:   make([]Sequence, 0, seqN),
+		Labels: make([]string, 0, seqN),
+	}
+	for i := 0; i < seqN; i++ {
+		label, err := d.Str("label")
+		if err != nil {
+			return nil, err
+		}
+		evN, err := d.Count("event count", 1)
+		if err != nil {
+			return nil, err
+		}
+		s := make(Sequence, 0, evN)
+		for j := 0; j < evN; j++ {
+			id, err := d.Uvarint("event id")
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(dictN) {
+				return nil, fmt.Errorf("seq: binary decode: event id %d out of range [0,%d)", id, dictN)
+			}
+			s = append(s, EventID(id))
+		}
+		db.Seqs = append(db.Seqs, s)
+		db.Labels = append(db.Labels, label)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Decoder is a bounds-checked cursor over a varint/length-delimited
+// binary payload: every count and length is validated against the bytes
+// actually remaining (so corrupt input can never drive allocation beyond
+// what the input could encode), and non-minimal varints are rejected to
+// keep encodings canonical. It is exported for the sibling storage
+// layers — the store's WAL batch codec uses the same primitives — so
+// the hardening rules live in exactly one place.
+type Decoder struct {
+	scope string // error prefix, e.g. "seq: binary decode"
+	data  []byte
+	off   int
+}
+
+// NewDecoder returns a decoder over data whose errors are prefixed with
+// scope.
+func NewDecoder(scope string, data []byte) *Decoder {
+	return &Decoder{scope: scope, data: data}
+}
+
+// Remaining returns the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.off }
+
+// U8 decodes one byte.
+func (d *Decoder) U8(what string) (byte, error) {
+	if d.Remaining() < 1 {
+		return 0, fmt.Errorf("%s: truncated %s", d.scope, what)
+	}
+	b := d.data[d.off]
+	d.off++
+	return b, nil
+}
+
+// Uvarint decodes one unsigned varint, rejecting truncated, overlong,
+// and non-minimal encodings (the formats are canonical: one encoding
+// per value, which keeps payloads byte-comparable and denies corruption
+// a class of silently-accepted inputs).
+func (d *Decoder) Uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%s: truncated or overlong %s varint", d.scope, what)
+	}
+	if n > 1 && d.data[d.off+n-1] == 0 {
+		return 0, fmt.Errorf("%s: non-minimal %s varint", d.scope, what)
+	}
+	d.off += n
+	return v, nil
+}
+
+// Count decodes a collection size and validates it against the bytes
+// remaining, given the minimum encoded size of one element — so a
+// corrupt count can never drive allocation beyond what the input could
+// encode.
+func (d *Decoder) Count(what string, minElemBytes int) (int, error) {
+	v, err := d.Uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.Remaining()/minElemBytes) {
+		return 0, fmt.Errorf("%s: %s %d exceeds remaining input", d.scope, what, v)
+	}
+	return int(v), nil
+}
+
+// Str decodes one length-prefixed string.
+func (d *Decoder) Str(what string) (string, error) {
+	n, err := d.Uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.Remaining()) {
+		return "", fmt.Errorf("%s: %s of %d bytes exceeds remaining input", d.scope, what, n)
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// Done verifies the input was consumed exactly; trailing bytes mean
+// corruption in a framed payload.
+func (d *Decoder) Done() error {
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%s: %d trailing bytes", d.scope, d.Remaining())
+	}
+	return nil
+}

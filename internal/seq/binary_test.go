@@ -1,0 +1,122 @@
+package seq
+
+import (
+	"slices"
+	"testing"
+)
+
+// sampleDB builds a database exercising the encoding's edge shapes:
+// empty sequences, empty labels, multi-byte names, shared events.
+func sampleDB() *DB {
+	db := NewDB()
+	db.Add("S1", []string{"login", "view", "view", "logout"})
+	db.Add("", []string{"view"})
+	db.Add("empty", nil)
+	db.AddChars("chars", "ABCA")
+	return db
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, db := range []*DB{NewDB(), sampleDB()} {
+		buf := AppendDB(nil, db)
+		if cap := EncodedDBSize(db); len(buf) > cap {
+			t.Fatalf("encoded %d bytes, EncodedDBSize bound says %d", len(buf), cap)
+		}
+		got, err := DecodeDB(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoded DB invalid: %v", err)
+		}
+		if !slices.Equal(got.Dict.names, db.Dict.names) {
+			t.Fatalf("dict names = %v, want %v", got.Dict.names, db.Dict.names)
+		}
+		if len(got.Seqs) != len(db.Seqs) {
+			t.Fatalf("got %d sequences, want %d", len(got.Seqs), len(db.Seqs))
+		}
+		for i := range db.Seqs {
+			if len(got.Seqs[i]) != len(db.Seqs[i]) {
+				t.Fatalf("sequence %d length mismatch", i)
+			}
+			for j := range db.Seqs[i] {
+				if got.Seqs[i][j] != db.Seqs[i][j] {
+					t.Fatalf("sequence %d event %d mismatch", i, j)
+				}
+			}
+			if got.Label(i) != db.Label(i) {
+				t.Fatalf("label %d = %q, want %q", i, got.Label(i), db.Label(i))
+			}
+		}
+		// Lookup must work on the rebuilt dictionary, not just Name.
+		for _, name := range db.Dict.Names() {
+			if got.Dict.Lookup(name) != db.Dict.Lookup(name) {
+				t.Fatalf("lookup %q diverges after round trip", name)
+			}
+		}
+	}
+}
+
+func TestBinaryRoundTripLabelsShorterThanSeqs(t *testing.T) {
+	// Hand-built DBs may record fewer labels than sequences; the encoder
+	// pads with "" so the decoder always yields parallel slices.
+	db := &DB{Dict: NewDict()}
+	a := db.Dict.Intern("a")
+	db.Seqs = []Sequence{{a}, {a, a}}
+	db.Labels = []string{"only-first"}
+	got, err := DecodeDB(AppendDB(nil, db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label(0) != "only-first" || got.Label(1) != "S2" {
+		t.Fatalf("labels = %q, %q", got.Label(0), got.Label(1))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good := AppendDB(nil, sampleDB())
+	cases := map[string][]byte{
+		"empty":            {},
+		"future version":   append([]byte{binaryVersion + 1}, good[1:]...),
+		"truncated half":   good[:len(good)/2],
+		"truncated by one": good[:len(good)-1],
+		"trailing byte":    append(append([]byte(nil), good...), 0),
+		"huge dict count":  {binaryVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+	}
+	for name, data := range cases {
+		if _, err := DecodeDB(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+// TestDecodeEveryTruncation decodes every strict prefix of a valid
+// encoding: all must error (the format has no valid proper prefixes
+// except, trivially, none).
+func TestDecodeEveryTruncation(t *testing.T) {
+	good := AppendDB(nil, sampleDB())
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeDB(good[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(good))
+		}
+	}
+}
+
+func TestDecodeRejectsBadEventID(t *testing.T) {
+	db := NewDB()
+	db.Add("s", []string{"x", "y"})
+	buf := AppendDB(nil, db)
+	// The last varint is the final event id (1). Bump it out of range.
+	buf[len(buf)-1] = 2
+	if _, err := DecodeDB(buf); err == nil {
+		t.Fatal("out-of-range event id must be rejected")
+	}
+}
+
+func TestDecodeRejectsDuplicateNames(t *testing.T) {
+	// version, dict count 2, "a", "a", 0 sequences
+	data := []byte{binaryVersion, 2, 1, 'a', 1, 'a', 0}
+	if _, err := DecodeDB(data); err == nil {
+		t.Fatal("duplicate dictionary names must be rejected")
+	}
+}

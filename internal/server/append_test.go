@@ -160,7 +160,7 @@ func (r *raceReader) Read(p []byte) (int, error) {
 // replaced) while an append stream is in flight, the records land in the
 // orphaned entry — the server must NOT acknowledge them with a 200.
 func TestAppendDuringDeleteNotAcknowledged(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	h := srv.Handler()
 	upload(t, h, "doomed", "chars", example11)
 

@@ -94,6 +94,35 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "database %q is empty", name)
 		return
 	}
+	if s.dataDir != "" {
+		// The upload was validated fully in memory above; only now replace
+		// the previous database's files. The contents are checkpointed to
+		// a segment before Persist returns, so the 201 below acknowledges
+		// data that is already durable on disk. The directory mutation is
+		// serialized per name, and the replaced store is closed FIRST so
+		// its WAL writes and auto-checkpoints cannot interleave with the
+		// new files (Persist itself orders new-segment-before-sweep, so a
+		// failure here still leaves the old files recoverable; the old
+		// entry keeps serving reads from memory either way, with appends
+		// to it failing until a successful replacement or restart).
+		unlock := s.lockDir(name)
+		defer unlock()
+		if old, ok := s.get(name); ok {
+			_ = old.db.Close()
+		}
+		dir := s.dbDir(name)
+		durable, err := db.Persist(dir, s.openOpts)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "persist: %v", err)
+			return
+		}
+		if err := writeFormatMeta(dir, format.String()); err != nil {
+			durable.Close()
+			writeError(w, http.StatusInternalServerError, "record format: %v", err)
+			return
+		}
+		db = durable
+	}
 	// Warm the index before publishing: not needed for safety (miners
 	// build lazily against immutable snapshots), but it keeps first-mine
 	// latency flat and lets appends extend the index incrementally.
@@ -124,26 +153,40 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxUpload))
 	applied := 0
 	batch := make([]repro.Record, 0, appendChunkSize)
-	flush := func() {
+	// flush applies one chunk; on a durable host a WAL write failure means
+	// the chunk was neither applied nor acknowledged — report it with the
+	// exact count of records that did make it in.
+	flush := func() error {
 		if len(batch) > 0 {
-			e.db.Append(batch)
+			if _, err := e.db.Append(batch); err != nil {
+				writeJSON(w, http.StatusInternalServerError, appendErrorResponse{
+					Error:            fmt.Sprintf("append not durable after record %d: %v", applied, err),
+					AppliedRecords:   applied,
+					PartiallyApplied: applied > 0,
+				})
+				return err
+			}
 			applied += len(batch)
 			batch = batch[:0]
 		}
+		return nil
 	}
 	for {
 		var rec appendRecord
 		if err := dec.Decode(&rec); err == io.EOF {
 			break
 		} else if err != nil {
-			flush()
+			recordNum := applied + len(batch) + 1
+			if flush() != nil {
+				return // durability failure already reported
+			}
 			var tooBig *http.MaxBytesError
 			status := http.StatusBadRequest
 			if errors.As(err, &tooBig) {
 				status = http.StatusRequestEntityTooLarge
 			}
 			writeJSON(w, status, appendErrorResponse{
-				Error:            fmt.Sprintf("decode record %d: %v", applied+len(batch)+1, err),
+				Error:            fmt.Sprintf("decode record %d: %v", recordNum, err),
 				AppliedRecords:   applied,
 				PartiallyApplied: applied > 0,
 			})
@@ -153,9 +196,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 			// An append record exists to carry events; without them it
 			// would either create a useless empty sequence or churn a
 			// snapshot for nothing. Reject instead of guessing intent.
-			flush()
+			recordNum := applied + len(batch) + 1
+			if flush() != nil {
+				return
+			}
 			writeJSON(w, http.StatusBadRequest, appendErrorResponse{
-				Error:            fmt.Sprintf("record %d: no events", applied+len(batch)+1),
+				Error:            fmt.Sprintf("record %d: no events", recordNum),
 				AppliedRecords:   applied,
 				PartiallyApplied: applied > 0,
 			})
@@ -163,10 +209,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = append(batch, repro.Record{Label: rec.Label, Events: rec.Events})
 		if len(batch) >= appendChunkSize {
-			flush()
+			if flush() != nil {
+				return
+			}
 		}
 	}
-	flush()
+	if flush() != nil {
+		return
+	}
 	if applied == 0 {
 		writeError(w, http.StatusBadRequest, "empty append stream")
 		return
@@ -189,8 +239,15 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.delete(name) {
+	ok, err := s.delete(name)
+	if !ok {
 		writeError(w, http.StatusNotFound, "no database %q", name)
+		return
+	}
+	if err != nil {
+		// The entry is gone from the server, but files linger: report it,
+		// because a restart would resurrect the database.
+		writeError(w, http.StatusInternalServerError, "database %q dropped but its files were not fully removed: %v", name, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

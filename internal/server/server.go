@@ -31,6 +31,8 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -47,6 +49,21 @@ type Config struct {
 	// MaxUploadBytes bounds database upload size. 0 selects
 	// DefaultMaxUploadBytes.
 	MaxUploadBytes int64
+	// DataDir, when non-empty, makes hosted databases durable: each
+	// database lives in DataDir/<name> as checkpoint segments plus a
+	// write-ahead log, uploads and appends are logged before they are
+	// acknowledged, and New recovers every database found under DataDir.
+	// Empty (the default) hosts everything in memory, exactly as before.
+	DataDir string
+	// Sync is the WAL fsync policy for durable databases. The zero value
+	// is SyncAlways: an acknowledged append can never be lost. Ignored
+	// without DataDir.
+	Sync repro.SyncPolicy
+	// SyncInterval is the background fsync cadence under SyncInterval.
+	SyncInterval time.Duration
+	// CheckpointWALBytes triggers automatic WAL compaction; see
+	// repro.OpenOptions.
+	CheckpointWALBytes int64
 }
 
 // Defaults for Config zero values.
@@ -70,6 +87,26 @@ type Server struct {
 	cache     *resultCache
 	maxUpload int64
 	started   time.Time
+
+	// dataDir and openOpts configure durability; dataDir == "" means
+	// in-memory hosting.
+	dataDir  string
+	openOpts repro.OpenOptions
+	// dirMu serializes the operations that mutate a database's directory
+	// (durable upload-replace, delete), per name. Two writers in one
+	// directory — e.g. a replaced-but-still-open store's auto-checkpoint
+	// racing a new upload's Create — could otherwise interleave sweeps
+	// and segment writes into data loss.
+	dirMu sync.Map // name -> *sync.Mutex
+}
+
+// lockDir serializes directory mutations for one database name; the
+// returned func releases the lock.
+func (s *Server) lockDir(name string) func() {
+	mu, _ := s.dirMu.LoadOrStore(name, &sync.Mutex{})
+	m := mu.(*sync.Mutex)
+	m.Lock()
+	return m.Unlock
 }
 
 // dbEntry is one hosted database. The entry itself is immutable — uploads
@@ -85,8 +122,12 @@ type dbEntry struct {
 	created    time.Time
 }
 
-// New returns an empty Server.
-func New(cfg Config) *Server {
+// New returns a Server. With Config.DataDir set, every database found
+// under the directory is recovered (latest checkpoint segment + WAL tail
+// replay) and hosted immediately; a database whose files cannot be
+// recovered fails New rather than silently dropping data. Without
+// DataDir the server is empty and purely in-memory, and New cannot fail.
+func New(cfg Config) (*Server, error) {
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
@@ -95,12 +136,114 @@ func New(cfg Config) *Server {
 	if maxUpload == 0 {
 		maxUpload = DefaultMaxUploadBytes
 	}
-	return &Server{
+	s := &Server{
 		dbs:       make(map[string]*dbEntry),
 		cache:     newResultCache(size),
 		maxUpload: maxUpload,
 		started:   time.Now(),
+		dataDir:   cfg.DataDir,
+		openOpts: repro.OpenOptions{
+			Sync:               cfg.Sync,
+			SyncInterval:       cfg.SyncInterval,
+			CheckpointWALBytes: cfg.CheckpointWALBytes,
+		},
 	}
+	if cfg.DataDir != "" {
+		if err := s.recoverAll(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recoverAll opens every database directory under dataDir. Names are
+// sorted so upload generations are assigned deterministically across
+// restarts.
+func (s *Server) recoverAll() error {
+	if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+		return fmt.Errorf("server: data dir: %w", err)
+	}
+	entries, err := os.ReadDir(s.dataDir)
+	if err != nil {
+		return fmt.Errorf("server: data dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		// Only directories that are valid database names are ours; anything
+		// else in the data dir is left alone.
+		if e.IsDir() && dbNameRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := s.dbDir(name)
+		// Only directories this server created are databases, and every
+		// acknowledged upload wrote format.meta before its 201 (a crash
+		// before that point left an unacknowledged upload, which the next
+		// upload simply replaces). Skipping everything else keeps Open —
+		// which creates a WAL file — from planting storage files in
+		// foreign directories that merely live under the data dir.
+		if _, err := os.Stat(filepath.Join(dir, formatMetaFile)); err != nil {
+			continue
+		}
+		db, err := repro.Open(dir, s.openOpts)
+		if err != nil {
+			return fmt.Errorf("server: recover database %q: %w", name, err)
+		}
+		if db.NumSequences() == 0 {
+			// An empty database (e.g. deleted files, fresh dir with only a
+			// meta file) is not served; don't surface a ghost.
+			db.Close()
+			continue
+		}
+		s.put(name, readFormatMeta(dir), db)
+	}
+	return nil
+}
+
+// dbDir returns the storage directory of a named database. Database
+// names are path-safe by construction (dbNameRE).
+func (s *Server) dbDir(name string) string {
+	return filepath.Join(s.dataDir, name)
+}
+
+// formatMetaFile records a database's upload format inside its
+// directory, so recovery can report it. The store sweeps only its own
+// segment/WAL files, so the meta file survives re-uploads.
+const formatMetaFile = "format.meta"
+
+func writeFormatMeta(dir, formatName string) error {
+	return os.WriteFile(filepath.Join(dir, formatMetaFile), []byte(formatName+"\n"), 0o644)
+}
+
+func readFormatMeta(dir string) string {
+	data, err := os.ReadFile(filepath.Join(dir, formatMetaFile))
+	if err != nil {
+		return repro.Tokens.String()
+	}
+	name := strings.TrimSpace(string(data))
+	if _, err := parseFormat(name); err != nil {
+		return repro.Tokens.String()
+	}
+	return name
+}
+
+// Close flushes and fsyncs every durable database's write-ahead log and
+// releases their files: the shutdown barrier that makes a graceful exit
+// lose nothing even under fsync policies weaker than always. In-memory
+// servers have nothing to flush; Close is then a no-op. The first error
+// is reported but every database is closed regardless.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, e := range s.dbs {
+		if err := e.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Handler returns the HTTP handler serving the v1 API.
@@ -118,10 +261,12 @@ func (s *Server) Handler() http.Handler {
 }
 
 // put registers (or replaces) a database under name and returns the new
-// entry.
+// entry. A replaced durable database is closed: its directory now
+// belongs to the new one, and its in-memory snapshots stay valid for
+// in-flight miners.
 func (s *Server) put(name, formatName string, db *repro.Database) *dbEntry {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	old := s.dbs[name]
 	s.gen++
 	e := &dbEntry{
 		name:       name,
@@ -131,6 +276,10 @@ func (s *Server) put(name, formatName string, db *repro.Database) *dbEntry {
 		created:    time.Now(),
 	}
 	s.dbs[name] = e
+	s.mu.Unlock()
+	if old != nil {
+		_ = old.db.Close()
+	}
 	return e
 }
 
@@ -141,17 +290,31 @@ func (s *Server) get(name string) (*dbEntry, bool) {
 	return e, ok
 }
 
-func (s *Server) delete(name string) bool {
+func (s *Server) delete(name string) (bool, error) {
+	// Serialize against durable upload-replace: deleting the directory
+	// out from under an in-flight Persist (or vice versa) must not
+	// interleave.
+	unlock := s.lockDir(name)
+	defer unlock()
 	s.mu.Lock()
-	_, ok := s.dbs[name]
+	e, ok := s.dbs[name]
 	delete(s.dbs, name)
 	s.mu.Unlock()
-	if ok {
-		// A later re-upload under this name restarts at generation 1, so
-		// cached results for the old contents must not survive.
-		s.cache.purgePrefix(name + "@")
+	if !ok {
+		return false, nil
 	}
-	return ok
+	// A later re-upload under this name restarts at generation 1, so
+	// cached results for the old contents must not survive.
+	s.cache.purgePrefix(name + "@")
+	_ = e.db.Close()
+	if s.dataDir != "" {
+		// Deleting a durable database removes its files: DELETE means the
+		// data is gone, not "gone until the next restart resurrects it".
+		if err := os.RemoveAll(s.dbDir(name)); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 func (s *Server) list() []*dbEntry {

@@ -36,9 +36,18 @@ func denseTokens(seqs, length int) string {
 	return sb.String()
 }
 
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newHandler(t *testing.T) http.Handler {
 	t.Helper()
-	return New(Config{}).Handler()
+	return mustNew(t, Config{}).Handler()
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body string) *httptest.ResponseRecorder {
@@ -450,7 +459,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // requests over distinct databases, under -race, each byte-identical to
 // the direct library result.
 func TestConcurrentMines(t *testing.T) {
-	ts := httptest.NewServer(New(Config{CacheSize: -1}).Handler()) // no cache: every request mines
+	ts := httptest.NewServer(mustNew(t, Config{CacheSize: -1}).Handler()) // no cache: every request mines
 	defer ts.Close()
 	client := ts.Client()
 
@@ -509,7 +518,7 @@ func TestConcurrentMines(t *testing.T) {
 // promptly when the client goes away: the only abort path for a buffered
 // request is the request context reaching the DFS.
 func TestMineClientCancellation(t *testing.T) {
-	ts := httptest.NewServer(New(Config{}).Handler())
+	ts := httptest.NewServer(mustNew(t, Config{}).Handler())
 	client := ts.Client()
 
 	// Full mine of this database takes ~1s+ (hundreds of thousands of

@@ -167,6 +167,20 @@ type dbInfo struct {
 	SnapshotGeneration uint64    `json:"snapshotGeneration"`
 	Created            time.Time `json:"created"`
 	Stats              statsJSON `json:"stats"`
+	// Persistence is present only on durable hosts (-data-dir): the
+	// database's sync policy and recovery state.
+	Persistence *persistenceJSON `json:"persistence,omitempty"`
+}
+
+// persistenceJSON reports a durable database's storage state: which
+// generation is checkpointed, how much WAL tail a recovery would replay,
+// and under which fsync policy appends are acknowledged.
+type persistenceJSON struct {
+	SyncPolicy        string `json:"syncPolicy"`
+	SegmentGeneration uint64 `json:"segmentGeneration"`
+	WALBytes          int64  `json:"walBytes"`
+	WALRecords        int    `json:"walRecords"`
+	CheckpointError   string `json:"checkpointError,omitempty"`
 }
 
 // appendRecord is one line of the NDJSON append stream.
@@ -221,7 +235,7 @@ func toStatsJSON(st repro.Stats) statsJSON {
 // scan — so appends and list requests stay cheap at any database size.
 func toDBInfo(e *dbEntry) dbInfo {
 	snap := e.db.Snapshot()
-	return dbInfo{
+	info := dbInfo{
 		Name:               e.name,
 		Format:             e.formatName,
 		Generation:         e.generation,
@@ -229,6 +243,16 @@ func toDBInfo(e *dbEntry) dbInfo {
 		Created:            e.created,
 		Stats:              toStatsJSON(snap.Stats()),
 	}
+	if p := e.db.Persistence(); p.Durable {
+		info.Persistence = &persistenceJSON{
+			SyncPolicy:        p.Sync.String(),
+			SegmentGeneration: p.SegmentGeneration,
+			WALBytes:          p.WALBytes,
+			WALRecords:        p.WALRecords,
+			CheckpointError:   p.CheckpointError,
+		}
+	}
+	return info
 }
 
 // supportRequest is the JSON body of POST /v1/databases/{name}/support.

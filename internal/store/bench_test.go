@@ -46,7 +46,7 @@ func BenchmarkQuestAppend(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			st.Append(batch, false)
+			mustAppend(b, st, batch, false)
 		}
 	})
 	b.Run("FullRebuild", func(b *testing.B) {
@@ -59,7 +59,7 @@ func BenchmarkQuestAppend(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			// What Database.Add used to do: mutate, then rebuild the
 			// whole index from scratch on the next mine.
-			snap := st.Append(batch, false)
+			snap := mustAppend(b, st, batch, false)
 			seq.NewIndexWith(snap.DB(), seq.IndexOptions{FastNext: true})
 		}
 	})
@@ -86,7 +86,7 @@ func TestAppendBeatsRebuild(t *testing.T) {
 	for r := 0; r < rounds; r++ {
 		start := time.Now()
 		for i := 0; i < perRound; i++ {
-			st.Append(batch, false)
+			mustAppend(t, st, batch, false)
 		}
 		incremental := time.Since(start)
 

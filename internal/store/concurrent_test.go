@@ -80,7 +80,7 @@ func TestConcurrentMineWhileAppend(t *testing.T) {
 			case 2:
 				batch = []Record{{Events: []string{"C", "C", fmt.Sprintf("fresh-%d", i)}}}
 			}
-			snap := st.Append(batch, true)
+			snap := mustAppend(t, st, batch, true)
 			mu.Lock()
 			byGen[snap.Generation()] = snap
 			mu.Unlock()

@@ -1,0 +1,452 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/seq"
+	"repro/internal/wal"
+)
+
+// Durable operation: a store opened with Open (or Create) is backed by a
+// directory holding at most a handful of files —
+//
+//	segment-<gen>.seg   immutable checkpoint: the database at <gen>
+//	wal-<base>.log      write-ahead tail: append batches on top of <base>
+//
+// Every Append encodes its batch and writes it to the WAL (fsynced per
+// the configured policy) BEFORE the in-memory snapshot is published, so
+// an acknowledged append is always reconstructible. Recovery is "latest
+// segment + WAL tail replay": Open loads the newest valid checkpoint and
+// re-applies the WAL chain on top, arriving at exactly the generation
+// the store had when it went down (minus, under fsync policies weaker
+// than always, appends whose frames never reached the disk — those were
+// durably acknowledged only by policy, and the WAL's CRC framing
+// guarantees replay stops cleanly rather than resurrecting torn data).
+//
+// A checkpoint compacts the WAL into a fresh segment: rotate to a new
+// (empty) WAL based at the current generation, atomically write the
+// segment, then delete the files both supersede. A crash at any point in
+// that sequence recovers: the WAL chain is replayed base-to-tip, and
+// stale files are swept by the next successful checkpoint.
+
+// DefaultCheckpointWALBytes is the WAL size that triggers an automatic
+// checkpoint when Options.CheckpointWALBytes is zero.
+const DefaultCheckpointWALBytes = 4 << 20
+
+// walFileName returns the WAL file name for a log based at gen.
+func walFileName(base uint64) string {
+	return fmt.Sprintf("wal-%016x.log", base)
+}
+
+// parseWALName extracts the base generation from a WAL file name.
+func parseWALName(name string) (base uint64, ok bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	base, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return base, true
+}
+
+// durableState is the persistence arm of a Store. All fields are guarded
+// by the Store's mu.
+type durableState struct {
+	dir     string
+	wal     *wal.Log
+	walBase uint64 // generation the current WAL applies on top of
+	segGen  uint64 // newest durable checkpoint; 0 = none (empty gen-1 base)
+	walOpt  wal.Options
+	// checkpointBytes is the auto-checkpoint threshold; < 0 disables.
+	checkpointBytes int64
+	// checkpointErr is the last automatic-checkpoint failure, surfaced in
+	// DurabilityInfo and cleared by the next success. An auto-checkpoint
+	// failure does not fail the append that triggered it: the data is
+	// already durable in the WAL, the WAL just keeps growing.
+	checkpointErr error
+	// encBuf is the reusable batch-encoding buffer.
+	encBuf []byte
+}
+
+// walOptions maps store Options to the WAL's.
+func (o Options) walOptions() wal.Options {
+	return wal.Options{Policy: o.SyncPolicy, Interval: o.SyncInterval}
+}
+
+// effectiveCheckpointBytes resolves the auto-checkpoint threshold.
+func (o Options) effectiveCheckpointBytes() int64 {
+	switch {
+	case o.CheckpointWALBytes < 0:
+		return -1
+	case o.CheckpointWALBytes == 0:
+		return DefaultCheckpointWALBytes
+	default:
+		return o.CheckpointWALBytes
+	}
+}
+
+// Open opens (creating if needed) a durable store in dir, recovering its
+// state as the newest valid checkpoint segment plus the replayed WAL
+// tail. Already-built indexes are NOT recovered — loaded snapshots
+// rebuild them lazily on first use, exactly like a fresh FromDB store.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	st, liveBase, err := recoverDir(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	w, err := wal.Open(filepath.Join(dir, walFileName(liveBase)), opt.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	st.dur.wal = w
+	st.dur.walBase = liveBase
+	return st, nil
+}
+
+// Create initializes a durable store in dir seeded with db as generation
+// 1, replacing any previous store contents (the upload-replace shape).
+// The seed is checkpointed to a segment immediately, so the database is
+// durable the moment Create returns. The store takes ownership of db.
+//
+// Failure ordering protects the previous database: the new seed segment
+// is fully written and fsynced (under a temp name recovery ignores)
+// BEFORE any old file is touched, so an encoding or disk-space failure
+// leaves the old store exactly as it was. Only then are the old files
+// swept and the new segment installed — a window containing nothing but
+// unlink/rename metadata operations. The caller must ensure no live
+// store is still writing to dir (a concurrent owner's checkpoint could
+// interleave with the sweep).
+func Create(dir string, db *seq.DB, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	tmpSeg, err := writeSegmentTemp(dir, 1, db)
+	if err != nil {
+		return nil, err
+	}
+	// Sweep every previous storage file: this dir now means the new
+	// database. Anything unrecognized (and our own temp) is left alone.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		os.Remove(tmpSeg)
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Join(dir, name) == tmpSeg {
+			continue
+		}
+		_, isSeg := parseSegmentName(name)
+		_, isWAL := parseWALName(name)
+		if isSeg || isWAL || strings.Contains(name, segmentSuffix+".tmp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				os.Remove(tmpSeg)
+				return nil, fmt.Errorf("store: create %s: sweep %s: %w", dir, name, err)
+			}
+		}
+	}
+	if _, err := installSegment(tmpSeg, dir, 1); err != nil {
+		os.Remove(tmpSeg)
+		return nil, err
+	}
+	w, err := wal.Open(filepath.Join(dir, walFileName(1)), opt.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		w.Close()
+		return nil, err
+	}
+	st := seedStore(db, opt, 1)
+	st.dur = &durableState{
+		dir:             dir,
+		wal:             w,
+		walBase:         1,
+		segGen:          1,
+		walOpt:          opt.walOptions(),
+		checkpointBytes: opt.effectiveCheckpointBytes(),
+	}
+	return st, nil
+}
+
+// recoverDir rebuilds the in-memory store from dir's files and reports
+// which WAL file new appends continue into. The returned store has dur
+// set except for the live WAL handle, which the caller opens.
+func recoverDir(dir string, opt Options) (st *Store, liveBase uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var segGens, walBases []uint64
+	for _, e := range entries {
+		if gen, ok := parseSegmentName(e.Name()); ok {
+			segGens = append(segGens, gen)
+		}
+		if base, ok := parseWALName(e.Name()); ok {
+			walBases = append(walBases, base)
+		}
+	}
+
+	// Base state: the newest segment that loads cleanly. Segments are
+	// written atomically, so a corrupt one means external damage; fall
+	// back to an older checkpoint when one exists rather than refusing to
+	// start (the WAL chain from that older base, when still present,
+	// replays forward).
+	db := seq.NewDB()
+	var baseGen, segGen uint64 = 1, 0
+	var segErrs []error
+	sort.Slice(segGens, func(a, b int) bool { return segGens[a] > segGens[b] })
+	for _, gen := range segGens {
+		g, loaded, err := readSegment(filepath.Join(dir, segmentFileName(gen)))
+		if err != nil {
+			segErrs = append(segErrs, err)
+			continue
+		}
+		if g != gen {
+			segErrs = append(segErrs, fmt.Errorf("store: segment %s holds generation %d", segmentFileName(gen), g))
+			continue
+		}
+		db, baseGen, segGen = loaded, gen, gen
+		break
+	}
+	if segGen == 0 && len(segGens) > 0 {
+		return nil, 0, fmt.Errorf("store: open %s: no loadable checkpoint segment: %w", dir, errors.Join(segErrs...))
+	}
+
+	st = seedStore(db, opt, baseGen)
+	st.dur = &durableState{
+		dir:             dir,
+		segGen:          segGen,
+		walOpt:          opt.walOptions(),
+		checkpointBytes: opt.effectiveCheckpointBytes(),
+	}
+
+	// Replay the WAL chain: files based at or after the checkpoint, in
+	// base order, each expected to start exactly at the generation the
+	// previous one reached. Bases below the checkpoint are stale remains
+	// of an interrupted compaction — already folded into the segment —
+	// and are swept by the next checkpoint.
+	sort.Slice(walBases, func(a, b int) bool { return walBases[a] < walBases[b] })
+	liveBase = baseGen
+	cur := baseGen
+	for _, base := range walBases {
+		if base < baseGen {
+			continue
+		}
+		if base != cur {
+			// A WAL based beyond the recovered generation. One legitimate
+			// shape exists: a crash inside the checkpoint rotation window
+			// under a weak fsync policy — the new (rotated) WAL file was
+			// created durably while the old WAL's unsynced tail died with
+			// the page cache, so replay stops short of the rotation point.
+			// The rotated WAL is then necessarily EMPTY (appends only
+			// resume after the checkpoint completes, and the mutex is held
+			// throughout), and the missing tail is exactly the bounded
+			// loss the policy contract allows. Skip it; the next
+			// checkpoint sweeps it. A NON-empty out-of-chain WAL cannot
+			// arise from any crash ordering — that is real damage, and
+			// booting past it would silently drop acknowledged batches.
+			if n, valid, _, err := wal.Scan(filepath.Join(dir, walFileName(base)), nil); err == nil && n == 0 && valid == 0 {
+				continue
+			}
+			return nil, 0, fmt.Errorf("store: open %s: WAL chain gap: have non-empty %s but recovery reached generation %d", dir, walFileName(base), cur)
+		}
+		path := filepath.Join(dir, walFileName(base))
+		_, _, _, err := wal.Scan(path, func(payload []byte) error {
+			records, upsert, err := decodeBatch(payload)
+			if err != nil {
+				return err
+			}
+			st.applyLocked(records, upsert)
+			cur++
+			return nil
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: open %s: replay %s: %w", dir, walFileName(base), err)
+		}
+		liveBase = base
+	}
+	return st, liveBase, nil
+}
+
+// logBatch encodes and appends one batch to the WAL. Called under mu,
+// before the batch is applied to the spine.
+func (d *durableState) logBatch(records []Record, upsert bool) error {
+	d.encBuf = encodeBatch(d.encBuf[:0], records, upsert)
+	return d.wal.Append(d.encBuf)
+}
+
+// Checkpoint compacts the WAL into a fresh segment: the current
+// generation is serialized as segment-<gen>.seg, new appends go to a WAL
+// based at <gen>, and superseded files are deleted. A no-op when the
+// store is in-memory or nothing was appended since the last checkpoint.
+func (st *Store) Checkpoint() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dur == nil {
+		return nil
+	}
+	return st.checkpointLocked()
+}
+
+// checkpointLocked runs a checkpoint under mu.
+func (st *Store) checkpointLocked() error {
+	d := st.dur
+	gen := st.cur.Load().gen
+	if gen == d.segGen {
+		// Nothing appended since the last checkpoint (or since Create's
+		// seed segment): the segment is current, the WAL is empty.
+		return nil
+	}
+
+	// 1. Rotate: new appends (none can run; we hold mu) will go to a WAL
+	// based at gen. If a previous checkpoint attempt already rotated but
+	// failed to write the segment, the live WAL is already based at gen —
+	// don't rotate onto ourselves.
+	if d.walBase != gen {
+		nw, err := wal.Open(filepath.Join(d.dir, walFileName(gen)), d.walOpt)
+		if err != nil {
+			d.checkpointErr = err
+			return err
+		}
+		if err := syncDir(d.dir); err != nil {
+			nw.Close()
+			d.checkpointErr = err
+			return err
+		}
+		if err := d.wal.Close(); err != nil {
+			// The old WAL's tail could not be made durable; keep appending
+			// to the new WAL regardless (its chain position is valid), but
+			// report the failure: under fsync=always this cannot happen
+			// (every append already synced), under weaker policies it means
+			// a machine crash right now could lose the tail — which is the
+			// weaker policies' documented contract anyway.
+			d.checkpointErr = err
+			d.wal, d.walBase = nw, gen
+			return err
+		}
+		d.wal, d.walBase = nw, gen
+	}
+
+	// 2. Write the checkpoint for gen. The spine slices are exactly the
+	// current snapshot's sealed views, so encoding under mu sees one
+	// consistent generation.
+	if _, err := writeSegment(d.dir, gen, st.cur.Load().db); err != nil {
+		d.checkpointErr = err
+		return err
+	}
+	d.segGen = gen
+	d.checkpointErr = nil
+
+	// 3. Sweep superseded files: all segments but the new one, all WALs
+	// based before it, and any orphaned segment temp files. Best-effort —
+	// a leftover is re-swept by the next checkpoint and ignored by
+	// recovery.
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range entries {
+		name := e.Name()
+		remove := false
+		if g, ok := parseSegmentName(name); ok && g != gen {
+			remove = true
+		}
+		if b, ok := parseWALName(name); ok && b < gen {
+			remove = true
+		}
+		if strings.Contains(name, segmentSuffix+".tmp") {
+			remove = true
+		}
+		if remove {
+			_ = os.Remove(filepath.Join(d.dir, name))
+		}
+	}
+	return nil
+}
+
+// Sync flushes unsynced WAL appends to stable storage. Under
+// SyncPolicy=always every append is already durable and Sync is a no-op;
+// under the weaker policies it is the explicit durability barrier. Nil
+// for in-memory stores.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dur == nil {
+		return nil
+	}
+	return st.dur.wal.Sync()
+}
+
+// Close flushes and fsyncs the WAL and releases the store's files. The
+// in-memory snapshots stay usable (they are immutable), but subsequent
+// Append calls fail. Nil and a no-op for in-memory stores; safe to call
+// twice.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dur == nil {
+		return nil
+	}
+	return st.dur.wal.Close()
+}
+
+// DurabilityInfo reports the persistence state of the store.
+type DurabilityInfo struct {
+	// Durable is false for in-memory stores; every other field is then
+	// zero.
+	Durable bool
+	// Dir is the storage directory.
+	Dir string
+	// SyncPolicy is the configured WAL fsync policy.
+	SyncPolicy wal.SyncPolicy
+	// Generation is the current snapshot generation.
+	Generation uint64
+	// SegmentGeneration is the generation of the newest durable
+	// checkpoint; recovery replays the WAL from here. 0 = no checkpoint
+	// yet (the store recovers from an empty base).
+	SegmentGeneration uint64
+	// WALBytes and WALRecords size the live write-ahead tail.
+	WALBytes   int64
+	WALRecords int
+	// CheckpointError is the last automatic-checkpoint failure, or ""
+	// (cleared by the next successful checkpoint). The WAL keeps the data
+	// safe meanwhile; it just cannot be compacted.
+	CheckpointError string
+}
+
+// Durability returns the persistence state of the store.
+func (st *Store) Durability() DurabilityInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dur == nil {
+		return DurabilityInfo{}
+	}
+	info := DurabilityInfo{
+		Durable:           true,
+		Dir:               st.dur.dir,
+		SyncPolicy:        st.dur.walOpt.Policy,
+		Generation:        st.cur.Load().gen,
+		SegmentGeneration: st.dur.segGen,
+		WALBytes:          st.dur.wal.Size(),
+		WALRecords:        st.dur.wal.Records(),
+	}
+	if st.dur.checkpointErr != nil {
+		info.CheckpointError = st.dur.checkpointErr.Error()
+	}
+	return info
+}

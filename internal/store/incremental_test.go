@@ -95,7 +95,7 @@ func TestMineAppendMineParity(t *testing.T) {
 							t.Fatal(err)
 						}
 
-						s2 := st.Append(fixtureAppend(base), true)
+						s2 := mustAppend(t, st, fixtureAppend(base), true)
 						res2, err := core.Mine(s2.Index(disableFastNext), opt)
 						if err != nil {
 							t.Fatal(err)
@@ -154,7 +154,7 @@ func TestRepeatedAppendsParity(t *testing.T) {
 	}
 	opt := core.Options{MinSupport: 2}
 	for step, batch := range batches {
-		snap := st.Append(batch, true)
+		snap := mustAppend(t, st, batch, true)
 		got, err := core.Mine(snap, opt) // snapshot passed straight to core
 		if err != nil {
 			t.Fatal(err)

@@ -36,16 +36,32 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/seq"
+	"repro/internal/wal"
 )
 
-// Options tunes the store's index construction.
+// Options tunes the store's index construction and, for stores opened
+// with Open or Create, its durability.
 type Options struct {
 	// FastNextMemBudget caps the bytes spent on FastNext successor tables
 	// per index, carried across incremental extensions. 0 selects
 	// seq.DefaultFastNextMemBudget; negative means unlimited.
 	FastNextMemBudget int64
+
+	// SyncPolicy selects when WAL appends are fsynced (durable stores
+	// only). The zero value is wal.SyncAlways: an acknowledged append can
+	// never be lost, at the cost of one fsync per batch.
+	SyncPolicy wal.SyncPolicy
+	// SyncInterval is the background fsync cadence under
+	// wal.SyncInterval; 0 selects wal.DefaultSyncInterval.
+	SyncInterval time.Duration
+	// CheckpointWALBytes triggers an automatic checkpoint when the WAL
+	// exceeds this size after an append. 0 selects
+	// DefaultCheckpointWALBytes; negative disables automatic checkpoints
+	// (Checkpoint can still be called explicitly).
+	CheckpointWALBytes int64
 }
 
 // Record is one unit of an append batch: events to add under a label.
@@ -76,6 +92,10 @@ type Store struct {
 	labels  []string
 	byLabel map[string]int // recorded (non-empty) label -> first index
 	sum     summaryAcc
+
+	// dur is the persistence arm (nil for in-memory stores); see
+	// durable.go. Guarded by mu.
+	dur *durableState
 
 	cur atomic.Pointer[Snapshot]
 }
@@ -155,9 +175,16 @@ func New(opt Options) *Store {
 	return st
 }
 
-// FromDB returns a store seeded with db as generation 1. The store takes
-// ownership: db must not be mutated by the caller afterwards.
+// FromDB returns an in-memory store seeded with db as generation 1. The
+// store takes ownership: db must not be mutated by the caller afterwards.
 func FromDB(db *seq.DB, opt Options) *Store {
+	return seedStore(db, opt, 1)
+}
+
+// seedStore builds a store whose first published snapshot is db at the
+// given generation (recovery republishes a checkpoint's generation; fresh
+// stores start at 1).
+func seedStore(db *seq.DB, opt Options, gen uint64) *Store {
 	st := &Store{
 		opt:     opt,
 		dict:    db.Dict,
@@ -180,7 +207,7 @@ func FromDB(db *seq.DB, opt Options) *Store {
 	for i, s := range st.seqs {
 		st.sum.addSeq(len(s), i+1)
 	}
-	st.publish(1, nil, nil)
+	st.publish(gen, nil, nil)
 	return st
 }
 
@@ -200,10 +227,33 @@ func (st *Store) Current() *Snapshot {
 // sequences. The parent snapshot's indexes, when already built, are
 // extended incrementally so the new snapshot is immediately mineable
 // without a rebuild.
-func (st *Store) Append(records []Record, upsert bool) *Snapshot {
+//
+// On a durable store the batch is written to the WAL — and, under
+// SyncPolicy=always, fsynced — before the snapshot is published: an
+// error means nothing was applied and nothing was acknowledged. Errors
+// are impossible on in-memory stores.
+func (st *Store) Append(records []Record, upsert bool) (*Snapshot, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.dur != nil {
+		if err := st.dur.logBatch(records, upsert); err != nil {
+			return nil, err
+		}
+	}
+	snap := st.applyLocked(records, upsert)
+	if st.dur != nil && st.dur.checkpointBytes >= 0 && st.dur.wal.Size() >= st.dur.checkpointBytes {
+		// Compact the WAL into a fresh checkpoint. Best-effort: the append
+		// itself is durable already, so a checkpoint failure (reported via
+		// Durability) must not fail the append.
+		_ = st.checkpointLocked()
+	}
+	return snap, nil
+}
 
+// applyLocked applies one batch to the spine and publishes the next
+// snapshot. Caller holds st.mu; durability is the caller's concern (the
+// WAL write precedes this, replay re-enters here).
+func (st *Store) applyLocked(records []Record, upsert bool) *Snapshot {
 	parent := st.cur.Load()
 	oldN := len(st.seqs)
 

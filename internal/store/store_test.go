@@ -7,6 +7,15 @@ import (
 	"repro/internal/seq"
 )
 
+func mustAppend(t testing.TB, st *Store, records []Record, upsert bool) *Snapshot {
+	t.Helper()
+	snap, err := st.Append(records, upsert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
 func mustMine(t *testing.T, v core.IndexView, opt core.Options) *core.Result {
 	t.Helper()
 	res, err := core.Mine(v, opt)
@@ -31,7 +40,7 @@ func TestEmptyStoreLineage(t *testing.T) {
 		t.Fatalf("empty snapshot mined %d patterns", res.NumPatterns)
 	}
 
-	s2 := st.Append([]Record{{Label: "S1", Events: []string{"a", "b", "a", "b"}}}, false)
+	s2 := mustAppend(t, st, []Record{{Label: "S1", Events: []string{"a", "b", "a", "b"}}}, false)
 	if s2.Generation() != 2 || st.Current() != s2 {
 		t.Fatalf("append did not publish generation 2")
 	}
@@ -55,7 +64,7 @@ func TestUpsertExtendsExistingSequence(t *testing.T) {
 
 	// Upsert: S1 grows, "S3" is new; without a matching label a new
 	// sequence is created even under upsert.
-	s2 := st.Append([]Record{
+	s2 := mustAppend(t, st, []Record{
 		{Label: "S1", Events: []string{"A", "B"}},
 		{Label: "S3", Events: []string{"A", "B"}},
 	}, true)
@@ -78,7 +87,7 @@ func TestUpsertExtendsExistingSequence(t *testing.T) {
 	}
 
 	// Without upsert, a colliding label is a new sequence.
-	s3 := st.Append([]Record{{Label: "S1", Events: []string{"A"}}}, false)
+	s3 := mustAppend(t, st, []Record{{Label: "S1", Events: []string{"A"}}}, false)
 	if s3.NumSequences() != 4 {
 		t.Fatalf("gen3 has %d sequences, want 4", s3.NumSequences())
 	}
@@ -90,7 +99,7 @@ func TestDictCopyOnWrite(t *testing.T) {
 	st := FromDB(db, Options{})
 	s1 := st.Current()
 
-	s2 := st.Append([]Record{{Events: []string{"C", "A"}}}, false)
+	s2 := mustAppend(t, st, []Record{{Events: []string{"C", "A"}}}, false)
 	if s1.DB().Dict.Size() != 2 {
 		t.Fatalf("sealed dictionary grew to %d events", s1.DB().Dict.Size())
 	}
@@ -102,7 +111,7 @@ func TestDictCopyOnWrite(t *testing.T) {
 	}
 
 	// A batch with only known names shares the dictionary.
-	s3 := st.Append([]Record{{Events: []string{"A", "C"}}}, false)
+	s3 := mustAppend(t, st, []Record{{Events: []string{"A", "C"}}}, false)
 	if s3.DB().Dict != s2.DB().Dict {
 		t.Fatalf("known-names batch cloned the dictionary")
 	}
@@ -118,7 +127,7 @@ func TestAppendExtendsBuiltIndexes(t *testing.T) {
 	s1 := st.Current()
 	ix1 := s1.Index(false) // build fast index only
 
-	s2 := st.Append([]Record{{Label: "S9", Events: []string{"C", "B"}}}, true)
+	s2 := mustAppend(t, st, []Record{{Label: "S9", Events: []string{"C", "B"}}}, true)
 	fast, slow := s2.peekIndexes()
 	if fast == nil {
 		t.Fatalf("append did not extend the built fast index")
@@ -143,7 +152,7 @@ func TestAppendExtendsBuiltIndexes(t *testing.T) {
 
 func TestSnapshotStatsMemoized(t *testing.T) {
 	st := New(Options{})
-	s := st.Append([]Record{
+	s := mustAppend(t, st, []Record{
 		{Events: []string{"a", "b", "c"}},
 		{Events: []string{"a"}},
 	}, false)
@@ -183,16 +192,16 @@ func TestSummaryIncremental(t *testing.T) {
 	checkSummary(t, st.Current())
 
 	// Grow the unique min holder: min must rise from 2 to 4 (rescan path).
-	checkSummary(t, st.Append([]Record{{Label: "S1", Events: []string{"C", "D"}}}, true))
+	checkSummary(t, mustAppend(t, st, []Record{{Label: "S1", Events: []string{"C", "D"}}}, true))
 	// New shorter sequence: min drops to 1.
-	checkSummary(t, st.Append([]Record{{Label: "S3", Events: []string{"Z"}}}, true))
+	checkSummary(t, mustAppend(t, st, []Record{{Label: "S3", Events: []string{"Z"}}}, true))
 	// Two min holders at 1; growing one must keep min at 1 (no rescan).
-	checkSummary(t, st.Append([]Record{{Label: "S4", Events: []string{"Y"}}}, true))
-	checkSummary(t, st.Append([]Record{{Label: "S3", Events: []string{"Z", "Z"}}}, true))
+	checkSummary(t, mustAppend(t, st, []Record{{Label: "S4", Events: []string{"Y"}}}, true))
+	checkSummary(t, mustAppend(t, st, []Record{{Label: "S3", Events: []string{"Z", "Z"}}}, true))
 	// Grow past the max.
-	checkSummary(t, st.Append([]Record{{Label: "S2", Events: []string{"A", "A", "A", "A", "A"}}}, true))
+	checkSummary(t, mustAppend(t, st, []Record{{Label: "S2", Events: []string{"A", "A", "A", "A", "A"}}}, true))
 	// Empty-events upsert of an existing label is a no-op.
-	snap := st.Append([]Record{{Label: "S2"}}, true)
+	snap := mustAppend(t, st, []Record{{Label: "S2"}}, true)
 	checkSummary(t, snap)
 	if snap.DB().Seqs[1].Len() != 9 {
 		t.Fatalf("no-op upsert changed S2 to length %d", snap.DB().Seqs[1].Len())
@@ -203,8 +212,8 @@ func TestSummaryIncremental(t *testing.T) {
 // contents — the same backing arrays serve every generation.
 func TestLineageSharesStorage(t *testing.T) {
 	st := New(Options{})
-	s1 := st.Append([]Record{{Label: "S1", Events: []string{"x", "y"}}}, false)
-	s2 := st.Append([]Record{{Label: "S2", Events: []string{"y", "z"}}}, false)
+	s1 := mustAppend(t, st, []Record{{Label: "S1", Events: []string{"x", "y"}}}, false)
+	s2 := mustAppend(t, st, []Record{{Label: "S2", Events: []string{"y", "z"}}}, false)
 	if &s1.DB().Seqs[0][0] != &s2.DB().Seqs[0][0] {
 		t.Fatalf("appending a sequence copied existing sequence contents")
 	}

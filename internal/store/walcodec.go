@@ -1,0 +1,88 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// WAL record payload: one append batch, encoded self-contained (event
+// names, not dictionary IDs — the dictionary state at replay time is
+// whatever the base segment holds, so IDs would not be stable). Layout
+// (unsigned varints):
+//
+//	u8 flags (bit 0: upsert)
+//	record count, then per record:
+//	  label length, label bytes, event count,
+//	  then per event: name length, name bytes
+//
+// Decoding uses seq.Decoder, the same hardened cursor as the segment
+// payload codec: every count and length is validated against the
+// remaining input, so corruption yields an error, never a panic or an
+// outsized allocation.
+
+const batchFlagUpsert = 1
+
+// encodeBatch appends the encoding of one batch to buf.
+func encodeBatch(buf []byte, records []Record, upsert bool) []byte {
+	var flags byte
+	if upsert {
+		flags |= batchFlagUpsert
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(records)))
+	for _, rec := range records {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Label)))
+		buf = append(buf, rec.Label...)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Events)))
+		for _, name := range rec.Events {
+			buf = binary.AppendUvarint(buf, uint64(len(name)))
+			buf = append(buf, name...)
+		}
+	}
+	return buf
+}
+
+// decodeBatch decodes one batch payload.
+func decodeBatch(data []byte) (records []Record, upsert bool, err error) {
+	d := seq.NewDecoder("store: batch decode", data)
+	flags, err := d.U8("flags byte")
+	if err != nil {
+		return nil, false, err
+	}
+	if flags&^batchFlagUpsert != 0 {
+		return nil, false, fmt.Errorf("store: batch decode: unknown flags %#x", flags)
+	}
+	upsert = flags&batchFlagUpsert != 0
+	// A record costs at least 2 bytes (label length + event count), an
+	// event at least 1 (name length); those floors cap pre-allocation.
+	n, err := d.Count("record count", 2)
+	if err != nil {
+		return nil, false, err
+	}
+	records = make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		label, err := d.Str("label")
+		if err != nil {
+			return nil, false, err
+		}
+		evN, err := d.Count("event count", 1)
+		if err != nil {
+			return nil, false, err
+		}
+		events := make([]string, 0, evN)
+		for j := 0; j < evN; j++ {
+			name, err := d.Str("event name")
+			if err != nil {
+				return nil, false, err
+			}
+			events = append(events, name)
+		}
+		records = append(records, Record{Label: label, Events: events})
+	}
+	if err := d.Done(); err != nil {
+		return nil, false, err
+	}
+	return records, upsert, nil
+}

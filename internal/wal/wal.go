@@ -1,0 +1,380 @@
+// Package wal implements the write-ahead log under the durable snapshot
+// store: an append-only file of CRC32C-framed records with a configurable
+// fsync policy. The log is the first stop of every durable append — a
+// record is written (and, under SyncAlways, fsynced) here before the
+// in-memory snapshot that contains it is published — so any state a
+// client has been acknowledged can be reconstructed by replaying the log
+// over the last checkpoint segment.
+//
+// Frame format (little-endian):
+//
+//	offset  size  field
+//	0       4     payload length n
+//	4       4     CRC32C over the length field and the payload
+//	8       n     payload
+//
+// Torn writes — the tail of the file holding a frame that was only partly
+// written when the process or machine died — are detected by the CRC (or
+// by the frame extending past the end of the file) and are not an error:
+// Scan stops cleanly at the last intact frame, and Open truncates the
+// torn tail away so the next append starts on a clean boundary. A frame
+// is either fully durable or it never happened; there is no state in
+// which replay yields a corrupted record.
+//
+// The package deliberately knows nothing about what the payloads mean;
+// the store layers its batch encoding on top.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appends are made durable with fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append before it returns. The only
+	// policy under which an acknowledged append can never be lost to a
+	// machine crash (process crashes lose nothing under any policy: the
+	// data is in the kernel page cache the moment Append returns).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs in the background at a fixed interval. A machine
+	// crash can lose up to one interval of acknowledged appends.
+	SyncInterval
+	// SyncNever never fsyncs explicitly; durability is whenever the OS
+	// writes the page cache back. Fastest, weakest.
+	SyncNever
+)
+
+// String returns the wire/flag name of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a flag value to a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// DefaultSyncInterval is the background fsync cadence under SyncInterval
+// when Options.Interval is zero.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// Options configures a Log.
+type Options struct {
+	// Policy selects the fsync policy. The zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the background fsync cadence under SyncInterval;
+	// 0 selects DefaultSyncInterval.
+	Interval time.Duration
+}
+
+// frameHeaderSize is the fixed per-record overhead: 4-byte length +
+// 4-byte CRC32C.
+const frameHeaderSize = 8
+
+// maxPayload bounds a single record. Far above any append batch the
+// store writes; its real job is to let Scan reject absurd length fields
+// (from corruption) without attempting huge allocations.
+const maxPayload = 1 << 30
+
+// castagnoli is the CRC32C table (the polynomial used by iSCSI, ext4,
+// and most storage formats; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC computes the frame checksum: CRC32C over the 4-byte length
+// field followed by the payload, so a bit flip in the length is caught
+// even when the flipped length still lands inside the file.
+func frameCRC(lenField [4]byte, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, lenField[:])
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; appends are serialized internally.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	opt  Options
+	size int64 // valid bytes (file size after torn-tail truncation)
+	recs int   // records in the log (replayed + appended)
+
+	dirty bool  // bytes written since the last fsync
+	err   error // sticky: first write/sync failure poisons the log
+
+	stop chan struct{} // closes the SyncInterval goroutine
+	done chan struct{}
+}
+
+// Open opens (creating if needed) the log at path, scans it to find the
+// valid record prefix, truncates any torn tail, and positions for
+// appending. The returned Log is ready for Append; the number of intact
+// records already in the log is available via Records, and callers replay
+// them with Scan before appending.
+func Open(path string, opt Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	recs, valid, _, err := scan(f, st.Size(), nil)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: scan %s: %w", path, err)
+	}
+	if valid < st.Size() {
+		// Torn or corrupt tail from a crash mid-write: drop it so the next
+		// frame starts on a clean boundary. Nothing acknowledged lives
+		// there — acknowledgment happens after the full frame write (and,
+		// under SyncAlways, its fsync) returned.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, opt: opt, size: valid, recs: recs}
+	if opt.Policy == SyncInterval {
+		interval := opt.Interval
+		if interval <= 0 {
+			interval = DefaultSyncInterval
+		}
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop(interval, l.stop, l.done)
+	}
+	return l, nil
+}
+
+// syncLoop is the SyncInterval background fsync. The stop/done channels
+// are parameters (not read from the struct) because Close nils the
+// fields while this goroutine is still draining.
+func (l *Log) syncLoop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			l.syncLocked()
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Path returns the file path of the log.
+func (l *Log) Path() string { return l.path }
+
+// Size returns the current byte size of the valid log.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the number of intact records in the log.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs
+}
+
+// Append writes one record. Under SyncAlways the record is fsynced
+// before Append returns: when Append returns nil, the record survives
+// any crash. A write or sync failure poisons the log — every subsequent
+// call returns the same error — because a partial frame may be on disk
+// and appending after it would be unrecoverable garbage (on restart,
+// Open truncates the partial frame away).
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("wal: empty record")
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), maxPayload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC([4]byte(hdr[0:4]), payload))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		l.err = fmt.Errorf("wal: write: %w", err)
+		return l.err
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		l.err = fmt.Errorf("wal: write: %w", err)
+		return l.err
+	}
+	l.size += int64(frameHeaderSize + len(payload))
+	l.recs++
+	l.dirty = true
+	if l.opt.Policy == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync fsyncs any unsynced appends. A no-op when nothing is dirty.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	return l.syncLocked()
+}
+
+// syncLocked fsyncs under l.mu.
+func (l *Log) syncLocked() error {
+	if l.err != nil || !l.dirty {
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: sync: %w", err)
+		return l.err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log. Safe to call twice.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.stop != nil {
+		close(l.stop)
+		done := l.done
+		l.stop, l.done = nil, nil
+		// The sync loop may be blocked on l.mu; release it for the handoff.
+		l.mu.Unlock()
+		<-done
+		l.mu.Lock()
+	}
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.err
+	}
+	syncErr := l.syncLocked()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close: %w", closeErr)
+	}
+	return nil
+}
+
+// Scan replays the intact record prefix of the log file at path, calling
+// fn for every record in append order. The payload passed to fn is only
+// valid during the call. It returns the number of intact records, the
+// byte length of the valid prefix, and whether a torn or corrupt tail
+// follows it (torn tails are normal after a crash and are not an error).
+// fn returning an error aborts the scan with that error.
+func Scan(path string, fn func(payload []byte) error) (records int, valid int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	return scan(f, st.Size(), fn)
+}
+
+// scan reads frames from r until the first torn/corrupt frame or EOF.
+// Allocation is capped by the remaining file size, so a corrupt length
+// field can never force an over-allocation.
+func scan(r io.ReaderAt, fileSize int64, fn func(payload []byte) error) (records int, valid int64, torn bool, err error) {
+	var off int64
+	var hdr [frameHeaderSize]byte
+	var buf []byte
+	for {
+		remaining := fileSize - off
+		if remaining == 0 {
+			return records, off, false, nil
+		}
+		if remaining < frameHeaderSize {
+			return records, off, true, nil
+		}
+		if _, err := r.ReadAt(hdr[:], off); err != nil {
+			return records, off, false, fmt.Errorf("wal: read frame header: %w", err)
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if n == 0 || n > maxPayload || n > remaining-frameHeaderSize {
+			// A frame past EOF is a torn write; an absurd length is
+			// corruption. Either way the valid prefix ends here.
+			return records, off, true, nil
+		}
+		if int64(cap(buf)) < n {
+			// Cap growth by what the file can still hold, so corruption
+			// cannot drive allocation beyond the file size.
+			buf = make([]byte, n, min(remaining-frameHeaderSize, fileSize))
+		}
+		buf = buf[:n]
+		if _, err := r.ReadAt(buf, off+frameHeaderSize); err != nil {
+			return records, off, false, fmt.Errorf("wal: read frame payload: %w", err)
+		}
+		if frameCRC([4]byte(hdr[0:4]), buf) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return records, off, true, nil
+		}
+		if fn != nil {
+			if err := fn(buf); err != nil {
+				return records, off, false, err
+			}
+		}
+		records++
+		off += frameHeaderSize + n
+	}
+}

@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/seq"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// SyncPolicy selects when durable databases fsync the write-ahead log.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before acknowledging it: an
+	// acknowledged write can never be lost, even to a machine crash. The
+	// cost is one fsync per append batch. This is the default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs in the background at OpenOptions.SyncInterval.
+	// A machine crash can lose up to one interval of acknowledged
+	// appends; a clean process exit (or crash that spares the OS) loses
+	// nothing.
+	SyncInterval
+	// SyncNever leaves write-back entirely to the OS. Fastest, and still
+	// safe against process crashes, but a machine crash loses whatever
+	// the kernel had not yet written.
+	SyncNever
+)
+
+// String returns the flag/wire name of the policy ("always", "interval",
+// "never").
+func (p SyncPolicy) String() string { return p.internal().String() }
+
+// ParseSyncPolicy maps a flag value ("always", "interval", "never") to a
+// SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	wp, err := wal.ParsePolicy(s)
+	if err != nil {
+		return 0, err
+	}
+	switch wp {
+	case wal.SyncAlways:
+		return SyncAlways, nil
+	case wal.SyncInterval:
+		return SyncInterval, nil
+	default:
+		return SyncNever, nil
+	}
+}
+
+func (p SyncPolicy) internal() wal.SyncPolicy {
+	switch p {
+	case SyncInterval:
+		return wal.SyncInterval
+	case SyncNever:
+		return wal.SyncNever
+	default:
+		return wal.SyncAlways
+	}
+}
+
+// OpenOptions configures a durable database. The zero value is the safe
+// default: fsync on every append, automatic checkpoints at the default
+// WAL size.
+type OpenOptions struct {
+	// Sync is the WAL fsync policy. The zero value is SyncAlways.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync cadence under SyncInterval;
+	// 0 selects a 100ms default.
+	SyncInterval time.Duration
+	// CheckpointWALBytes triggers an automatic checkpoint (WAL compacted
+	// into a fresh segment) when the WAL exceeds this size. 0 selects a
+	// 4 MiB default; negative disables automatic checkpoints, leaving
+	// compaction to explicit Compact calls.
+	CheckpointWALBytes int64
+}
+
+func (o OpenOptions) internal() store.Options {
+	return store.Options{
+		SyncPolicy:         o.Sync.internal(),
+		SyncInterval:       o.SyncInterval,
+		CheckpointWALBytes: o.CheckpointWALBytes,
+	}
+}
+
+// Open opens (creating if needed) a durable database stored in dir,
+// recovering any previous state: the newest checkpoint segment is loaded
+// and the write-ahead tail is replayed on top, so every append
+// acknowledged under SyncAlways — and every append at all, if the
+// machine did not crash — is present. Torn tails from a crash mid-write
+// are detected by checksums and dropped cleanly.
+//
+// The returned database behaves exactly like an in-memory one (appends
+// publish immutable snapshots, mining runs against one generation), plus
+// every Append is logged before it is acknowledged. Call Close when
+// done; call Sync after batches of Adds under weaker sync policies.
+func Open(dir string, opt OpenOptions) (*Database, error) {
+	st, err := store.Open(dir, opt.internal())
+	if err != nil {
+		return nil, fmt.Errorf("repro: open %s: %w", dir, err)
+	}
+	return &Database{st: st}, nil
+}
+
+// Create initializes a durable database in dir from r in the given
+// format, replacing whatever database the directory held before (the
+// upload-replace shape of the service). The parsed contents are
+// checkpointed to a segment before Create returns, so the database is
+// durable immediately.
+func Create(dir string, r io.Reader, format Format, opt OpenOptions) (*Database, error) {
+	f, err := format.internal()
+	if err != nil {
+		return nil, err
+	}
+	db, err := seq.Parse(r, f)
+	if err != nil {
+		return nil, fmt.Errorf("repro: create %s (format %s): %w", dir, format, err)
+	}
+	st, err := store.Create(dir, db, opt.internal())
+	if err != nil {
+		return nil, fmt.Errorf("repro: create %s: %w", dir, err)
+	}
+	return &Database{st: st}, nil
+}
+
+// Persist writes the database's current snapshot into dir as a durable
+// database — replacing whatever database the directory held — and
+// returns the durable handle. The snapshot is checkpointed to a segment
+// before Persist returns. The receiver stays a valid, independent
+// in-memory database; services use Persist to validate an upload fully
+// in memory before committing it over the previous generation's files.
+func (d *Database) Persist(dir string, opt OpenOptions) (*Database, error) {
+	st, err := store.Create(dir, d.st.Current().DB(), opt.internal())
+	if err != nil {
+		return nil, fmt.Errorf("repro: persist %s: %w", dir, err)
+	}
+	return &Database{st: st}, nil
+}
+
+// Sync flushes unsynced WAL appends to stable storage: the explicit
+// durability barrier under SyncInterval/SyncNever (under SyncAlways
+// every append is already durable and Sync is a no-op). Nil for
+// in-memory databases.
+func (d *Database) Sync() error { return d.st.Sync() }
+
+// Close flushes and fsyncs the write-ahead log and releases the
+// database's files. Snapshots already taken stay usable (they are
+// immutable in memory); subsequent Appends fail. A no-op for in-memory
+// databases; safe to call twice.
+func (d *Database) Close() error { return d.st.Close() }
+
+// Compact checkpoints the current generation into a fresh segment and
+// truncates the write-ahead log, bounding recovery time. Appends trigger
+// this automatically when the WAL exceeds
+// OpenOptions.CheckpointWALBytes; Compact is the explicit form (e.g.
+// before copying the directory for a backup). A no-op for in-memory
+// databases.
+func (d *Database) Compact() error { return d.st.Checkpoint() }
+
+// Persistence describes how (and whether) a database is stored.
+type Persistence struct {
+	// Durable is false for in-memory databases; all other fields are
+	// then zero.
+	Durable bool
+	// Dir is the storage directory.
+	Dir string
+	// Sync is the configured fsync policy.
+	Sync SyncPolicy
+	// Generation is the current snapshot generation.
+	Generation uint64
+	// SegmentGeneration is the newest checkpointed generation; recovery
+	// replays the WAL from there. 0 = no checkpoint yet.
+	SegmentGeneration uint64
+	// WALBytes and WALRecords size the write-ahead tail that recovery
+	// would replay.
+	WALBytes   int64
+	WALRecords int
+	// CheckpointError reports the last automatic-checkpoint failure (""
+	// when healthy). Appends remain durable through the WAL while this is
+	// set; the WAL just is not being compacted.
+	CheckpointError string
+}
+
+// Persistence returns the database's durability state.
+func (d *Database) Persistence() Persistence {
+	info := d.st.Durability()
+	p := Persistence{
+		Durable:           info.Durable,
+		Dir:               info.Dir,
+		Generation:        info.Generation,
+		SegmentGeneration: info.SegmentGeneration,
+		WALBytes:          info.WALBytes,
+		WALRecords:        info.WALRecords,
+		CheckpointError:   info.CheckpointError,
+	}
+	if info.Durable {
+		switch info.SyncPolicy {
+		case wal.SyncInterval:
+			p.Sync = SyncInterval
+		case wal.SyncNever:
+			p.Sync = SyncNever
+		default:
+			p.Sync = SyncAlways
+		}
+	}
+	return p
+}

@@ -120,8 +120,13 @@ func load(r io.Reader, format Format) (*Database, error) {
 // Add appends a new sequence of event names under the given label (empty
 // label auto-names the sequence "S<n>"), sealing the result as the next
 // snapshot. To grow an existing sequence instead, use Append.
+//
+// Add cannot fail on in-memory databases. On a durable database a WAL
+// write failure makes Add a no-op and the error is sticky: the next
+// Append, Sync, or Close returns it. Code that must observe durability
+// errors per batch should use Append.
 func (d *Database) Add(label string, events []string) {
-	d.st.Append([]store.Record{{Label: label, Events: events}}, false)
+	_, _ = d.st.Append([]store.Record{{Label: label, Events: events}}, false)
 }
 
 // AddString appends a sequence where each byte of events is one
@@ -151,12 +156,21 @@ type Record struct {
 // live log/trace ingestion). The work is proportional to the batch, not
 // the database: already-built indexes are maintained incrementally, and
 // in-flight mining runs keep their own snapshot, unaffected.
-func (d *Database) Append(records []Record) *Snapshot {
+//
+// On a durable database the batch is written to the write-ahead log —
+// and, under SyncAlways, fsynced — before this method returns: a nil
+// error means the records survive a crash. An error means nothing was
+// applied. Errors are impossible on in-memory databases.
+func (d *Database) Append(records []Record) (*Snapshot, error) {
 	batch := make([]store.Record, len(records))
 	for i, r := range records {
 		batch[i] = store.Record{Label: r.Label, Events: r.Events}
 	}
-	return &Snapshot{s: d.st.Append(batch, true)}
+	snap, err := d.st.Append(batch, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{s: snap}, nil
 }
 
 // Snapshot returns the current immutable snapshot of the database. A

@@ -6,7 +6,11 @@
 #   - ns/op regression >  FAIL_PCT (default 50%)  -> exit 1 (hard failure)
 #   - any allocs/op increase                      -> exit 1 (hard failure;
 #     the mining core is allocation-free by design, so any new alloc is a
-#     real change, not noise)
+#     real change, not noise) — EXCEPT multi-worker benchmarks
+#     ("workers=2" and up), whose per-shard/per-steal allocation counts
+#     are scheduler-dependent: those get a +-5% tolerance band and a
+#     warning instead, because an identical binary moves a few percent
+#     run to run and a zero-tolerance gate there only produces flakes
 #   - ns/op regression in (WARN_PCT, FAIL_PCT]    -> exit 0 with a GitHub
 #     ::warning:: annotation (noisy-runner territory)
 #
@@ -67,8 +71,20 @@ END {
 		if (delta > worst) { worst = delta; worst_name = n }
 		mark = ""
 		if (old_allocs[n] != "null" && new_allocs[n] != "null" && new_allocs[n] + 0 > old_allocs[n] + 0) {
-			mark = "  << ALLOC REGRESSION"
-			alloc_fail[nfail_alloc++] = sprintf("%s: allocs/op %s -> %s", n, old_allocs[n], new_allocs[n])
+			adelta = (old_allocs[n] + 0 > 0) ? (new_allocs[n] - old_allocs[n]) * 100.0 / old_allocs[n] : 100
+			# Multi-worker benchmarks allocate per-shard/per-steal state
+			# whose count depends on scheduling, so their allocs/op moves a
+			# few percent run to run even on identical code (PR4 already
+			# notes that only scheduling-dependent counters may move).
+			# Tolerate small moves there with a warning; single-worker and
+			# sequential paths are deterministic and stay zero-tolerance.
+			if (n ~ /workers=([2-9]|[0-9][0-9])/ && adelta <= 5) {
+				mark = "  << alloc warn (parallel, +" sprintf("%.1f", adelta) "%)"
+				warns[nwarn++] = sprintf("%s: allocs/op %s -> %s (+%.1f%%, scheduler-dependent parallel bench)", n, old_allocs[n], new_allocs[n], adelta)
+			} else {
+				mark = "  << ALLOC REGRESSION"
+				alloc_fail[nfail_alloc++] = sprintf("%s: allocs/op %s -> %s", n, old_allocs[n], new_allocs[n])
+			}
 		}
 		if (delta > fail_pct) {
 			mark = mark "  << FAIL"
