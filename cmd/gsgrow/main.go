@@ -12,6 +12,10 @@
 // nothing and instead reports the repetitive support of one pattern given
 // as comma-separated events. -density applies the paper's case-study
 // post-processing (density filter, maximality, rank by length).
+// -semantics selects the occurrence semantics: repetitive (default),
+// nonoverlap (disjoint occurrences), compressed (CRGSgrow representative
+// patterns, tuned with -compress-delta), or gapped (gap-constrained,
+// tuned with -mingap/-maxgap).
 // The serve subcommand starts the long-running mining service instead
 // (same daemon as cmd/reprod):
 //
@@ -75,6 +79,10 @@ func main() {
 	flag.IntVar(&cfg.TopK, "topk", 0, "mine the K highest-support patterns instead of using -minsup")
 	flag.IntVar(&cfg.Workers, "workers", 1, "parallel mining fan-out")
 	flag.BoolVar(&cfg.NoFastNext, "no-fastnext", false, "use the binary-search next() index instead of O(1) successor tables")
+	flag.StringVar(&cfg.Semantics, "semantics", "repetitive", "occurrence semantics: repetitive, nonoverlap, compressed, gapped")
+	flag.IntVar(&cfg.MinGap, "mingap", 0, "minimum gap between consecutive events (-semantics gapped)")
+	flag.IntVar(&cfg.MaxGap, "maxgap", 0, "maximum gap between consecutive events (-semantics gapped)")
+	flag.Float64Var(&cfg.CompressDelta, "compress-delta", 0, "cover tolerance for -semantics compressed (0 = default 0.1)")
 	flag.Parse()
 
 	if err := run(*input, cfg); err != nil {

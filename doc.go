@@ -29,6 +29,61 @@
 // Options.Workers fans the search out over a worker pool with output
 // identical to the sequential run.
 //
+// # Occurrence semantics
+//
+// What counts as one occurrence of a pattern — and therefore which
+// patterns a run returns — is a pluggable dimension of the same API,
+// selected by Options.Semantics (and spelled identically in the HTTP
+// service's "semantics" request field and the CLI's -semantics flag):
+//
+//   - SemanticsRepetitive (the zero value): the paper's repetitive
+//     support, the maximum number of pairwise non-overlapping instances
+//     across and within sequences. The only mode with a closure theory
+//     (MineClosed) and a best-first top-k search (MineTopK*).
+//   - SemanticsNonOverlapping: disjoint-window support — each counted
+//     occurrence's whole window must end before the next begins. Greedy
+//     earliest-end matching is provably optimal here (interval
+//     scheduling), so support stays exact and anti-monotone.
+//   - SemanticsCompressed: CRGSgrow's δ-compressed representatives. The
+//     run mines the closed set internally and returns a greedy minimal
+//     subset of representatives such that every closed pattern P has a
+//     representative R with P ⊑ R and sup(R) ≥ (1−δ)·sup(P).
+//     Options.CompressDelta sets δ (0 means the 0.1 default);
+//     Options.MaxPatterns caps the representative list.
+//   - SemanticsGapped: gap-constrained mining — Options.MinGap and
+//     Options.MaxGap bound the gap between consecutive pattern events,
+//     and per-sequence support is a max-flow computation. Sequential
+//     only, no instance collection, no closed mode. The old
+//     MineGapConstrained/GapOptions surface remains as a deprecated
+//     wrapper over this mode.
+//
+// Invalid combinations (closed × nonoverlap, top-k × anything
+// non-repetitive, gap bounds without SemanticsGapped, δ outside [0,1),
+// …) fail fast with errors that satisfy errors.Is against the package's
+// sentinel taxonomy: ErrUnknownSemantics, ErrInvalidOptions,
+// ErrUnknownDatabase, ErrUnknownFormat, ErrStorage. ParseSemantics maps
+// the canonical wire/CLI strings to the enum.
+//
+// # Writing a new semantics strategy
+//
+// Internally each mode is a core.Semantics strategy
+// (internal/core/semantics.go) plugged into one shared DFS kernel. A
+// strategy answers three questions: how a pattern's compressed instance
+// set grows by one event (Grow/Singleton), what support that set
+// denotes (Support — it must be anti-monotone under pattern extension,
+// or pruning is unsound and results silently incomplete), and how the
+// run finishes (SearchOptions to adjust the traversal, Finalize to
+// post-process results, as the compressed mode does for set cover). A
+// nil strategy, SemanticsRepetitive, and SemanticsCompressed all run
+// the default instance-growth kernel unchanged — the hot path stays
+// allocation-free and bit-compatible — while a strategy like
+// nonoverlap only overrides the per-node support computation. New
+// strategies get parallelism for free (the scheduler is
+// strategy-agnostic), must stay import-clean of server/cli/store
+// (enforced by internal/archtest), and should ship with an independent
+// brute-force oracle in internal/verify plus fixture parity sweeps, as
+// the shipped modes do.
+//
 // # Snapshots and live appends
 //
 // A Database is not static: it is a handle over a snapshot store

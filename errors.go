@@ -1,0 +1,31 @@
+package repro
+
+import "errors"
+
+// Sentinel errors of the public API. Every error returned by this package
+// that stems from one of these conditions wraps the matching sentinel, so
+// callers branch with errors.Is instead of matching message text; the
+// mining service maps them to HTTP statuses in exactly one place this way.
+// The message of a wrapped error still carries the specifics (which
+// option, which value).
+var (
+	// ErrInvalidOptions marks a structurally valid request whose option
+	// values or combination are unusable (negative thresholds, gap bounds
+	// without gapped semantics, closed mining under a semantics that does
+	// not define closure, ...).
+	ErrInvalidOptions = errors.New("invalid options")
+	// ErrUnknownSemantics marks a semantics name or enum value outside
+	// the supported set; see ParseSemantics.
+	ErrUnknownSemantics = errors.New("unknown semantics")
+	// ErrUnknownFormat marks a database format name or Format value
+	// outside the supported set.
+	ErrUnknownFormat = errors.New("unknown format")
+	// ErrUnknownDatabase marks a reference to a database name the service
+	// does not hold. The library itself never returns it; it is the
+	// lookup-failure sentinel of the serving layer.
+	ErrUnknownDatabase = errors.New("unknown database")
+	// ErrStorage marks a durable-storage failure (WAL, segment, or
+	// filesystem); the underlying cause stays reachable through
+	// errors.Is/As.
+	ErrStorage = errors.New("storage failure")
+)

@@ -5,10 +5,12 @@ import (
 	"repro/internal/seq"
 )
 
-// GapOptions configures gap-constrained mining (the paper's Section V
-// future-work extension, implemented exactly — see internal/gapped for the
-// algorithmic notes on why this variant computes support by max flow
-// instead of greedy instance growth).
+// GapOptions configures gap-constrained mining via the deprecated
+// MineGapConstrained entry point.
+//
+// Deprecated: gap constraints are options on the unified mining surface —
+// set Options.Semantics to SemanticsGapped and use Options.MinGap/MaxGap
+// with Mine. This type remains for compatibility.
 type GapOptions struct {
 	// MinSupport is the support threshold (>= 1).
 	MinSupport int
@@ -30,28 +32,20 @@ type GapOptions struct {
 // (deleting a middle event merges two gaps), so unlike Mine/MineClosed the
 // result set is not closed under sub-patterns; it is closed under
 // prefixes.
+//
+// Deprecated: Use Mine with Options.Semantics set to SemanticsGapped,
+// which accepts the same gap bounds plus the rest of the unified option
+// surface (Ctx, OnPattern, DiscardPatterns). This wrapper forwards there
+// and returns identical patterns.
 func (d *Database) MineGapConstrained(opt GapOptions) (*Result, error) {
-	db := d.Snapshot().s.DB()
-	res, err := gapped.Mine(db, gapped.Options{
+	return d.Mine(Options{
+		Semantics:        SemanticsGapped,
 		MinSupport:       opt.MinSupport,
 		MinGap:           opt.MinGap,
 		MaxGap:           opt.MaxGap,
 		MaxPatternLength: opt.MaxPatternLength,
 		MaxPatterns:      opt.MaxPatterns,
 	})
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Truncated: res.Truncated, Elapsed: res.Duration}
-	out.Patterns = make([]Pattern, len(res.Patterns))
-	for i, p := range res.Patterns {
-		events := make([]string, len(p.Events))
-		for j, e := range p.Events {
-			events[j] = db.Dict.Name(e)
-		}
-		out.Patterns[i] = Pattern{Events: events, Support: p.Support}
-	}
-	return out, nil
 }
 
 // SupportWithGaps computes the gap-constrained repetitive support of one

@@ -15,11 +15,16 @@ import (
 // depending on anything at all) fails the suite instead of slipping in
 // silently.
 //
-//	internal/seq   stdlib only            (data model + index, leaf)
-//	internal/wal   stdlib only            (framed log, leaf)
-//	internal/core  stdlib + internal/seq  (mining algorithms)
-//	internal/store anything below it      (storage engine; checked to
-//	                                       stay off core and server)
+//	internal/seq    stdlib only            (data model + index, leaf)
+//	internal/wal    stdlib only            (framed log, leaf)
+//	internal/core   stdlib + internal/seq  (mining algorithms, including
+//	                                        the semantics strategies —
+//	                                        strategies must stay free of
+//	                                        server/cli/store imports)
+//	internal/gapped stdlib + internal/seq  (gap-constrained miner; same
+//	                                        strategy-layer constraint)
+//	internal/store  anything below it      (storage engine; checked to
+//	                                        stay off core and server)
 var archRules = []struct {
 	dir     string
 	allowed map[string]bool // non-stdlib import path -> permitted
@@ -27,6 +32,9 @@ var archRules = []struct {
 	{dir: "../seq", allowed: map[string]bool{}},
 	{dir: "../wal", allowed: map[string]bool{}},
 	{dir: "../core", allowed: map[string]bool{
+		"repro/internal/seq": true,
+	}},
+	{dir: "../gapped", allowed: map[string]bool{
 		"repro/internal/seq": true,
 	}},
 	{dir: "../store", allowed: map[string]bool{

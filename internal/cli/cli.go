@@ -10,8 +10,10 @@ import (
 	"sort"
 	"strings"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/gapped"
 	"repro/internal/postprocess"
 	"repro/internal/seq"
 )
@@ -45,6 +47,24 @@ type MineConfig struct {
 	TopK        int     // mine the K highest-support patterns instead of using MinSup
 	Workers     int     // parallel mining fan-out, <= 1 sequential
 	NoFastNext  bool    // use the binary-search next() index (paper's O(log L) formulation)
+
+	Semantics     string  // occurrence semantics: repetitive, nonoverlap, compressed, gapped
+	MinGap        int     // gapped semantics: minimum gap between consecutive events
+	MaxGap        int     // gapped semantics: maximum gap between consecutive events
+	CompressDelta float64 // compressed semantics: cover tolerance delta, 0 = default
+}
+
+// coreSemantics maps the public semantics enum to the kernel strategy;
+// repetitive maps to nil so the default hot path stays strategy-free.
+func coreSemantics(s repro.Semantics) core.Semantics {
+	switch s {
+	case repro.SemanticsNonOverlapping:
+		return core.NonOverlapping
+	case repro.SemanticsCompressed:
+		return core.Compressed
+	default:
+		return nil
+	}
 }
 
 // Mine reads a database from in and writes mining output to out.
@@ -52,6 +72,30 @@ func Mine(cfg MineConfig, in io.Reader, out io.Writer) error {
 	f, err := ParseFormat(cfg.Format)
 	if err != nil {
 		return err
+	}
+	sem, err := repro.ParseSemantics(cfg.Semantics)
+	if err != nil {
+		return err
+	}
+	if (cfg.MinGap != 0 || cfg.MaxGap != 0) && sem != repro.SemanticsGapped {
+		return fmt.Errorf("-mingap/-maxgap require -semantics gapped")
+	}
+	if cfg.CompressDelta != 0 && sem != repro.SemanticsCompressed {
+		return fmt.Errorf("-compress-delta requires -semantics compressed")
+	}
+	if cfg.TopK > 0 && sem != repro.SemanticsRepetitive {
+		return fmt.Errorf("-topk supports only repetitive semantics")
+	}
+	if cfg.Closed && (sem == repro.SemanticsNonOverlapping || sem == repro.SemanticsGapped) {
+		return fmt.Errorf("-closed is not supported with %s semantics", sem)
+	}
+	if sem == repro.SemanticsGapped {
+		if cfg.Instances {
+			return fmt.Errorf("-instances is not supported with gapped semantics")
+		}
+		if cfg.Workers > 1 {
+			return fmt.Errorf("-workers > 1 is not supported with gapped semantics")
+		}
 	}
 	db, err := seq.Parse(in, f)
 	if err != nil {
@@ -70,32 +114,39 @@ func Mine(cfg MineConfig, in io.Reader, out io.Writer) error {
 	var res *core.Result
 	var err2 error
 	algo := "GSgrow"
+	opt := core.Options{
+		MinSupport:       cfg.MinSup,
+		Closed:           cfg.Closed,
+		MaxPatternLength: cfg.MaxLen,
+		MaxPatterns:      cfg.MaxPatterns,
+		CollectInstances: cfg.Instances,
+		Semantics:        coreSemantics(sem),
+		CompressDelta:    cfg.CompressDelta,
+	}
 	switch {
+	case sem == repro.SemanticsGapped:
+		res, err2 = mineGapped(cfg, db)
+		algo = "GapGSgrow"
 	case cfg.TopK > 0:
 		res, err2 = core.MineTopKParallel(context.Background(), ix, cfg.TopK, cfg.Closed, cfg.MaxLen, cfg.Workers)
 		algo = "TopK"
 	case cfg.Workers > 1:
-		res, err2 = core.MineParallel(ix, core.Options{
-			MinSupport:       cfg.MinSup,
-			Closed:           cfg.Closed,
-			MaxPatternLength: cfg.MaxLen,
-			MaxPatterns:      cfg.MaxPatterns,
-			CollectInstances: cfg.Instances,
-		}, cfg.Workers)
+		res, err2 = core.MineParallel(ix, opt, cfg.Workers)
 	default:
-		res, err2 = core.Mine(ix, core.Options{
-			MinSupport:       cfg.MinSup,
-			Closed:           cfg.Closed,
-			MaxPatternLength: cfg.MaxLen,
-			MaxPatterns:      cfg.MaxPatterns,
-			CollectInstances: cfg.Instances,
-		})
+		res, err2 = core.Mine(ix, opt)
 	}
 	if err2 != nil {
 		return err2
 	}
-	if cfg.Closed {
-		algo = "Clo" + algo
+	switch sem {
+	case repro.SemanticsNonOverlapping:
+		algo = "GSgrow-NonOverlap"
+	case repro.SemanticsCompressed:
+		algo = "CRGSgrow"
+	default:
+		if cfg.Closed {
+			algo = "Clo" + algo
+		}
 	}
 	fmt.Fprintf(out, "# %s min_sup=%d: %d patterns in %v", algo, cfg.MinSup, res.NumPatterns, res.Stats.Duration)
 	if res.Stats.Truncated {
@@ -127,6 +178,29 @@ func Mine(cfg MineConfig, in io.Reader, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// mineGapped routes a gapped-semantics run to the gap-constrained miner
+// and adapts its result to the shared printing path.
+func mineGapped(cfg MineConfig, db *seq.DB) (*core.Result, error) {
+	gres, err := gapped.Mine(db, gapped.Options{
+		MinSupport:       cfg.MinSup,
+		MinGap:           cfg.MinGap,
+		MaxGap:           cfg.MaxGap,
+		MaxPatternLength: cfg.MaxLen,
+		MaxPatterns:      cfg.MaxPatterns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{Patterns: make([]core.Pattern, len(gres.Patterns))}
+	for i, p := range gres.Patterns {
+		res.Patterns[i] = core.Pattern{Events: p.Events, Support: p.Support}
+	}
+	res.NumPatterns = len(res.Patterns)
+	res.Stats.Truncated = gres.Truncated
+	res.Stats.Duration = gres.Duration
+	return res, nil
 }
 
 func reportSupport(cfg MineConfig, db *seq.DB, ix *seq.Index, out io.Writer) error {

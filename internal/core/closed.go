@@ -99,7 +99,7 @@ func (m *miner) growClosed(I Set) {
 		m.res.Stats.NonClosedSkipped++
 		return
 	}
-	m.emit(I)
+	m.emit(I, len(I))
 }
 
 // memoUndo records one memo mutation so it can be reverted when the DFS

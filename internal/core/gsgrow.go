@@ -22,6 +22,11 @@ type miner struct {
 	ix  *seq.Index
 	opt Options
 
+	// sem is the per-node semantics hook, nil whenever the node behavior
+	// is the inlined repetitive default (see nodeSemantics): the default
+	// hot path pays a single nil check, no interface dispatch.
+	sem Semantics
+
 	freqEvents []seq.EventID // events with singleton support >= min_sup
 
 	pattern []seq.EventID // current DFS pattern e1..em
@@ -213,7 +218,12 @@ func Mine(v IndexView, opt Options) (*Result, error) {
 	}
 	ix := v.MiningIndex()
 	start := time.Now()
-	m := newMiner(ix, opt)
+	runOpt := opt
+	if opt.Semantics != nil {
+		runOpt = opt.Semantics.SearchOptions(opt)
+	}
+	m := newMiner(ix, runOpt)
+	m.sem = nodeSemantics(opt.Semantics)
 	if ctxDone(opt.Ctx) {
 		m.res.Stats.Truncated = true
 		m.stopped = true
@@ -224,8 +234,12 @@ func Mine(v IndexView, opt Options) (*Result, error) {
 		}
 		m.mineSeed(i, e)
 	}
-	m.res.Stats.Duration = time.Since(start)
-	return m.res, nil
+	res := m.res
+	if opt.Semantics != nil {
+		res = opt.Semantics.Finalize(ix, opt, res)
+	}
+	res.Stats.Duration = time.Since(start)
+	return res, nil
 }
 
 // mineSeed runs the DFS rooted at the size-1 pattern e (the idx-th
@@ -234,7 +248,7 @@ func Mine(v IndexView, opt Options) (*Result, error) {
 // (every growClosed reverts its own entries), so per-seed subtrees are
 // independent — the property parallel mining relies on for determinism.
 func (m *miner) mineSeed(idx int, e seq.EventID) {
-	I := appendSingleton(m.getSet(m.ix.SingletonSupport(e)), m.ix, e)
+	I := m.singletonInto(m.getSet(m.ix.SingletonSupport(e)), e)
 	m.pattern = append(m.pattern[:0], e)
 	m.path = append(m.path[:0], int32(idx))
 	m.rootLen = 1
@@ -259,7 +273,15 @@ func (m *miner) grow(I Set) {
 	if m.stopped {
 		return
 	}
-	m.emit(I)
+	sup := len(I)
+	if m.sem != nil {
+		// Strategy support is anti-monotone under append, so a node below
+		// threshold takes its whole subtree with it.
+		if sup = m.sem.Support(m.ix, m.pattern, I); sup < m.opt.MinSupport {
+			return
+		}
+	}
+	m.emit(I, sup)
 	if m.stopped {
 		return
 	}
@@ -292,7 +314,7 @@ func (m *miner) grow(I Set) {
 		next++
 		e := cands[ci]
 		m.res.Stats.INSgrowCalls++
-		I2 := appendGrow(m.getSet(len(I)), m.ix, I, e)
+		I2 := m.growInto(m.getSet(len(I)), I, e)
 		if len(I2) < m.opt.MinSupport {
 			m.putSet(I2)
 			continue
@@ -375,13 +397,14 @@ func (m *miner) enterNode() {
 	}
 }
 
-// emit records the current pattern as part of the output. In counting-only
-// runs (DiscardPatterns with no OnPattern callback) nothing is
-// materialized — the pattern-copy allocation is skipped entirely. Under a
-// parallel deterministic budget the tracker decides whether the pattern
+// emit records the current pattern as part of the output, with sup the
+// support under the active semantics (len(I) for the default). In
+// counting-only runs (DiscardPatterns with no OnPattern callback) nothing
+// is materialized — the pattern-copy allocation is skipped entirely. Under
+// a parallel deterministic budget the tracker decides whether the pattern
 // can still be among the first N of the merge order; sequential runs count
 // against MaxPatterns directly.
-func (m *miner) emit(I Set) {
+func (m *miner) emit(I Set, sup int) {
 	if m.stopAll != nil && m.stopAll.Load() {
 		m.stopped = true
 		return
@@ -390,10 +413,10 @@ func (m *miner) emit(I Set) {
 		if !m.tracker.offer(m.emissionKey()) {
 			return
 		}
-		m.record(I)
+		m.record(I, sup)
 		return
 	}
-	m.record(I)
+	m.record(I, sup)
 	if m.stopped {
 		return
 	}
@@ -406,7 +429,7 @@ func (m *miner) emit(I Set) {
 // record materializes the current pattern into the result and the
 // OnPattern stream, opening a new result block first when a steal point
 // was crossed since the previous emission.
-func (m *miner) record(I Set) {
+func (m *miner) record(I Set, sup int) {
 	m.res.NumPatterns++
 	if m.opt.DiscardPatterns && m.opt.OnPattern == nil {
 		return
@@ -418,9 +441,13 @@ func (m *miner) record(I Set) {
 		})
 		m.splitPending = false
 	}
-	p := Pattern{Events: append([]seq.EventID(nil), m.pattern...), Support: len(I)}
+	p := Pattern{Events: append([]seq.EventID(nil), m.pattern...), Support: sup}
 	if m.opt.CollectInstances {
-		p.Instances = ComputeSupportSet(m.ix, p.Events)
+		if m.sem != nil {
+			p.Instances = m.sem.Instances(m.ix, p.Events)
+		} else {
+			p.Instances = ComputeSupportSet(m.ix, p.Events)
+		}
 	}
 	if !m.opt.DiscardPatterns {
 		m.res.Patterns = append(m.res.Patterns, p)
@@ -429,6 +456,25 @@ func (m *miner) record(I Set) {
 		m.stopped = true
 		m.res.Stats.Truncated = true
 	}
+}
+
+// growInto is the strategy-aware appendGrow: the default (nil) hook stays
+// on the inlined leftmost instance growth. Every growth of DFS driver
+// state — candidate loops, donation, stolen-task setup — goes through
+// here so a strategy sees a consistent set lineage.
+func (m *miner) growInto(dst Set, I Set, e seq.EventID) Set {
+	if m.sem != nil {
+		return m.sem.Grow(dst, m.ix, I, e)
+	}
+	return appendGrow(dst, m.ix, I, e)
+}
+
+// singletonInto is the strategy-aware appendSingleton (see growInto).
+func (m *miner) singletonInto(dst Set, e seq.EventID) Set {
+	if m.sem != nil {
+		return m.sem.Singleton(dst, m.ix, e)
+	}
+	return appendSingleton(dst, m.ix, e)
 }
 
 // emissionKey returns the order key of the current node's emission: the

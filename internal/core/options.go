@@ -75,6 +75,18 @@ type Options struct {
 	// counts and stats are kept. Useful with OnPattern for huge runs and
 	// used by the benchmark harness when only pattern counts matter.
 	DiscardPatterns bool
+
+	// Semantics selects the occurrence-semantics strategy. nil (the zero
+	// value) and Repetitive are equivalent and run the paper's
+	// GSgrow/CloGSgrow behavior on the inlined hot path; NonOverlapping
+	// and Compressed are the built-in alternatives. See semantics.go for
+	// the strategy contract.
+	Semantics Semantics
+
+	// CompressDelta is the support tolerance δ of the Compressed strategy
+	// (in [0, 1)); 0 selects DefaultCompressDelta. Setting it with any
+	// other strategy is an error.
+	CompressDelta float64
 }
 
 // Validate reports whether the options are usable.
@@ -87,6 +99,15 @@ func (o Options) Validate() error {
 	}
 	if o.MaxPatterns < 0 {
 		return fmt.Errorf("core: MaxPatterns must be >= 0, got %d", o.MaxPatterns)
+	}
+	if o.CompressDelta < 0 || o.CompressDelta >= 1 {
+		return fmt.Errorf("core: CompressDelta must be in [0, 1), got %g", o.CompressDelta)
+	}
+	if o.CompressDelta != 0 && o.Semantics != Compressed {
+		return fmt.Errorf("core: CompressDelta requires the Compressed semantics")
+	}
+	if o.Closed && o.Semantics != nil && !o.Semantics.SupportsClosed() {
+		return fmt.Errorf("core: closed mining is not defined under %s semantics", o.Semantics.Name())
 	}
 	return nil
 }

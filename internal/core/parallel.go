@@ -46,19 +46,26 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 		workers = maxParallelWorkers
 	}
 	start := time.Now()
-	seeds := ix.FrequentEvents(opt.MinSupport)
+	// The strategy may rewrite the options the search runs under (e.g.
+	// Compressed defers output shaping to Finalize); runOpt is what the
+	// workers execute, opt is what Finalize sees.
+	runOpt := opt
+	if opt.Semantics != nil {
+		runOpt = opt.Semantics.SearchOptions(opt)
+	}
+	seeds := ix.FrequentEvents(runOpt.MinSupport)
 
 	var stop atomic.Bool
 	var tracker *budgetTracker
-	if opt.MaxPatterns > 0 {
-		tracker = newBudgetTracker(opt.MaxPatterns)
+	if runOpt.MaxPatterns > 0 {
+		tracker = newBudgetTracker(runOpt.MaxPatterns)
 	}
 
-	workerOpt := opt
+	workerOpt := runOpt
 	workerOpt.MaxPatterns = 0 // enforced through the shared tracker instead
 	var cbMu sync.Mutex
-	if opt.OnPattern != nil {
-		inner := opt.OnPattern
+	if runOpt.OnPattern != nil {
+		inner := runOpt.OnPattern
 		workerOpt.OnPattern = func(p Pattern) bool {
 			cbMu.Lock()
 			defer cbMu.Unlock()
@@ -91,6 +98,7 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		m := newMinerWithSeeds(ix, workerOpt, seeds)
+		m.sem = nodeSemantics(opt.Semantics)
 		m.sched = sched
 		m.deque = sched.deques[w]
 		m.tracker = tracker
@@ -114,7 +122,7 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 	// Reassemble the sequential emission sequence: blocks are contiguous
 	// runs of it, keyed by their first emission.
 	sort.Slice(blocks, func(a, b int) bool { return keyCmp(blocks[a].key, blocks[b].key) < 0 })
-	if !opt.DiscardPatterns {
+	if !runOpt.DiscardPatterns {
 		n := 0
 		for _, b := range blocks {
 			n += len(b.patterns)
@@ -128,9 +136,9 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 		// Deterministic budget: keep exactly the first MaxPatterns of the
 		// merge order; later-keyed emissions that slipped in while the
 		// bound was still loose are dropped here.
-		if !opt.DiscardPatterns {
-			if len(merged.Patterns) > opt.MaxPatterns {
-				merged.Patterns = merged.Patterns[:opt.MaxPatterns]
+		if !runOpt.DiscardPatterns {
+			if len(merged.Patterns) > runOpt.MaxPatterns {
+				merged.Patterns = merged.Patterns[:runOpt.MaxPatterns]
 			}
 			merged.NumPatterns = len(merged.Patterns)
 		} else {
@@ -146,6 +154,12 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 	// nothing.
 	if stop.Load() {
 		merged.Stats.Truncated = true
+	}
+	if opt.Semantics != nil {
+		// The merged result is already in deterministic sequential order,
+		// so the single Finalize pass sees the same input — and produces
+		// the same output — at every worker count.
+		merged = opt.Semantics.Finalize(ix, opt, merged)
 	}
 	merged.Stats.Duration = time.Since(start)
 	return merged, nil

@@ -260,7 +260,7 @@ func (m *miner) maybeDonate() {
 			ci := f.end
 			e := f.cands[ci]
 			m.res.Stats.INSgrowCalls++
-			I2 := appendGrow(m.getSet(len(f.I)), m.ix, f.I, e)
+			I2 := m.growInto(m.getSet(len(f.I)), f.I, e)
 			if len(I2) == len(f.I) {
 				f.appendEqual = true
 			}
@@ -317,7 +317,7 @@ func (m *miner) runTask(t *wsTask) {
 
 	I := t.set
 	if I == nil { // seed task: materialize the singleton support set
-		I = appendSingleton(m.getSet(m.ix.SingletonSupport(t.pattern[0])), m.ix, t.pattern[0])
+		I = m.singletonInto(m.getSet(m.ix.SingletonSupport(t.pattern[0])), t.pattern[0])
 	}
 	if m.opt.Closed {
 		if L := len(t.pattern); L > 1 {

@@ -1,0 +1,335 @@
+package core_test
+
+// Tests for the pluggable occurrence-semantics layer: the repetitive
+// strategy must be bit-compatible with the strategy-free default, the
+// nonoverlap strategy must agree with the independent DP oracle in
+// internal/verify, and the compressed strategy must produce a valid,
+// deterministic δ-cover of the brute-force closed set.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+// TestRepetitiveStrategyParity: passing Semantics: core.Repetitive must
+// produce exactly the result of the strategy-free default — same
+// patterns, supports, order, and counters — across fixtures, closed
+// mode, and worker counts.
+func TestRepetitiveStrategyParity(t *testing.T) {
+	for name, db := range parityDBs(t) {
+		ix := seq.NewIndex(db)
+		for _, closed := range []bool{false, true} {
+			for _, workers := range []int{1, 4} {
+				opt := core.Options{MinSupport: 2, Closed: closed}
+				want := mineWith(t, ix, opt, workers)
+				opt.Semantics = core.Repetitive
+				got := mineWith(t, ix, opt, workers)
+				want.Stats.Duration, got.Stats.Duration = 0, 0
+				if workers == 1 {
+					// Sequential runs must match bit for bit, counters included.
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s closed=%v: repetitive strategy diverges from default", name, closed)
+					}
+					continue
+				}
+				// Parallel scheduling counters are steal-variant run to run;
+				// the emitted patterns must still be identical.
+				if patternList(db, got) != patternList(db, want) || got.Stats.Truncated != want.Stats.Truncated {
+					t.Errorf("%s closed=%v workers=%d: repetitive strategy diverges from default", name, closed, workers)
+				}
+			}
+		}
+	}
+}
+
+func mineWith(t *testing.T, ix *seq.Index, opt core.Options, workers int) *core.Result {
+	t.Helper()
+	var res *core.Result
+	var err error
+	if workers > 1 {
+		res, err = core.MineParallel(ix, opt, workers)
+	} else {
+		res, err = core.Mine(ix, opt)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestNonOverlapHandCases pins the semantics difference on hand-checked
+// sequences: in "aabb" the repetitive instances [1,3] and [2,4] share no
+// positions (support 2) but their windows interleave, so only one
+// disjoint window fits; in "aabab" the leftmost set's windows overlap
+// yet two disjoint windows exist.
+func TestNonOverlapHandCases(t *testing.T) {
+	cases := []struct {
+		events          []string
+		repetitive, dis int
+	}{
+		{[]string{"a", "a", "b", "b"}, 2, 1},
+		{[]string{"a", "a", "b", "a", "b"}, 2, 2},
+		{[]string{"a", "b", "a", "b"}, 2, 2},
+	}
+	for _, c := range cases {
+		db := seq.NewDB()
+		db.Add("", c.events)
+		ix := seq.NewIndex(db)
+		p, err := db.EventSeq([]string{"a", "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := core.SupportOf(ix, p); got != c.repetitive {
+			t.Errorf("%v: repetitive support = %d, want %d", c.events, got, c.repetitive)
+		}
+		if got := len(core.NonOverlapping.Instances(ix, p)); got != c.dis {
+			t.Errorf("%v: disjoint instances = %d, want %d", c.events, got, c.dis)
+		}
+		if got := verify.NonOverlappingSupport(db, p); got != c.dis {
+			t.Errorf("%v: oracle disjoint support = %d, want %d", c.events, got, c.dis)
+		}
+		res, err := core.Mine(ix, core.Options{MinSupport: 1, Semantics: core.NonOverlapping})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, pat := range res.Patterns {
+			if db.PatternString(pat.Events) == db.PatternString(p) {
+				found = true
+				if pat.Support != c.dis {
+					t.Errorf("%v: mined support = %d, want %d", c.events, pat.Support, c.dis)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%v: pattern ab not mined", c.events)
+		}
+	}
+}
+
+// TestNonOverlapFixtureSweep: on both shipped fixtures, the nonoverlap
+// miner must return exactly the oracle's frequent set at every
+// minsup × workers × FastNext combination, and parallel runs must be
+// byte-identical to sequential ones.
+func TestNonOverlapFixtureSweep(t *testing.T) {
+	const maxLen = 6
+	for name, db := range parityDBs(t) {
+		if strings.HasPrefix(name, "quest") {
+			continue // too large for the exhaustive oracle
+		}
+		for _, minSup := range []int{2, 6, 10} {
+			want := verify.FrequentNonOverlapping(db, minSup, maxLen)
+			for _, fastNext := range []bool{false, true} {
+				ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: fastNext})
+				opt := core.Options{MinSupport: minSup, MaxPatternLength: maxLen, Semantics: core.NonOverlapping}
+				seqRes := mineWith(t, ix, opt, 1)
+				if !samePatternLists(t, db, seqRes.Patterns, want) {
+					t.Errorf("%s minsup=%d fastnext=%v: sequential nonoverlap diverges from oracle", name, minSup, fastNext)
+				}
+				for _, workers := range []int{1, 4} {
+					par := mineWith(t, ix, opt, workers)
+					if !samePatterns(db, par.Patterns, seqRes.Patterns) {
+						t.Errorf("%s minsup=%d fastnext=%v workers=%d: parallel nonoverlap diverges from sequential", name, minSup, fastNext, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+func samePatterns(db *seq.DB, a, b []core.Pattern) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k].Support != b[k].Support || db.PatternString(a[k].Events) != db.PatternString(b[k].Events) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyNonOverlapSupportMatchesOracle: the miner's greedy
+// earliest-end window matching equals the oracle's start-position DP on
+// random inputs.
+func TestPropertyNonOverlapSupportMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		for trial := 0; trial < 8; trial++ {
+			p := randomPattern(r, db, 5)
+			got := len(core.NonOverlapping.Instances(ix, p))
+			want := verify.NonOverlappingSupport(db, p)
+			if got != want {
+				t.Logf("db=%v pattern=%v got=%d want=%d", dump(db), db.PatternString(p), got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNonOverlapComplete: the nonoverlap miner finds exactly the
+// patterns the exhaustive oracle finds, with identical supports, and the
+// parallel run matches the sequential one.
+func TestPropertyNonOverlapComplete(t *testing.T) {
+	const maxLen = 4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		minSup := 1 + r.Intn(3)
+		opt := core.Options{MinSupport: minSup, MaxPatternLength: maxLen, Semantics: core.NonOverlapping}
+		res, err := core.Mine(ix, opt)
+		if err != nil {
+			t.Logf("mine: %v", err)
+			return false
+		}
+		if !samePatternLists(t, db, res.Patterns, verify.FrequentNonOverlapping(db, minSup, maxLen)) {
+			return false
+		}
+		par, err := core.MineParallel(ix, opt, 4)
+		if err != nil {
+			t.Logf("parallel: %v", err)
+			return false
+		}
+		return samePatterns(db, par.Patterns, res.Patterns)
+	}
+	if err := quick.Check(f, quickCfg(120)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompressedCoverFixtures: on both fixtures, the compressed miner's
+// representatives are closed frequent patterns forming a complete
+// δ-cover, identical at every worker count and FastNext setting.
+func TestCompressedCoverFixtures(t *testing.T) {
+	const maxLen = 6
+	for name, db := range parityDBs(t) {
+		if strings.HasPrefix(name, "quest") {
+			continue // too large for the exhaustive oracle
+		}
+		for _, delta := range []float64{0, 0.3} {
+			effective := delta
+			if effective == 0 {
+				effective = core.DefaultCompressDelta
+			}
+			opt := core.Options{MinSupport: 2, MaxPatternLength: maxLen, Semantics: core.Compressed, CompressDelta: delta}
+			var base *core.Result
+			for _, fastNext := range []bool{false, true} {
+				ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: fastNext})
+				for _, workers := range []int{1, 4} {
+					res := mineWith(t, ix, opt, workers)
+					if err := verify.CheckCompressedCover(db, 2, maxLen, effective, res.Patterns); err != nil {
+						t.Errorf("%s delta=%g fastnext=%v workers=%d: %v", name, delta, fastNext, workers, err)
+					}
+					if base == nil {
+						base = res
+					} else if !samePatterns(db, res.Patterns, base.Patterns) {
+						t.Errorf("%s delta=%g fastnext=%v workers=%d: representatives diverge across runs", name, delta, fastNext, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedMaxPatterns: MaxPatterns caps the representative count
+// (not the internal closed search) and reports truncation when the cap
+// cuts the cover short.
+func TestCompressedMaxPatterns(t *testing.T) {
+	for name, db := range parityDBs(t) {
+		if strings.HasPrefix(name, "quest") {
+			continue
+		}
+		ix := seq.NewIndex(db)
+		full := mineWith(t, ix, core.Options{MinSupport: 2, Semantics: core.Compressed}, 1)
+		if len(full.Patterns) < 2 {
+			continue
+		}
+		capped := mineWith(t, ix, core.Options{MinSupport: 2, Semantics: core.Compressed, MaxPatterns: 1}, 1)
+		if len(capped.Patterns) != 1 {
+			t.Errorf("%s: MaxPatterns=1 returned %d representatives", name, len(capped.Patterns))
+		}
+		if !capped.Stats.Truncated {
+			t.Errorf("%s: capped cover not marked truncated", name)
+		}
+		if !samePatterns(db, capped.Patterns, full.Patterns[:1]) {
+			t.Errorf("%s: capped cover picked a different first representative", name)
+		}
+	}
+}
+
+// TestPropertyCompressedCover: on random databases the compressed result
+// is always a valid complete δ-cover of the brute-force closed set.
+func TestPropertyCompressedCover(t *testing.T) {
+	const maxLen = 3
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := randomDB(r)
+		if db.Dict.Size() == 0 {
+			return true
+		}
+		ix := seq.NewIndex(db)
+		minSup := 1 + r.Intn(2)
+		delta := []float64{0.1, 0.5}[r.Intn(2)]
+		opt := core.Options{MinSupport: minSup, MaxPatternLength: maxLen, Semantics: core.Compressed, CompressDelta: delta}
+		res, err := core.Mine(ix, opt)
+		if err != nil {
+			t.Logf("mine: %v", err)
+			return false
+		}
+		if err := verify.CheckCompressedCover(db, minSup, maxLen, delta, res.Patterns); err != nil {
+			t.Logf("db=%v: %v", dump(db), err)
+			return false
+		}
+		par, err := core.MineParallel(ix, opt, 4)
+		if err != nil {
+			t.Logf("parallel: %v", err)
+			return false
+		}
+		return samePatterns(db, par.Patterns, res.Patterns)
+	}
+	if err := quick.Check(f, quickCfg(100)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSemanticsValidation: option combinations the strategy layer must
+// reject.
+func TestSemanticsValidation(t *testing.T) {
+	db := seq.NewDB()
+	db.Add("", []string{"a", "b"})
+	ix := seq.NewIndex(db)
+	bad := []core.Options{
+		{MinSupport: 1, Closed: true, Semantics: core.NonOverlapping},
+		{MinSupport: 1, CompressDelta: 0.2},
+		{MinSupport: 1, Semantics: core.Compressed, CompressDelta: 1.5},
+		{MinSupport: 1, Semantics: core.Compressed, CompressDelta: -0.1},
+	}
+	for i, opt := range bad {
+		if _, err := core.Mine(ix, opt); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := core.Mine(ix, core.Options{MinSupport: 1, Semantics: core.Compressed, CompressDelta: 0.5}); err != nil {
+		t.Errorf("valid compressed options rejected: %v", err)
+	}
+}

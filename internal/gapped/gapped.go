@@ -27,6 +27,7 @@
 package gapped
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,6 +46,14 @@ type Options struct {
 	MaxPatternLength int
 	// MaxPatterns stops the run early; 0 = unbounded.
 	MaxPatterns int
+	// Ctx, when non-nil, cancels the run: the DFS polls it periodically
+	// and returns the patterns found so far with Truncated set — the same
+	// partial-result contract as the core miners.
+	Ctx context.Context
+	// OnPattern, when non-nil, streams every emitted pattern. Returning
+	// false stops the run (marked Truncated). Patterns are still
+	// accumulated in Result.Patterns.
+	OnPattern func(Pattern) bool
 }
 
 // Validate reports whether the options are usable.
@@ -85,6 +94,14 @@ func Mine(db *seq.DB, opt Options) (*Result, error) {
 	}
 	start := time.Now()
 	m := &gapMiner{db: db, opt: opt, res: &Result{}}
+	if opt.Ctx != nil {
+		select {
+		case <-opt.Ctx.Done():
+			m.stopped = true
+			m.res.Truncated = true
+		default:
+		}
+	}
 	// Seed: all distinct events with their occurrence lists. A singleton
 	// pattern has no gaps, so its support is its occurrence count.
 	occ := make(map[seq.EventID][][]int32) // event -> per-sequence end positions
@@ -104,6 +121,9 @@ func Mine(db *seq.DB, opt Options) (*Result, error) {
 	sortEventIDs(events)
 	m.events = events
 	for _, e := range events {
+		if m.stopped {
+			break
+		}
 		ends := occ[e]
 		total := 0
 		for _, list := range ends {
@@ -135,20 +155,53 @@ type gapMiner struct {
 	chain   [][][]int32
 	res     *Result
 	stopped bool
+	tick    int // nodes since the last Ctx poll
+}
+
+// ctxPoll is the amortized cancellation check: it polls Options.Ctx every
+// 64 DFS nodes (support computations dominate a node's cost by orders of
+// magnitude, so the abort latency stays small) and marks the run stopped
+// and truncated when the context is done.
+func (m *gapMiner) ctxPoll() bool {
+	if m.opt.Ctx == nil || m.stopped {
+		return m.stopped
+	}
+	m.tick++
+	if m.tick < 64 {
+		return false
+	}
+	m.tick = 0
+	select {
+	case <-m.opt.Ctx.Done():
+		m.stopped = true
+		m.res.Truncated = true
+		return true
+	default:
+		return false
+	}
 }
 
 // grow handles the current prefix, whose per-sequence end lists are on top
 // of the chain and whose total end count is endCount (an upper bound on
 // support, since non-overlapping instances end at distinct positions).
 func (m *gapMiner) grow(endCount int) {
+	if m.ctxPoll() {
+		return
+	}
 	sup := m.support()
 	if sup < m.opt.MinSupport {
 		return
 	}
-	m.res.Patterns = append(m.res.Patterns, Pattern{
+	p := Pattern{
 		Events:  append([]seq.EventID(nil), m.pattern...),
 		Support: sup,
-	})
+	}
+	m.res.Patterns = append(m.res.Patterns, p)
+	if m.opt.OnPattern != nil && !m.opt.OnPattern(p) {
+		m.stopped = true
+		m.res.Truncated = true
+		return
+	}
 	if m.opt.MaxPatterns > 0 && len(m.res.Patterns) >= m.opt.MaxPatterns {
 		m.stopped = true
 		m.res.Truncated = true

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro"
+)
+
+// errorStatus is the one place the repro error taxonomy maps to HTTP
+// statuses. Handlers wrap lookup failures with repro.ErrUnknownDatabase
+// and pass every sentinel-carrying error to writeErrorFor; the table turns
+// "which sentinel" into "which status" via errors.Is, so adding a sentinel
+// means adding one row, not auditing every handler.
+var errorStatus = []struct {
+	err    error
+	status int
+}{
+	{repro.ErrUnknownDatabase, http.StatusNotFound},
+	{repro.ErrUnknownSemantics, http.StatusBadRequest},
+	{repro.ErrInvalidOptions, http.StatusBadRequest},
+	{repro.ErrUnknownFormat, http.StatusBadRequest},
+	{repro.ErrStorage, http.StatusInternalServerError},
+}
+
+// statusFor returns the HTTP status of an error by its sentinel; errors
+// carrying none (unexpected internal failures) map to 500.
+func statusFor(err error) int {
+	for _, m := range errorStatus {
+		if errors.Is(err, m.err) {
+			return m.status
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// writeErrorFor writes err as a JSON error response with the status the
+// taxonomy assigns to it.
+func writeErrorFor(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+}
+
+// errUnknownDatabase wraps a missing-database lookup with the sentinel the
+// status table maps to 404.
+func errUnknownDatabase(name string) error {
+	return fmt.Errorf("%w %q", repro.ErrUnknownDatabase, name)
+}

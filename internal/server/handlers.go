@@ -76,7 +76,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	fname := r.URL.Query().Get("format")
 	format, err := parseFormat(fname)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeErrorFor(w, err)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
@@ -113,7 +113,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		dir := s.dbDir(name)
 		durable, err := db.Persist(dir, s.openOpts)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "persist: %v", err)
+			writeErrorFor(w, err) // wraps ErrStorage -> 500
 			return
 		}
 		if err := writeFormatMeta(dir, format.String()); err != nil {
@@ -147,7 +147,7 @@ const appendChunkSize = 1024
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.get(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		writeErrorFor(w, errUnknownDatabase(r.PathValue("name")))
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxUpload))
@@ -241,7 +241,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	ok, err := s.delete(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no database %q", name)
+		writeErrorFor(w, errUnknownDatabase(name))
 		return
 	}
 	if err != nil {
@@ -256,7 +256,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.get(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		writeErrorFor(w, errUnknownDatabase(r.PathValue("name")))
 		return
 	}
 	writeJSON(w, http.StatusOK, toDBInfo(e))
@@ -269,7 +269,7 @@ const maxRequestBody = 1 << 20
 func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.get(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		writeErrorFor(w, errUnknownDatabase(r.PathValue("name")))
 		return
 	}
 	var q supportRequest
@@ -308,7 +308,7 @@ func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.get(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no database %q", r.PathValue("name"))
+		writeErrorFor(w, errUnknownDatabase(r.PathValue("name")))
 		return
 	}
 	var q mineRequest
@@ -317,7 +317,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := q.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeErrorFor(w, err)
 		return
 	}
 	stream := q.Stream || acceptsNDJSON(r.Header.Get("Accept"))
@@ -342,7 +342,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	out, err := s.runMine(r.Context(), snap, &q, nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "mine: %v", err)
+		writeErrorFor(w, err)
 		return
 	}
 	if r.Context().Err() != nil {
@@ -370,6 +370,7 @@ func (s *Server) runMine(ctx context.Context, snap *repro.Snapshot, q *mineReque
 			MaxPatternLength: q.MaxPatternLength,
 			Workers:          q.Workers,
 			DisableFastNext:  q.DisableFastNext,
+			Semantics:        q.sem,
 		})
 	} else {
 		opt := repro.Options{
@@ -381,6 +382,10 @@ func (s *Server) runMine(ctx context.Context, snap *repro.Snapshot, q *mineReque
 			Ctx:              ctx,
 			OnPattern:        onPattern,
 			DisableFastNext:  q.DisableFastNext,
+			Semantics:        q.sem,
+			MinGap:           q.MinGap,
+			MaxGap:           q.MaxGap,
+			CompressDelta:    q.CompressDelta,
 		}
 		if q.Closed {
 			res, err = snap.MineClosed(opt)
@@ -395,7 +400,7 @@ func (s *Server) runMine(ctx context.Context, snap *repro.Snapshot, q *mineReque
 	if workers < 1 {
 		workers = 1
 	}
-	return &mineOutcome{algorithm: q.algorithm(), generation: snap.Generation(), workers: workers, result: res}, nil
+	return &mineOutcome{algorithm: q.algorithm(), semantics: q.sem.String(), generation: snap.Generation(), workers: workers, result: res}, nil
 }
 
 // maybeCache stores complete results only: truncated runs (budget hit,
@@ -424,6 +429,7 @@ func buildSummary(e *dbEntry, out *mineOutcome, cached bool) mineSummary {
 		Generation:         e.generation,
 		SnapshotGeneration: out.generation,
 		Algorithm:          out.algorithm,
+		Semantics:          out.semantics,
 		Workers:            out.workers,
 		NumPatterns:        out.result.NumPatterns,
 		Truncated:          out.result.Truncated,
@@ -464,9 +470,10 @@ func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntr
 	out, err := s.runMine(r.Context(), snap, q, onPattern)
 	if err != nil {
 		// Headers are not written until the first pattern line, so a
-		// validation error from the miner can still be a clean 400.
+		// validation error from the miner can still be a clean error
+		// status.
 		if streamed == 0 {
-			writeError(w, http.StatusBadRequest, "mine: %v", err)
+			writeErrorFor(w, err)
 		}
 		return
 	}

@@ -347,5 +347,5 @@ func parseFormat(name string) (repro.Format, error) {
 	for i, f := range wireFormats {
 		names[i] = f.String()
 	}
-	return 0, fmt.Errorf("unknown format %q (want %s)", name, strings.Join(names, ", "))
+	return 0, fmt.Errorf("%w %q (want %s)", repro.ErrUnknownFormat, name, strings.Join(names, ", "))
 }

@@ -38,6 +38,20 @@ type mineRequest struct {
 	// Results are identical; the knob exists for ablation and for
 	// memory-constrained deployments.
 	DisableFastNext bool `json:"disableFastNext"`
+	// Semantics selects the occurrence semantics: "repetitive" (default),
+	// "nonoverlap", "compressed", or "gapped" — the names accepted by
+	// repro.ParseSemantics. See the README's "Mining modes" matrix.
+	Semantics string `json:"semantics"`
+	// MinGap and MaxGap bound gaps between consecutive pattern events;
+	// only valid with "gapped" semantics.
+	MinGap int `json:"minGap"`
+	MaxGap int `json:"maxGap"`
+	// CompressDelta is the support tolerance δ of "compressed" semantics;
+	// 0 selects the default (0.1). Only valid with "compressed".
+	CompressDelta float64 `json:"compressDelta"`
+
+	// sem is the parsed Semantics value, set by validate.
+	sem repro.Semantics
 }
 
 // maxWorkers bounds the per-request worker count. Far above any useful
@@ -45,32 +59,53 @@ type mineRequest struct {
 // eager per-worker allocations stay trivial.
 const maxWorkers = 256
 
+// validate checks the request and parses its semantics field into q.sem.
+// Every error wraps a repro sentinel (ErrInvalidOptions or
+// ErrUnknownSemantics), so the handler's one status table covers request
+// validation too; semantics × option conflicts beyond these checks are
+// rejected by the repro layer with the same sentinels.
 func (q *mineRequest) validate() error {
+	sem, err := repro.ParseSemantics(q.Semantics)
+	if err != nil {
+		return err
+	}
+	q.sem = sem
 	if q.TopK < 0 {
-		return fmt.Errorf("topK must be >= 0, got %d", q.TopK)
+		return fmt.Errorf("%w: topK must be >= 0, got %d", repro.ErrInvalidOptions, q.TopK)
 	}
 	if q.Workers > maxWorkers {
-		return fmt.Errorf("workers must be <= %d, got %d", maxWorkers, q.Workers)
+		return fmt.Errorf("%w: workers must be <= %d, got %d", repro.ErrInvalidOptions, maxWorkers, q.Workers)
 	}
 	if q.TopK == 0 && q.MinSupport < 1 {
-		return fmt.Errorf("minSupport must be >= 1 (got %d) unless topK is set", q.MinSupport)
+		return fmt.Errorf("%w: minSupport must be >= 1 (got %d) unless topK is set", repro.ErrInvalidOptions, q.MinSupport)
 	}
 	if q.MaxPatternLength < 0 || q.MaxPatterns < 0 || q.Workers < 0 {
-		return fmt.Errorf("maxPatternLength, maxPatterns, and workers must be >= 0")
+		return fmt.Errorf("%w: maxPatternLength, maxPatterns, and workers must be >= 0", repro.ErrInvalidOptions)
 	}
 	// Top-k mode has no instance collection and k already is the pattern
 	// budget; silently ignoring these would misreport what ran.
 	if q.TopK > 0 && q.Instances {
-		return fmt.Errorf("instances is not supported in top-k mode")
+		return fmt.Errorf("%w: instances is not supported in top-k mode", repro.ErrInvalidOptions)
 	}
 	if q.TopK > 0 && q.MaxPatterns > 0 {
-		return fmt.Errorf("maxPatterns conflicts with topK (k already bounds the result)")
+		return fmt.Errorf("%w: maxPatterns conflicts with topK (k already bounds the result)", repro.ErrInvalidOptions)
+	}
+	if q.TopK > 0 && sem != repro.SemanticsRepetitive {
+		return fmt.Errorf("%w: topK supports only repetitive semantics (got %s)", repro.ErrInvalidOptions, sem)
 	}
 	return nil
 }
 
 // algorithm names the paper algorithm the request resolves to.
 func (q *mineRequest) algorithm() string {
+	switch q.sem {
+	case repro.SemanticsNonOverlapping:
+		return "GSgrow-NonOverlap"
+	case repro.SemanticsCompressed:
+		return "CRGSgrow"
+	case repro.SemanticsGapped:
+		return "GapGSgrow"
+	}
 	name := "GSgrow"
 	if q.TopK > 0 {
 		name = "TopK"
@@ -97,14 +132,25 @@ func (q *mineRequest) algorithm() string {
 // assert it): the knob exists precisely to measure the variants against
 // each other, and serving a cached fast-index result to a
 // disableFastNext probe would silently invalidate the measurement.
+//
+// Semantics is a cache dimension, canonicalized through the parsed value
+// (so "" and "repetitive" share entries), as are its mode parameters:
+// minGap/maxGap (always 0 outside gapped mode — validation rejects them
+// elsewhere) and the compression tolerance, where delta=0 is canonicalized
+// to the default it selects so explicit-default requests share the entry.
 func (q *mineRequest) cacheKey(db string, uploadGen, snapGen uint64) string {
-	return fmt.Sprintf("%s@%d.%d|closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t fastnext=%t",
-		db, uploadGen, snapGen, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances, !q.DisableFastNext)
+	delta := q.CompressDelta
+	if q.sem == repro.SemanticsCompressed && delta == 0 {
+		delta = repro.DefaultCompressDelta
+	}
+	return fmt.Sprintf("%s@%d.%d|sem=%s closed=%t minsup=%d topk=%d maxlen=%d maxpat=%d inst=%t fastnext=%t mingap=%d maxgap=%d delta=%g",
+		db, uploadGen, snapGen, q.sem, q.Closed, q.MinSupport, q.TopK, q.MaxPatternLength, q.MaxPatterns, q.Instances, !q.DisableFastNext, q.MinGap, q.MaxGap, delta)
 }
 
 // mineOutcome is a finished mining run as held in the cache.
 type mineOutcome struct {
 	algorithm  string
+	semantics  string // wire name of the occurrence semantics the run used
 	generation uint64 // snapshot generation the run was pinned to
 	workers    int    // worker count the run actually used (>= 1)
 	result     *repro.Result
@@ -148,6 +194,7 @@ type mineSummary struct {
 	Generation         uint64  `json:"generation"`
 	SnapshotGeneration uint64  `json:"snapshotGeneration"`
 	Algorithm          string  `json:"algorithm"`
+	Semantics          string  `json:"semantics"`
 	Workers            int     `json:"workers"`
 	NumPatterns        int     `json:"numPatterns"`
 	Truncated          bool    `json:"truncated"`

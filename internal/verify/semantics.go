@@ -1,0 +1,146 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// NonOverlappingSupport returns the disjoint-occurrence support of pattern
+// in db: per sequence, the maximum number of occurrence windows where each
+// window starts strictly after the previous window's end. Computed by
+// dynamic programming over start positions — independent of the miner's
+// greedy earliest-end matching — so it serves as an oracle for the
+// nonoverlap semantics.
+func NonOverlappingSupport(db *seq.DB, pattern []seq.EventID) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range db.Seqs {
+		total += maxDisjointWindows(db, i, pattern)
+	}
+	return total
+}
+
+// maxDisjointWindows solves, per sequence, the disjoint-window maximum via
+// f(p) = max(f(p+1), 1 + f(end(p)+1)), where end(p) is the minimal end of
+// an occurrence whose first event sits exactly at p. Replacing any window
+// by the minimal-end window with the same start can only help later
+// windows, so restricting to minimal-end windows loses nothing.
+func maxDisjointWindows(db *seq.DB, i int, pattern []seq.EventID) int {
+	s := db.Seqs[i]
+	n := len(s)
+	f := make([]int, n+2)
+	for p := n; p >= 1; p-- {
+		f[p] = f[p+1]
+		if s.At(p) != pattern[0] {
+			continue
+		}
+		end := earliestEnd(db, i, pattern, p)
+		if end > 0 && 1+f[end+1] > f[p] {
+			f[p] = 1 + f[end+1]
+		}
+	}
+	return f[1]
+}
+
+// earliestEnd returns the minimal 1-based end position of an occurrence of
+// pattern in sequence i starting exactly at position start (which must
+// hold pattern[0]), or 0 when none completes.
+func earliestEnd(db *seq.DB, i int, pattern []seq.EventID, start int) int {
+	s := db.Seqs[i]
+	p := start
+	for _, e := range pattern[1:] {
+		p++
+		for p <= len(s) && s.At(p) != e {
+			p++
+		}
+		if p > len(s) {
+			return 0
+		}
+	}
+	return p
+}
+
+// FrequentNonOverlapping exhaustively enumerates every pattern of length
+// <= maxLen with disjoint-occurrence support >= minSup, in DFS preorder
+// over ascending event IDs. Deleting events from a pattern shrinks each
+// occurrence window in place, so disjoint windows stay disjoint and the
+// support is fully Apriori — pruning on infrequent prefixes is exact.
+func FrequentNonOverlapping(db *seq.DB, minSup, maxLen int) []PatternSupport {
+	events := distinctEvents(db)
+	var out []PatternSupport
+	var pattern []seq.EventID
+	var rec func()
+	rec = func() {
+		for _, e := range events {
+			pattern = append(pattern, e)
+			sup := NonOverlappingSupport(db, pattern)
+			if sup >= minSup {
+				out = append(out, PatternSupport{append([]seq.EventID(nil), pattern...), sup})
+				if len(pattern) < maxLen {
+					rec()
+				}
+			}
+			pattern = pattern[:len(pattern)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// CheckCompressedCover verifies a compressed-semantics result against the
+// brute-force closed set: every representative must be a closed frequent
+// pattern with its exact repetitive support, and every closed pattern must
+// be δ-covered by some representative (the pattern is a subsequence of the
+// representative and sup(rep) >= (1-delta)·sup(pattern), the same
+// comparison the miner's set cover uses).
+func CheckCompressedCover(db *seq.DB, minSup, maxLen int, delta float64, reps []core.Pattern) error {
+	closed := Closed(db, minSup, maxLen)
+	closedSup := make(map[string]int, len(closed))
+	for _, ps := range closed {
+		closedSup[fmt.Sprint(ps.Pattern)] = ps.Support
+	}
+	for _, r := range reps {
+		sup, ok := closedSup[fmt.Sprint(r.Events)]
+		if !ok {
+			return fmt.Errorf("verify: representative %v is not a closed frequent pattern", r.Events)
+		}
+		if sup != r.Support {
+			return fmt.Errorf("verify: representative %v has support %d, oracle says %d", r.Events, r.Support, sup)
+		}
+	}
+	for _, ps := range closed {
+		covered := false
+		for _, r := range reps {
+			if float64(r.Support) < (1-delta)*float64(ps.Support) {
+				continue
+			}
+			if isSubseq(ps.Pattern, r.Events) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("verify: closed pattern %v (sup %d) is not delta-covered by %d representatives", ps.Pattern, ps.Support, len(reps))
+		}
+	}
+	return nil
+}
+
+// isSubseq reports whether a is a (not necessarily contiguous) subsequence
+// of b.
+func isSubseq(a, b []seq.EventID) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	k := 0
+	for _, e := range b {
+		if k < len(a) && a[k] == e {
+			k++
+		}
+	}
+	return k == len(a)
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -34,11 +35,11 @@ const (
 func (p SyncPolicy) String() string { return p.internal().String() }
 
 // ParseSyncPolicy maps a flag value ("always", "interval", "never") to a
-// SyncPolicy.
+// SyncPolicy. Unknown names return an error wrapping ErrInvalidOptions.
 func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	wp, err := wal.ParsePolicy(s)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("repro: %w: %v", ErrInvalidOptions, err)
 	}
 	switch wp {
 	case wal.SyncAlways:
@@ -99,7 +100,7 @@ func (o OpenOptions) internal() store.Options {
 func Open(dir string, opt OpenOptions) (*Database, error) {
 	st, err := store.Open(dir, opt.internal())
 	if err != nil {
-		return nil, fmt.Errorf("repro: open %s: %w", dir, err)
+		return nil, fmt.Errorf("repro: open %s: %w", dir, errors.Join(ErrStorage, err))
 	}
 	return &Database{st: st}, nil
 }
@@ -120,7 +121,7 @@ func Create(dir string, r io.Reader, format Format, opt OpenOptions) (*Database,
 	}
 	st, err := store.Create(dir, db, opt.internal())
 	if err != nil {
-		return nil, fmt.Errorf("repro: create %s: %w", dir, err)
+		return nil, fmt.Errorf("repro: create %s: %w", dir, errors.Join(ErrStorage, err))
 	}
 	return &Database{st: st}, nil
 }
@@ -134,7 +135,7 @@ func Create(dir string, r io.Reader, format Format, opt OpenOptions) (*Database,
 func (d *Database) Persist(dir string, opt OpenOptions) (*Database, error) {
 	st, err := store.Create(dir, d.st.Current().DB(), opt.internal())
 	if err != nil {
-		return nil, fmt.Errorf("repro: persist %s: %w", dir, err)
+		return nil, fmt.Errorf("repro: persist %s: %w", dir, errors.Join(ErrStorage, err))
 	}
 	return &Database{st: st}, nil
 }

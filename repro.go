@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gapped"
 	"repro/internal/seq"
 	"repro/internal/store"
 )
@@ -50,7 +51,7 @@ func (f Format) internal() (seq.Format, error) {
 	case SPMF:
 		return seq.FormatSPMF, nil
 	default:
-		return 0, fmt.Errorf("repro: unknown format %d", f)
+		return 0, fmt.Errorf("repro: %w %d", ErrUnknownFormat, int(f))
 	}
 }
 
@@ -283,6 +284,21 @@ type Options struct {
 	// trade-off changes. The binary-search index is built lazily on the
 	// first such run and cached alongside the fast one.
 	DisableFastNext bool
+	// Semantics selects the occurrence semantics of the run; the zero
+	// value is SemanticsRepetitive, the paper's definition. See the
+	// Semantics constants for the modes and their papers.
+	Semantics Semantics
+	// MinGap and MaxGap bound the number of events strictly between
+	// consecutive pattern events under SemanticsGapped
+	// (0 <= MinGap <= MaxGap; both 0 mines contiguous substrings).
+	// Setting either with any other semantics is an error.
+	MinGap, MaxGap int
+	// CompressDelta is the support tolerance δ of SemanticsCompressed, in
+	// [0, 1): a representative R covers a closed pattern P when P is a
+	// subsequence of R and sup(R) >= (1-δ)·sup(P). 0 selects
+	// DefaultCompressDelta. Setting it with any other semantics is an
+	// error.
+	CompressDelta float64
 }
 
 // Instance is one occurrence of a pattern: the sequence it lives in and
@@ -297,11 +313,13 @@ type Instance struct {
 type Pattern struct {
 	// Events is the pattern as event names.
 	Events []string
-	// Support is its repetitive support: the maximum number of pairwise
-	// non-overlapping occurrences in the database.
+	// Support is the pattern's support under the run's semantics. For the
+	// default (repetitive) semantics that is the maximum number of
+	// pairwise non-overlapping occurrences in the database.
 	Support int
-	// Instances is a maximum set of non-overlapping occurrences (the
-	// leftmost support set); nil unless Options.CollectInstances was set.
+	// Instances is the pattern's reported support set (for the default
+	// semantics, the leftmost maximum set of non-overlapping occurrences);
+	// nil unless Options.CollectInstances was set.
 	Instances []Instance
 }
 
@@ -346,6 +364,12 @@ func (s *Snapshot) MineClosed(opt Options) (*Result, error) {
 }
 
 func (s *Snapshot) mine(opt Options, closed bool) (*Result, error) {
+	if err := validateSemantics(opt, closed); err != nil {
+		return nil, err
+	}
+	if opt.Semantics == SemanticsGapped {
+		return s.mineGapped(opt)
+	}
 	copt := core.Options{
 		MinSupport:       opt.MinSupport,
 		Closed:           closed,
@@ -354,6 +378,8 @@ func (s *Snapshot) mine(opt Options, closed bool) (*Result, error) {
 		CollectInstances: opt.CollectInstances,
 		Ctx:              opt.Ctx,
 		DiscardPatterns:  opt.DiscardPatterns,
+		Semantics:        coreSemantics(opt.Semantics),
+		CompressDelta:    opt.CompressDelta,
 	}
 	if opt.OnPattern != nil {
 		cb := opt.OnPattern
@@ -368,7 +394,7 @@ func (s *Snapshot) mine(opt Options, closed bool) (*Result, error) {
 		res, err = core.Mine(ix, copt)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("repro: %w: %v", ErrInvalidOptions, err)
 	}
 	out := &Result{
 		NumPatterns: res.NumPatterns,
@@ -380,6 +406,51 @@ func (s *Snapshot) mine(opt Options, closed bool) (*Result, error) {
 		out.Patterns[i] = s.exportPattern(p)
 	}
 	return out, nil
+}
+
+// mineGapped routes a SemanticsGapped run to the gap-constrained miner
+// (internal/gapped), which computes support by per-sequence max flow —
+// greedy leftmost growth is not optimal under gap constraints. Closed
+// mode, Workers > 1 and CollectInstances were rejected by
+// validateSemantics before this point.
+func (s *Snapshot) mineGapped(opt Options) (*Result, error) {
+	db := s.s.DB()
+	gopt := gapped.Options{
+		MinSupport:       opt.MinSupport,
+		MinGap:           opt.MinGap,
+		MaxGap:           opt.MaxGap,
+		MaxPatternLength: opt.MaxPatternLength,
+		MaxPatterns:      opt.MaxPatterns,
+		Ctx:              opt.Ctx,
+	}
+	if opt.OnPattern != nil {
+		cb := opt.OnPattern
+		gopt.OnPattern = func(p gapped.Pattern) bool { return cb(exportGappedPattern(db, p)) }
+	}
+	res, err := gapped.Mine(db, gopt)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w: %v", ErrInvalidOptions, err)
+	}
+	out := &Result{
+		NumPatterns: len(res.Patterns),
+		Truncated:   res.Truncated,
+		Elapsed:     res.Duration,
+	}
+	if !opt.DiscardPatterns {
+		out.Patterns = make([]Pattern, len(res.Patterns))
+		for i, p := range res.Patterns {
+			out.Patterns[i] = exportGappedPattern(db, p)
+		}
+	}
+	return out, nil
+}
+
+func exportGappedPattern(db *seq.DB, p gapped.Pattern) Pattern {
+	events := make([]string, len(p.Events))
+	for j, e := range p.Events {
+		events[j] = db.Dict.Name(e)
+	}
+	return Pattern{Events: events, Support: p.Support}
 }
 
 func (s *Snapshot) exportPattern(p core.Pattern) Pattern {
@@ -438,6 +509,12 @@ type TopKOptions struct {
 	// DisableFastNext runs the search against the binary-search next()
 	// index, with the same contract as Options.DisableFastNext.
 	DisableFastNext bool
+	// Semantics selects the occurrence semantics. The best-first top-k
+	// search is defined over repetitive support only, so any value other
+	// than SemanticsRepetitive is rejected with ErrInvalidOptions; for a
+	// small representative pattern set use Mine with SemanticsCompressed
+	// and MaxPatterns instead.
+	Semantics Semantics
 }
 
 // MineTopKContext is MineTopK with cancellation and an optional pattern
@@ -456,9 +533,16 @@ func (d *Database) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, e
 // MineTopKWith mines the k highest-support (closed) patterns of this
 // generation; see Database.MineTopK.
 func (s *Snapshot) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, error) {
+	switch opt.Semantics {
+	case SemanticsRepetitive:
+	case SemanticsNonOverlapping, SemanticsCompressed, SemanticsGapped:
+		return nil, fmt.Errorf("repro: %w: top-k search supports only repetitive semantics (got %s)", ErrInvalidOptions, opt.Semantics)
+	default:
+		return nil, fmt.Errorf("repro: %w %s", ErrUnknownSemantics, opt.Semantics)
+	}
 	res, err := core.MineTopKParallel(opt.Ctx, s.s.Index(opt.DisableFastNext), k, closed, opt.MaxPatternLength, opt.Workers)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("repro: %w: %v", ErrInvalidOptions, err)
 	}
 	out := &Result{
 		NumPatterns: res.NumPatterns,

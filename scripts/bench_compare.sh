@@ -13,6 +13,10 @@
 #     run to run and a zero-tolerance gate there only produces flakes
 #   - ns/op regression in (WARN_PCT, FAIL_PCT]    -> exit 0 with a GitHub
 #     ::warning:: annotation (noisy-runner territory)
+#   - fsync-bound benchmarks ("fsync=always") never hard-fail on ns/op,
+#     only warn: their wall time is disk-commit latency, not code, and an
+#     identical binary measures 3x+ spreads across runs on shared or
+#     virtualized storage. Their allocs/op stays zero-tolerance.
 #
 # Benchmarks present on only one side are SKIPPED, never failed: a
 # benchmark absent from the baseline is new in this PR (it gets a baseline
@@ -86,7 +90,12 @@ END {
 				alloc_fail[nfail_alloc++] = sprintf("%s: allocs/op %s -> %s", n, old_allocs[n], new_allocs[n])
 			}
 		}
-		if (delta > fail_pct) {
+		if (delta > fail_pct && n ~ /fsync=always/) {
+			# Disk-commit latency, not code: same-binary runs spread 3x+
+			# on shared storage, so ns/op is warn-only here.
+			mark = mark "  << warn (fsync-bound)"
+			warns[nwarn++] = sprintf("%s: ns/op %+.1f%% (fsync-bound, warn-only)", n, delta)
+		} else if (delta > fail_pct) {
 			mark = mark "  << FAIL"
 			ns_fail[nfail_ns++] = sprintf("%s: ns/op %+.1f%% (threshold %s%%)", n, delta, fail_pct)
 		} else if (delta > warn_pct) {
