@@ -102,6 +102,8 @@ func runServe(args []string) error {
 	fs.StringVar(&cfg.FsyncPolicy, "fsync", "always", "WAL fsync policy for -data-dir: always, interval, never")
 	fs.DurationVar(&cfg.FsyncInterval, "fsync-interval", 0, "background fsync cadence under -fsync=interval (0 = default 100ms)")
 	fs.Int64Var(&cfg.CheckpointBytes, "checkpoint-bytes", 0, "WAL size triggering automatic compaction (0 = default 4MiB, negative disables)")
+	fs.DurationVar(&cfg.MineTimeout, "mine-timeout", 0, "per-request mining deadline; runs exceeding it answer 503 (0 = unbounded)")
+	fs.IntVar(&cfg.MaxConcurrentMines, "max-concurrent-mines", 0, "cap on mining runs in flight; excess requests answer 429 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,29 +118,38 @@ func runServe(args []string) error {
 
 // runStorage handles the durable-storage subcommands: `gsgrow inspect
 // <dir>` summarizes a database directory's segments, WAL, and the state
-// recovery would reconstruct; `gsgrow compact <dir>` checkpoints the
-// WAL into a fresh segment. Both take database directories (e.g.
+// recovery would reconstruct (with -json, as one JSON document per
+// directory), exiting nonzero on any corruption or torn tail so it slots
+// directly into monitoring; `gsgrow compact <dir>` checkpoints the WAL
+// into a fresh segment. Both take database directories (e.g.
 // <data-dir>/<name> of a reprod -data-dir deployment).
 func runStorage(cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var asJSON bool
+	if cmd == "inspect" {
+		fs.BoolVar(&asJSON, "json", false, "emit the report as JSON")
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: gsgrow %s <dir> [<dir>...]", cmd)
 	}
+	// Inspect every directory before failing: one damaged database must
+	// not hide the report (or the damage) of the next.
+	var firstErr error
 	for _, dir := range fs.Args() {
 		var err error
 		if cmd == "inspect" {
-			err = cli.Inspect(dir, os.Stdout)
+			err = cli.Inspect(dir, asJSON, os.Stdout)
 		} else {
 			err = cli.Compact(dir, os.Stdout)
 		}
-		if err != nil {
-			return err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 func runAppend(args []string) error {

@@ -140,6 +140,27 @@
 // Database.Persistence reports the recovery state (checkpointed
 // generation, WAL size, sync policy) for monitoring.
 //
+// # Degraded mode and self-healing
+//
+// A durable database survives its disk failing. When an append hits an
+// I/O error — ENOSPC, EIO, a failed fsync — the batch is rejected (it
+// was never acknowledged, so the durability contract is intact) and the
+// database flips to read-only degraded mode: queries and mining keep
+// serving the last published snapshot, while further Appends fail fast
+// with an error wrapping ErrDegraded and carrying the root errno. A
+// background prober then retries recovery with jittered exponential
+// backoff (OpenOptions.ProbeBackoff doubling up to ProbeBackoffMax;
+// defaults 100ms and 30s): it first proves the disk writes again with a
+// scratch-file fsync, then reopens the write-ahead log, truncating any
+// complete-but-unacknowledged frame a failed fsync may have left — a
+// rejected batch never resurrects — and flips the database back to
+// writable. No restart, no operator call. A failed checkpoint is the
+// milder cousin: appends stay durable through the WAL (no degradation),
+// the log just stops compacting until the prober lands the checkpoint;
+// Persistence.CheckpointError, .WALError, .Degraded and .DegradedError
+// expose all of it for monitoring, and the HTTP service maps the same
+// state to /readyz and per-database persistence blocks.
+//
 // # Performance
 //
 // The mining core is allocation-free in steady state: support sets,

@@ -28,4 +28,10 @@ var (
 	// filesystem); the underlying cause stays reachable through
 	// errors.Is/As.
 	ErrStorage = errors.New("storage failure")
+	// ErrDegraded marks an append rejected because the durable database
+	// is in read-only degraded mode after an I/O failure (ENOSPC, EIO,
+	// ...): mining keeps serving the last snapshot, a background prober
+	// retries recovery, and the root cause stays reachable through
+	// errors.Is/As. The serving layer maps it to 503 + Retry-After.
+	ErrDegraded = errors.New("database degraded (read-only)")
 )

@@ -16,7 +16,10 @@ import (
 // silently.
 //
 //	internal/seq    stdlib only            (data model + index, leaf)
-//	internal/wal    stdlib only            (framed log, leaf)
+//	internal/vfs    stdlib only            (filesystem abstraction +
+//	                                        fault injection, leaf)
+//	internal/wal    stdlib + internal/vfs  (framed log; all I/O through
+//	                                        the vfs so faults reach it)
 //	internal/core   stdlib + internal/seq  (mining algorithms, including
 //	                                        the semantics strategies —
 //	                                        strategies must stay free of
@@ -30,7 +33,10 @@ var archRules = []struct {
 	allowed map[string]bool // non-stdlib import path -> permitted
 }{
 	{dir: "../seq", allowed: map[string]bool{}},
-	{dir: "../wal", allowed: map[string]bool{}},
+	{dir: "../vfs", allowed: map[string]bool{}},
+	{dir: "../wal", allowed: map[string]bool{
+		"repro/internal/vfs": true,
+	}},
 	{dir: "../core", allowed: map[string]bool{
 		"repro/internal/seq": true,
 	}},
@@ -39,6 +45,7 @@ var archRules = []struct {
 	}},
 	{dir: "../store", allowed: map[string]bool{
 		"repro/internal/seq": true,
+		"repro/internal/vfs": true,
 		"repro/internal/wal": true,
 	}},
 }

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -10,13 +11,30 @@ import (
 
 // Inspect prints the storage state of a durable database directory: every
 // checkpoint segment and WAL file with its validity, and the state a
-// recovery would reconstruct. Read-only — nothing is truncated, created,
-// or repaired — so it is safe to point at a directory a running service
-// is using (the report is then a point-in-time view).
-func Inspect(dir string, out io.Writer) error {
+// recovery would reconstruct — as text or, with asJSON, as one indented
+// JSON document for fleet tooling. Read-only — nothing is truncated,
+// created, or repaired — so it is safe to point at a directory a running
+// service is using (the report is then a point-in-time view).
+//
+// Any damage — an unrecoverable directory, an invalid segment, an
+// unreadable WAL, or a torn tail — returns an error (a nonzero exit for
+// the command), even when recovery would still succeed by dropping or
+// skipping the damaged parts: monitoring that runs inspect wants "disk
+// rot detected" to be the exit code, not a string to grep out of a
+// healthy-looking report.
+func Inspect(dir string, asJSON bool, out io.Writer) error {
 	rep, err := store.Inspect(dir)
 	if err != nil {
 		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		return inspectVerdict(rep)
 	}
 	fmt.Fprintf(out, "%s\n", rep.Dir)
 	if len(rep.Segments) == 0 && len(rep.WALs) == 0 {
@@ -42,10 +60,22 @@ func Inspect(dir string, out io.Writer) error {
 	}
 	if rep.RecoveryErr != "" {
 		fmt.Fprintf(out, "  RECOVERY FAILS: %s\n", rep.RecoveryErr)
-		return fmt.Errorf("recovery of %s would fail: %s", dir, rep.RecoveryErr)
+		return inspectVerdict(rep)
 	}
 	fmt.Fprintf(out, "  recovers to: generation %d (checkpoint %d + %d WAL batches), %d sequences, %d events, %d total length\n",
 		rep.Generation, rep.SegmentGeneration, int(rep.Generation-max(rep.SegmentGeneration, 1)), rep.NumSequences, rep.DistinctEvents, rep.TotalLength)
+	return inspectVerdict(rep)
+}
+
+// inspectVerdict turns the report into the command's exit status: nil
+// only for a fully healthy directory.
+func inspectVerdict(rep *store.DirReport) error {
+	if rep.RecoveryErr != "" {
+		return fmt.Errorf("recovery of %s would fail: %s", rep.Dir, rep.RecoveryErr)
+	}
+	if rep.Corrupt() {
+		return fmt.Errorf("storage damage in %s: recovery succeeds but a segment or WAL is invalid or torn (see report)", rep.Dir)
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,7 +35,7 @@ func buildDurableDB(t *testing.T) string {
 func TestInspectReportsSegmentsAndWAL(t *testing.T) {
 	dir := buildDurableDB(t)
 	var out strings.Builder
-	if err := Inspect(dir, &out); err != nil {
+	if err := Inspect(dir, false, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -62,8 +63,11 @@ func TestInspectReportsTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := Inspect(dir, &out); err != nil {
-		t.Fatal(err)
+	err = Inspect(dir, false, &out)
+	// A torn tail is recoverable damage: the report must still print in
+	// full, but the exit status must flag it for monitoring.
+	if err == nil || !strings.Contains(err.Error(), "damage") {
+		t.Fatalf("inspect of a torn WAL returned %v, want a storage-damage error", err)
 	}
 	got := out.String()
 	if !strings.Contains(got, "torn tail") || !strings.Contains(got, "2 records") {
@@ -74,8 +78,53 @@ func TestInspectReportsTornTail(t *testing.T) {
 	}
 }
 
+// TestInspectJSON: -json emits the machine-readable report, healthy
+// directories exit zero, and damage still turns into a nonzero exit with
+// the report intact.
+func TestInspectJSON(t *testing.T) {
+	dir := buildDurableDB(t)
+	var out strings.Builder
+	if err := Inspect(dir, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Segments []struct {
+			Generation uint64 `json:"generation"`
+		} `json:"segments"`
+		WALs []struct {
+			Records int  `json:"records"`
+			Torn    bool `json:"torn"`
+		} `json:"wals"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("inspect -json is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Segments) != 1 || rep.Segments[0].Generation != 1 ||
+		len(rep.WALs) != 1 || rep.WALs[0].Records != 3 || rep.Generation != 4 {
+		t.Errorf("inspect -json report: %s", out.String())
+	}
+
+	// Tear the WAL: the JSON report flags it and the exit goes nonzero.
+	walPath := filepath.Join(dir, "wal-0000000000000001.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := Inspect(dir, true, &out); err == nil {
+		t.Fatal("inspect -json of a torn WAL must return an error")
+	}
+	if !strings.Contains(out.String(), `"torn": true`) {
+		t.Errorf("JSON report does not flag the torn tail: %s", out.String())
+	}
+}
+
 func TestInspectMissingDirErrors(t *testing.T) {
-	if err := Inspect(filepath.Join(t.TempDir(), "nope"), &strings.Builder{}); err == nil {
+	if err := Inspect(filepath.Join(t.TempDir(), "nope"), false, &strings.Builder{}); err == nil {
 		t.Fatal("inspect of a missing directory must error")
 	}
 }
@@ -92,7 +141,7 @@ func TestCompactTruncatesWAL(t *testing.T) {
 
 	// After compaction: one segment at gen 4, empty WAL, same contents.
 	var insp strings.Builder
-	if err := Inspect(dir, &insp); err != nil {
+	if err := Inspect(dir, false, &insp); err != nil {
 		t.Fatal(err)
 	}
 	got := insp.String()

@@ -44,6 +44,13 @@ type ServeConfig struct {
 	// CheckpointBytes triggers automatic WAL compaction when the log
 	// exceeds this size; 0 selects the 4 MiB default, negative disables.
 	CheckpointBytes int64
+	// MineTimeout bounds each mining run with a per-request deadline;
+	// runs that exceed it answer 503. 0 = unbounded (client cancellation
+	// and graceful shutdown still abort runs).
+	MineTimeout time.Duration
+	// MaxConcurrentMines caps mining runs in flight; excess requests are
+	// shed with 429 instead of queueing. 0 = unlimited.
+	MaxConcurrentMines int
 }
 
 // DefaultDrainTimeout is the graceful-shutdown drain budget when
@@ -85,6 +92,8 @@ func Serve(ctx context.Context, cfg ServeConfig, out io.Writer) error {
 		Sync:               sync,
 		SyncInterval:       cfg.FsyncInterval,
 		CheckpointWALBytes: cfg.CheckpointBytes,
+		MineTimeout:        cfg.MineTimeout,
+		MaxConcurrentMines: cfg.MaxConcurrentMines,
 	})
 	if err != nil {
 		return err

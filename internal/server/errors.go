@@ -21,7 +21,30 @@ var errorStatus = []struct {
 	{repro.ErrUnknownSemantics, http.StatusBadRequest},
 	{repro.ErrInvalidOptions, http.StatusBadRequest},
 	{repro.ErrUnknownFormat, http.StatusBadRequest},
+	// Degraded precedes storage: a degraded append wraps both the
+	// degraded sentinel and the storage root cause, and 503 ("retry
+	// later, the prober is on it") is the actionable answer.
+	{repro.ErrDegraded, http.StatusServiceUnavailable},
 	{repro.ErrStorage, http.StatusInternalServerError},
+}
+
+// retryAfterSeconds hints shedding clients when to come back: short for
+// admission-control rejections (a slot frees when any run finishes),
+// longer for degraded databases (bounded by the prober's first backoff
+// steps).
+func retryAfterSeconds(status int) string {
+	if status == http.StatusTooManyRequests {
+		return "1"
+	}
+	return "5"
+}
+
+// setRetryHint adds a Retry-After header on the statuses that mean
+// "temporary, try again" (503, 429).
+func setRetryHint(w http.ResponseWriter, status int) {
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds(status))
+	}
 }
 
 // statusFor returns the HTTP status of an error by its sentinel; errors
@@ -36,9 +59,11 @@ func statusFor(err error) int {
 }
 
 // writeErrorFor writes err as a JSON error response with the status the
-// taxonomy assigns to it.
+// taxonomy assigns to it, plus a Retry-After hint on retryable statuses.
 func writeErrorFor(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+	status := statusFor(err)
+	setRetryHint(w, status)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 // errUnknownDatabase wraps a missing-database lookup with the sentinel the

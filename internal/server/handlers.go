@@ -58,6 +58,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReady reports readiness for load balancing: 200 while every
+// database accepts appends, 503 (with per-database causes) once any
+// durable database is degraded — mines still answer on such a node, so a
+// balancer should drain writes from it, not kill it.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	entries := s.list()
+	resp := readyResponse{Status: "ready", Databases: make([]readyDBJSON, 0, len(entries))}
+	for _, e := range entries {
+		p := e.db.Persistence()
+		d := readyDBJSON{
+			Name:            e.name,
+			Ready:           !p.Degraded,
+			Durable:         p.Durable,
+			Degraded:        p.Degraded,
+			DegradedError:   p.DegradedError,
+			WALError:        p.WALError,
+			CheckpointError: p.CheckpointError,
+		}
+		if p.Degraded {
+			resp.Status = "degraded"
+		}
+		resp.Databases = append(resp.Databases, d)
+	}
+	status := http.StatusOK
+	if resp.Status != "ready" {
+		status = http.StatusServiceUnavailable
+		setRetryHint(w, status)
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	entries := s.list()
 	out := make([]dbInfo, len(entries))
@@ -155,11 +186,19 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	batch := make([]repro.Record, 0, appendChunkSize)
 	// flush applies one chunk; on a durable host a WAL write failure means
 	// the chunk was neither applied nor acknowledged — report it with the
-	// exact count of records that did make it in.
+	// exact count of records that did make it in. A degraded database
+	// answers 503 + Retry-After instead of 500: the rejection is fast
+	// (no I/O), temporary, and the background prober is already working
+	// on restoring writability.
 	flush := func() error {
 		if len(batch) > 0 {
 			if _, err := e.db.Append(batch); err != nil {
-				writeJSON(w, http.StatusInternalServerError, appendErrorResponse{
+				status := http.StatusInternalServerError
+				if errors.Is(err, repro.ErrDegraded) {
+					status = http.StatusServiceUnavailable
+					setRetryHint(w, status)
+				}
+				writeJSON(w, status, appendErrorResponse{
 					Error:            fmt.Sprintf("append not durable after record %d: %v", applied, err),
 					AppliedRecords:   applied,
 					PartiallyApplied: applied > 0,
@@ -336,21 +375,52 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission control, applied after the cache check: replaying a
+	// cached result is O(result) and never queues behind the CPU, so only
+	// actual mining runs hold a semaphore slot. A full semaphore sheds
+	// the request immediately with 429 — a bounded worker pool in reverse:
+	// the clients queue, the goroutines do not.
+	if s.mineSem != nil {
+		select {
+		case s.mineSem <- struct{}{}:
+			defer func() { <-s.mineSem }()
+		default:
+			setRetryHint(w, http.StatusTooManyRequests)
+			writeError(w, http.StatusTooManyRequests, "too many concurrent mining requests")
+			return
+		}
+	}
+	// The per-request deadline rides the client-cancellation context the
+	// miners already honor, so one cooperative-abort mechanism covers
+	// disconnects, shutdown, and slow queries alike.
+	ctx := r.Context()
+	if s.mineTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.mineTimeout)
+		defer cancel()
+	}
+
 	if stream {
-		s.mineStreaming(w, r, e, snap, &q, key)
+		s.mineStreaming(ctx, w, e, snap, &q, key)
 		return
 	}
-	out, err := s.runMine(r.Context(), snap, &q, nil)
+	out, err := s.runMine(ctx, snap, &q, nil)
 	if err != nil {
 		writeErrorFor(w, err)
 		return
 	}
-	if r.Context().Err() != nil {
-		// The run was aborted via ctx. Usually the client disconnected and
-		// this write goes nowhere, but on server shutdown the client may
-		// still be listening — tell it the result is not coming rather
-		// than sending an empty 200.
-		writeError(w, http.StatusServiceUnavailable, "mine aborted: %v", r.Context().Err())
+	if ctx.Err() != nil {
+		// The run was aborted via ctx. On a deadline the client is still
+		// listening — tell it the budget ran out; otherwise usually the
+		// client disconnected and this write goes nowhere, but on server
+		// shutdown it may still be listening — tell it the result is not
+		// coming rather than sending an empty 200.
+		setRetryHint(w, http.StatusServiceUnavailable)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusServiceUnavailable, "mine timed out after %v", s.mineTimeout)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "mine aborted: %v", ctx.Err())
 		return
 	}
 	s.maybeCache(key, out)
@@ -445,21 +515,36 @@ type ndjsonLine struct {
 	Summary *mineSummary `json:"summary,omitempty"`
 }
 
+// streamWriteBudget bounds each NDJSON write. A client that stops
+// reading (but keeps the connection open) would otherwise block the
+// pattern write forever and pin a mining slot; with the deadline the
+// write fails, the callback aborts the run, and the slot frees. Generous
+// enough that no live client — however slow its link — trips it between
+// two small lines.
+const streamWriteBudget = 30 * time.Second
+
 // mineStreaming serves the NDJSON representation, emitting each pattern
 // the moment the miner finds it. The complete result still accumulates
-// in-memory so it can be cached for replay.
-func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntry, snap *repro.Snapshot, q *mineRequest, key string) {
+// in-memory so it can be cached for replay. ctx is the mining context
+// (request context, possibly bounded by the server's mine timeout).
+func (s *Server) mineStreaming(ctx context.Context, w http.ResponseWriter, e *dbEntry, snap *repro.Snapshot, q *mineRequest, key string) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
+	// Rolling per-write deadline; best-effort (not every ResponseWriter
+	// supports deadlines — test recorders don't — and those that don't
+	// simply keep today's unbounded behavior).
+	rc := http.NewResponseController(w)
+	armWriteDeadline := func() { _ = rc.SetWriteDeadline(time.Now().Add(streamWriteBudget)) }
 
 	streamed := 0
 	onPattern := func(p repro.Pattern) bool {
 		pj := toPatternJSON(p)
+		armWriteDeadline()
 		if err := enc.Encode(ndjsonLine{Pattern: &pj}); err != nil {
-			return false // client went away; abort the run
+			return false // client went away or stalled out; abort the run
 		}
 		streamed++
 		if flusher != nil {
@@ -467,7 +552,7 @@ func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntr
 		}
 		return true
 	}
-	out, err := s.runMine(r.Context(), snap, q, onPattern)
+	out, err := s.runMine(ctx, snap, q, onPattern)
 	if err != nil {
 		// Headers are not written until the first pattern line, so a
 		// validation error from the miner can still be a clean error
@@ -477,7 +562,14 @@ func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntr
 		}
 		return
 	}
-	if r.Context().Err() != nil {
+	if ctx.Err() != nil {
+		// Before the first pattern line the deadline can still be a clean
+		// 503; mid-stream the client sees a truncated stream (no summary
+		// line), which is the NDJSON protocol's abort signal.
+		if streamed == 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			setRetryHint(w, http.StatusServiceUnavailable)
+			writeError(w, http.StatusServiceUnavailable, "mine timed out after %v", s.mineTimeout)
+		}
 		return
 	}
 	s.maybeCache(key, out)
@@ -485,11 +577,13 @@ func (s *Server) mineStreaming(w http.ResponseWriter, r *http.Request, e *dbEntr
 	if q.TopK > 0 {
 		for i := range out.result.Patterns {
 			pj := toPatternJSON(out.result.Patterns[i])
+			armWriteDeadline()
 			if err := enc.Encode(ndjsonLine{Pattern: &pj}); err != nil {
 				return
 			}
 		}
 	}
+	armWriteDeadline()
 	sum := buildSummary(e, out, false)
 	_ = enc.Encode(ndjsonLine{Summary: &sum})
 	if flusher != nil {

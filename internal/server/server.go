@@ -12,6 +12,7 @@
 //	POST   /v1/databases/{name}/mine     run GSgrow/CloGSgrow/top-k (JSON or NDJSON stream)
 //	POST   /v1/databases/{name}/support  point query: support of one pattern
 //	GET    /healthz                      liveness + cache counters
+//	GET    /readyz                       readiness: per-database durability + degraded status
 //
 // Databases are snapshot stores: every append atomically publishes a new
 // immutable generation, miners always run against the generation current
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/vfs"
 )
 
 // Config tunes a Server.
@@ -64,6 +66,22 @@ type Config struct {
 	// CheckpointWALBytes triggers automatic WAL compaction; see
 	// repro.OpenOptions.
 	CheckpointWALBytes int64
+	// ProbeBackoff and ProbeBackoffMax tune the degraded-mode recovery
+	// prober of durable databases; see repro.OpenOptions.
+	ProbeBackoff    time.Duration
+	ProbeBackoffMax time.Duration
+	// FS overrides the filesystem durable databases use; a test-only
+	// fault-injection hook (see repro.OpenOptions.FS). Nil = the OS.
+	FS vfs.FS
+	// MineTimeout bounds each mining run with a per-request deadline:
+	// a run that exceeds it is aborted and answered 503. 0 = unbounded
+	// (client cancellation still applies).
+	MineTimeout time.Duration
+	// MaxConcurrentMines caps mining runs in flight; excess requests are
+	// shed immediately with 429 instead of queueing goroutines behind a
+	// saturated CPU. 0 = unlimited. Cache hits are not counted — replay
+	// is O(result), not a mining run.
+	MaxConcurrentMines int
 }
 
 // Defaults for Config zero values.
@@ -87,6 +105,13 @@ type Server struct {
 	cache     *resultCache
 	maxUpload int64
 	started   time.Time
+
+	// mineTimeout bounds each mining run; 0 = unbounded. mineSem is the
+	// admission-control semaphore (nil = unlimited): a slot is held for
+	// the duration of one mining run, and requests that find it full are
+	// shed with 429.
+	mineTimeout time.Duration
+	mineSem     chan struct{}
 
 	// dataDir and openOpts configure durability; dataDir == "" means
 	// in-memory hosting.
@@ -137,16 +162,23 @@ func New(cfg Config) (*Server, error) {
 		maxUpload = DefaultMaxUploadBytes
 	}
 	s := &Server{
-		dbs:       make(map[string]*dbEntry),
-		cache:     newResultCache(size),
-		maxUpload: maxUpload,
-		started:   time.Now(),
-		dataDir:   cfg.DataDir,
+		dbs:         make(map[string]*dbEntry),
+		cache:       newResultCache(size),
+		maxUpload:   maxUpload,
+		started:     time.Now(),
+		dataDir:     cfg.DataDir,
+		mineTimeout: cfg.MineTimeout,
 		openOpts: repro.OpenOptions{
 			Sync:               cfg.Sync,
 			SyncInterval:       cfg.SyncInterval,
 			CheckpointWALBytes: cfg.CheckpointWALBytes,
+			ProbeBackoff:       cfg.ProbeBackoff,
+			ProbeBackoffMax:    cfg.ProbeBackoffMax,
+			FS:                 cfg.FS,
 		},
+	}
+	if cfg.MaxConcurrentMines > 0 {
+		s.mineSem = make(chan struct{}, cfg.MaxConcurrentMines)
 	}
 	if cfg.DataDir != "" {
 		if err := s.recoverAll(); err != nil {
@@ -250,6 +282,7 @@ func (s *Server) Close() error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/databases", s.handleList)
 	mux.HandleFunc("POST /v1/databases/{name}", s.handleUpload)
 	mux.HandleFunc("POST /v1/databases/{name}/append", s.handleAppend)

@@ -228,6 +228,14 @@ type persistenceJSON struct {
 	WALBytes          int64  `json:"walBytes"`
 	WALRecords        int    `json:"walRecords"`
 	CheckpointError   string `json:"checkpointError,omitempty"`
+	// WALError is the write-ahead log's sticky error, errno preserved in
+	// the text; set, appends cannot become durable until the log heals.
+	WALError string `json:"walError,omitempty"`
+	// Degraded reports read-only degraded mode: appends answer 503 while
+	// mining keeps serving the last snapshot and a background prober
+	// retries recovery. DegradedError is the root cause.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedError string `json:"degradedError,omitempty"`
 }
 
 // appendRecord is one line of the NDJSON append stream.
@@ -297,9 +305,35 @@ func toDBInfo(e *dbEntry) dbInfo {
 			WALBytes:          p.WALBytes,
 			WALRecords:        p.WALRecords,
 			CheckpointError:   p.CheckpointError,
+			WALError:          p.WALError,
+			Degraded:          p.Degraded,
+			DegradedError:     p.DegradedError,
 		}
 	}
 	return info
+}
+
+// readyResponse is the body of GET /readyz. Status is "ready" when every
+// database accepts appends, "degraded" when at least one is read-only —
+// the signal a load balancer uses to drain a sick node while its mines
+// keep answering.
+type readyResponse struct {
+	Status    string        `json:"status"`
+	Databases []readyDBJSON `json:"databases"`
+}
+
+// readyDBJSON is one database's readiness: Ready mirrors "appends would
+// be accepted"; the error fields carry the root causes when it is not
+// (or when durability is limping — a failing checkpoint keeps Ready true
+// but is worth an operator's attention).
+type readyDBJSON struct {
+	Name            string `json:"name"`
+	Ready           bool   `json:"ready"`
+	Durable         bool   `json:"durable"`
+	Degraded        bool   `json:"degraded,omitempty"`
+	DegradedError   string `json:"degradedError,omitempty"`
+	WALError        string `json:"walError,omitempty"`
+	CheckpointError string `json:"checkpointError,omitempty"`
 }
 
 // supportRequest is the JSON body of POST /v1/databases/{name}/support.

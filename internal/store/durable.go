@@ -3,13 +3,14 @@ package store
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/seq"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -64,6 +65,7 @@ func parseWALName(name string) (base uint64, ok bool) {
 // by the Store's mu.
 type durableState struct {
 	dir     string
+	fsys    vfs.FS
 	wal     *wal.Log
 	walBase uint64 // generation the current WAL applies on top of
 	segGen  uint64 // newest durable checkpoint; 0 = none (empty gen-1 base)
@@ -73,15 +75,27 @@ type durableState struct {
 	// checkpointErr is the last automatic-checkpoint failure, surfaced in
 	// DurabilityInfo and cleared by the next success. An auto-checkpoint
 	// failure does not fail the append that triggered it: the data is
-	// already durable in the WAL, the WAL just keeps growing.
+	// already durable in the WAL, the WAL just keeps growing — and the
+	// prober retries the checkpoint in the background (degraded.go).
 	checkpointErr error
+	// degraded is the root cause that flipped the store read-only, nil
+	// while healthy. While set, Append rejects fast with ErrDegraded and
+	// the prober goroutine retries recovery; see degraded.go.
+	degraded error
+	// probeBackoff/probeBackoffMax tune the prober's retry delays.
+	probeBackoff    time.Duration
+	probeBackoffMax time.Duration
+	// proberStop/proberDone are the live prober's shutdown handshake;
+	// nil when no prober runs.
+	proberStop chan struct{}
+	proberDone chan struct{}
 	// encBuf is the reusable batch-encoding buffer.
 	encBuf []byte
 }
 
 // walOptions maps store Options to the WAL's.
 func (o Options) walOptions() wal.Options {
-	return wal.Options{Policy: o.SyncPolicy, Interval: o.SyncInterval}
+	return wal.Options{Policy: o.SyncPolicy, Interval: o.SyncInterval, FS: o.FS}
 }
 
 // effectiveCheckpointBytes resolves the auto-checkpoint threshold.
@@ -101,7 +115,8 @@ func (o Options) effectiveCheckpointBytes() int64 {
 // tail. Already-built indexes are NOT recovered — loaded snapshots
 // rebuild them lazily on first use, exactly like a fresh FromDB store.
 func Open(dir string, opt Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
 	st, liveBase, err := recoverDir(dir, opt)
@@ -131,18 +146,19 @@ func Open(dir string, opt Options) (*Store, error) {
 // store is still writing to dir (a concurrent owner's checkpoint could
 // interleave with the sweep).
 func Create(dir string, db *seq.DB, opt Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
-	tmpSeg, err := writeSegmentTemp(dir, 1, db)
+	tmpSeg, err := writeSegmentTemp(fsys, dir, 1, db)
 	if err != nil {
 		return nil, err
 	}
 	// Sweep every previous storage file: this dir now means the new
 	// database. Anything unrecognized (and our own temp) is left alone.
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		os.Remove(tmpSeg)
+		fsys.Remove(tmpSeg)
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
 	for _, e := range entries {
@@ -153,41 +169,51 @@ func Create(dir string, db *seq.DB, opt Options) (*Store, error) {
 		_, isSeg := parseSegmentName(name)
 		_, isWAL := parseWALName(name)
 		if isSeg || isWAL || strings.Contains(name, segmentSuffix+".tmp") {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
-				os.Remove(tmpSeg)
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				fsys.Remove(tmpSeg)
 				return nil, fmt.Errorf("store: create %s: sweep %s: %w", dir, name, err)
 			}
 		}
 	}
-	if _, err := installSegment(tmpSeg, dir, 1); err != nil {
-		os.Remove(tmpSeg)
+	if _, err := installSegment(fsys, tmpSeg, dir, 1); err != nil {
+		fsys.Remove(tmpSeg)
 		return nil, err
 	}
 	w, err := wal.Open(filepath.Join(dir, walFileName(1)), opt.walOptions())
 	if err != nil {
 		return nil, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		w.Close()
 		return nil, err
 	}
 	st := seedStore(db, opt, 1)
-	st.dur = &durableState{
+	st.dur = newDurableState(dir, opt)
+	st.dur.wal = w
+	st.dur.walBase = 1
+	st.dur.segGen = 1
+	return st, nil
+}
+
+// newDurableState builds the persistence arm from the options; the
+// caller fills in the WAL handle and generations.
+func newDurableState(dir string, opt Options) *durableState {
+	return &durableState{
 		dir:             dir,
-		wal:             w,
-		walBase:         1,
-		segGen:          1,
+		fsys:            opt.fs(),
 		walOpt:          opt.walOptions(),
 		checkpointBytes: opt.effectiveCheckpointBytes(),
+		probeBackoff:    opt.ProbeBackoff,
+		probeBackoffMax: opt.ProbeBackoffMax,
 	}
-	return st, nil
 }
 
 // recoverDir rebuilds the in-memory store from dir's files and reports
 // which WAL file new appends continue into. The returned store has dur
 // set except for the live WAL handle, which the caller opens.
 func recoverDir(dir string, opt Options) (st *Store, liveBase uint64, err error) {
-	entries, err := os.ReadDir(dir)
+	fsys := opt.fs()
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: open %s: %w", dir, err)
 	}
@@ -211,7 +237,7 @@ func recoverDir(dir string, opt Options) (st *Store, liveBase uint64, err error)
 	var segErrs []error
 	sort.Slice(segGens, func(a, b int) bool { return segGens[a] > segGens[b] })
 	for _, gen := range segGens {
-		g, loaded, err := readSegment(filepath.Join(dir, segmentFileName(gen)))
+		g, loaded, err := readSegment(fsys, filepath.Join(dir, segmentFileName(gen)))
 		if err != nil {
 			segErrs = append(segErrs, err)
 			continue
@@ -228,12 +254,8 @@ func recoverDir(dir string, opt Options) (st *Store, liveBase uint64, err error)
 	}
 
 	st = seedStore(db, opt, baseGen)
-	st.dur = &durableState{
-		dir:             dir,
-		segGen:          segGen,
-		walOpt:          opt.walOptions(),
-		checkpointBytes: opt.effectiveCheckpointBytes(),
-	}
+	st.dur = newDurableState(dir, opt)
+	st.dur.segGen = segGen
 
 	// Replay the WAL chain: files based at or after the checkpoint, in
 	// base order, each expected to start exactly at the generation the
@@ -260,13 +282,13 @@ func recoverDir(dir string, opt Options) (st *Store, liveBase uint64, err error)
 			// checkpoint sweeps it. A NON-empty out-of-chain WAL cannot
 			// arise from any crash ordering — that is real damage, and
 			// booting past it would silently drop acknowledged batches.
-			if n, valid, _, err := wal.Scan(filepath.Join(dir, walFileName(base)), nil); err == nil && n == 0 && valid == 0 {
+			if n, valid, _, err := wal.ScanFS(fsys, filepath.Join(dir, walFileName(base)), nil); err == nil && n == 0 && valid == 0 {
 				continue
 			}
 			return nil, 0, fmt.Errorf("store: open %s: WAL chain gap: have non-empty %s but recovery reached generation %d", dir, walFileName(base), cur)
 		}
 		path := filepath.Join(dir, walFileName(base))
-		_, _, _, err := wal.Scan(path, func(payload []byte) error {
+		_, _, _, err := wal.ScanFS(fsys, path, func(payload []byte) error {
 			records, upsert, err := decodeBatch(payload)
 			if err != nil {
 				return err
@@ -300,7 +322,13 @@ func (st *Store) Checkpoint() error {
 	if st.dur == nil {
 		return nil
 	}
-	return st.checkpointLocked()
+	err := st.checkpointLocked()
+	if err != nil {
+		// The WAL still holds everything; have the prober retry the
+		// compaction in the background.
+		st.startProberLocked()
+	}
+	return err
 }
 
 // checkpointLocked runs a checkpoint under mu.
@@ -309,7 +337,9 @@ func (st *Store) checkpointLocked() error {
 	gen := st.cur.Load().gen
 	if gen == d.segGen {
 		// Nothing appended since the last checkpoint (or since Create's
-		// seed segment): the segment is current, the WAL is empty.
+		// seed segment): the segment is current, the WAL is empty. A
+		// stale failure from a previous attempt is moot now.
+		d.checkpointErr = nil
 		return nil
 	}
 
@@ -323,7 +353,7 @@ func (st *Store) checkpointLocked() error {
 			d.checkpointErr = err
 			return err
 		}
-		if err := syncDir(d.dir); err != nil {
+		if err := syncDir(d.fsys, d.dir); err != nil {
 			nw.Close()
 			d.checkpointErr = err
 			return err
@@ -345,7 +375,7 @@ func (st *Store) checkpointLocked() error {
 	// 2. Write the checkpoint for gen. The spine slices are exactly the
 	// current snapshot's sealed views, so encoding under mu sees one
 	// consistent generation.
-	if _, err := writeSegment(d.dir, gen, st.cur.Load().db); err != nil {
+	if _, err := writeSegment(d.fsys, d.dir, gen, st.cur.Load().db); err != nil {
 		d.checkpointErr = err
 		return err
 	}
@@ -356,7 +386,7 @@ func (st *Store) checkpointLocked() error {
 	// based before it, and any orphaned segment temp files. Best-effort —
 	// a leftover is re-swept by the next checkpoint and ignored by
 	// recovery.
-	entries, err := os.ReadDir(d.dir)
+	entries, err := d.fsys.ReadDir(d.dir)
 	if err != nil {
 		return nil
 	}
@@ -373,7 +403,7 @@ func (st *Store) checkpointLocked() error {
 			remove = true
 		}
 		if remove {
-			_ = os.Remove(filepath.Join(d.dir, name))
+			_ = d.fsys.Remove(filepath.Join(d.dir, name))
 		}
 	}
 	return nil
@@ -398,10 +428,20 @@ func (st *Store) Sync() error {
 // twice.
 func (st *Store) Close() error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.dur == nil {
+		st.mu.Unlock()
 		return nil
 	}
+	if stop := st.dur.proberStop; stop != nil {
+		done := st.dur.proberDone
+		st.dur.proberStop, st.dur.proberDone = nil, nil
+		// The prober may be blocked on st.mu; release it for the handoff.
+		st.mu.Unlock()
+		close(stop)
+		<-done
+		st.mu.Lock()
+	}
+	defer st.mu.Unlock()
 	return st.dur.wal.Close()
 }
 
@@ -427,6 +467,16 @@ type DurabilityInfo struct {
 	// (cleared by the next successful checkpoint). The WAL keeps the data
 	// safe meanwhile; it just cannot be compacted.
 	CheckpointError string
+	// WALError is the live WAL's sticky error, or "" while it is
+	// healthy. Set, it means appends cannot become durable until the log
+	// is healed.
+	WALError string
+	// Degraded reports read-only degraded mode: appends are rejected
+	// with ErrDegraded while mining continues on the last snapshot, and
+	// the background prober retries recovery. DegradedError is the root
+	// cause.
+	Degraded      bool
+	DegradedError string
 }
 
 // Durability returns the persistence state of the store.
@@ -447,6 +497,13 @@ func (st *Store) Durability() DurabilityInfo {
 	}
 	if st.dur.checkpointErr != nil {
 		info.CheckpointError = st.dur.checkpointErr.Error()
+	}
+	if werr := st.dur.wal.Err(); werr != nil {
+		info.WALError = werr.Error()
+	}
+	if st.dur.degraded != nil {
+		info.Degraded = true
+		info.DegradedError = st.dur.degraded.Error()
 	}
 	return info
 }

@@ -2,10 +2,10 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -13,41 +13,62 @@ import (
 // disk. Err is non-empty when the file fails validation (bad magic,
 // checksum mismatch, undecodable payload); recovery would skip it.
 type SegmentFileInfo struct {
-	Name       string
-	Generation uint64
-	Size       int64
-	Sequences  int // 0 when Err is set
-	Err        string
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+	Size       int64  `json:"size"`
+	Sequences  int    `json:"sequences"` // 0 when Err is set
+	Err        string `json:"error,omitempty"`
 }
 
 // WALFileInfo describes one write-ahead log file: how many intact
 // records its valid prefix holds and whether a torn/corrupt tail follows
 // (normal after a crash; recovery truncates it).
 type WALFileInfo struct {
-	Name       string
-	Base       uint64 // generation the log applies on top of
-	Size       int64
-	ValidBytes int64
-	Records    int
-	Torn       bool
-	Err        string
+	Name       string `json:"name"`
+	Base       uint64 `json:"base"` // generation the log applies on top of
+	Size       int64  `json:"size"`
+	ValidBytes int64  `json:"validBytes"`
+	Records    int    `json:"records"`
+	Torn       bool   `json:"torn"`
+	Err        string `json:"error,omitempty"`
 }
 
 // DirReport is the result of Inspect: the storage files of one durable
 // database plus the state a recovery would reconstruct from them.
 type DirReport struct {
-	Dir      string
-	Segments []SegmentFileInfo
-	WALs     []WALFileInfo
+	Dir      string            `json:"dir"`
+	Segments []SegmentFileInfo `json:"segments"`
+	WALs     []WALFileInfo     `json:"wals"`
 
 	// The recovered state (latest valid segment + WAL chain replay).
 	// When RecoveryErr is non-empty the fields below it are zero.
-	Generation        uint64
-	SegmentGeneration uint64
-	NumSequences      int
-	DistinctEvents    int
-	TotalLength       int
-	RecoveryErr       string
+	Generation        uint64 `json:"generation"`
+	SegmentGeneration uint64 `json:"segmentGeneration"`
+	NumSequences      int    `json:"numSequences"`
+	DistinctEvents    int    `json:"distinctEvents"`
+	TotalLength       int    `json:"totalLength"`
+	RecoveryErr       string `json:"recoveryError,omitempty"`
+}
+
+// Corrupt reports whether the inspection found any damage: an unloadable
+// or mismatched segment, a WAL that fails to scan or carries a torn or
+// corrupt tail, or a recovery that cannot complete. Ops tooling maps it
+// to a nonzero exit code.
+func (r *DirReport) Corrupt() bool {
+	if r.RecoveryErr != "" {
+		return true
+	}
+	for _, s := range r.Segments {
+		if s.Err != "" {
+			return true
+		}
+	}
+	for _, w := range r.WALs {
+		if w.Err != "" || w.Torn {
+			return true
+		}
+	}
+	return false
 }
 
 // Inspect reads the storage files of a durable database directory
@@ -56,7 +77,13 @@ type DirReport struct {
 // dry-run recovery. Safe on a directory a running store is using, though
 // the report is then a racy point-in-time view.
 func Inspect(dir string) (*DirReport, error) {
-	entries, err := os.ReadDir(dir)
+	return InspectFS(vfs.OS, dir)
+}
+
+// InspectFS is Inspect through an explicit filesystem, for callers that
+// thread a fault-injecting vfs.FS through the read path.
+func InspectFS(fsys vfs.FS, dir string) (*DirReport, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: inspect %s: %w", dir, err)
 	}
@@ -70,7 +97,7 @@ func Inspect(dir string) (*DirReport, error) {
 		}
 		if gen, ok := parseSegmentName(name); ok {
 			info := SegmentFileInfo{Name: name, Generation: gen, Size: size}
-			if g, db, err := readSegment(filepath.Join(dir, name)); err != nil {
+			if g, db, err := readSegment(fsys, filepath.Join(dir, name)); err != nil {
 				info.Err = err.Error()
 			} else if g != gen {
 				info.Err = fmt.Sprintf("file name says generation %d, header says %d", gen, g)
@@ -81,7 +108,7 @@ func Inspect(dir string) (*DirReport, error) {
 		}
 		if base, ok := parseWALName(name); ok {
 			info := WALFileInfo{Name: name, Base: base, Size: size}
-			records, valid, torn, err := wal.Scan(filepath.Join(dir, name), nil)
+			records, valid, torn, err := wal.ScanFS(fsys, filepath.Join(dir, name), nil)
 			if err != nil {
 				info.Err = err.Error()
 			} else {
@@ -95,7 +122,7 @@ func Inspect(dir string) (*DirReport, error) {
 
 	// Dry-run recovery: recoverDir only reads (the live WAL is opened —
 	// and its torn tail truncated — by Open, not here).
-	st, _, err := recoverDir(dir, Options{})
+	st, _, err := recoverDir(dir, Options{FS: fsys})
 	if err != nil {
 		rep.RecoveryErr = err.Error()
 		return rep, nil

@@ -5,12 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/seq"
+	"repro/internal/vfs"
 )
 
 // A checkpoint segment is one generation of the database serialized to a
@@ -116,24 +116,24 @@ func decodeSegment(data []byte) (gen uint64, db *seq.DB, err error) {
 // (so the eventual rename never crosses filesystems) and fsyncs it. The
 // bytes are durable but the checkpoint is not yet visible to recovery —
 // install it with installSegment, or leave it to be swept.
-func writeSegmentTemp(dir string, gen uint64, db *seq.DB) (string, error) {
-	tmp, err := os.CreateTemp(dir, segmentFileName(gen)+".tmp")
+func writeSegmentTemp(fsys vfs.FS, dir string, gen uint64, db *seq.DB) (string, error) {
+	tmp, err := fsys.CreateTemp(dir, segmentFileName(gen)+".tmp")
 	if err != nil {
 		return "", fmt.Errorf("store: create segment temp file: %w", err)
 	}
 	data := encodeSegment(gen, db)
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return "", fmt.Errorf("store: write segment: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return "", fmt.Errorf("store: sync segment: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		fsys.Remove(tmp.Name())
 		return "", fmt.Errorf("store: close segment: %w", err)
 	}
 	return tmp.Name(), nil
@@ -141,12 +141,12 @@ func writeSegmentTemp(dir string, gen uint64, db *seq.DB) (string, error) {
 
 // installSegment atomically publishes a temp segment written by
 // writeSegmentTemp as segment-<gen>.seg and fsyncs the directory.
-func installSegment(tmpPath, dir string, gen uint64) (string, error) {
+func installSegment(fsys vfs.FS, tmpPath, dir string, gen uint64) (string, error) {
 	path := filepath.Join(dir, segmentFileName(gen))
-	if err := os.Rename(tmpPath, path); err != nil {
+	if err := fsys.Rename(tmpPath, path); err != nil {
 		return "", fmt.Errorf("store: publish segment: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -155,22 +155,22 @@ func installSegment(tmpPath, dir string, gen uint64) (string, error) {
 // writeSegment atomically writes the checkpoint for gen into dir and
 // returns its path: temp file + fsync + rename + directory fsync, so a
 // segment file either exists complete or not at all.
-func writeSegment(dir string, gen uint64, db *seq.DB) (string, error) {
-	tmp, err := writeSegmentTemp(dir, gen, db)
+func writeSegment(fsys vfs.FS, dir string, gen uint64, db *seq.DB) (string, error) {
+	tmp, err := writeSegmentTemp(fsys, dir, gen, db)
 	if err != nil {
 		return "", err
 	}
-	path, err := installSegment(tmp, dir, gen)
+	path, err := installSegment(fsys, tmp, dir, gen)
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return "", err
 	}
 	return path, nil
 }
 
 // readSegment loads and validates the segment at path.
-func readSegment(path string) (gen uint64, db *seq.DB, err error) {
-	data, err := os.ReadFile(path)
+func readSegment(fsys vfs.FS, path string) (gen uint64, db *seq.DB, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, nil, fmt.Errorf("store: read segment: %w", err)
 	}
@@ -183,13 +183,8 @@ func readSegment(path string) (gen uint64, db *seq.DB, err error) {
 
 // syncDir fsyncs a directory so a just-renamed or just-created entry is
 // durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: open dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("store: sync dir: %w", err)
 	}
 	return nil

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/seq"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -62,6 +63,23 @@ type Options struct {
 	// DefaultCheckpointWALBytes; negative disables automatic checkpoints
 	// (Checkpoint can still be called explicitly).
 	CheckpointWALBytes int64
+	// FS overrides the filesystem durable stores perform their I/O
+	// through. Nil selects the real OS filesystem; fault-injection tests
+	// install a vfs.FaultFS here.
+	FS vfs.FS
+	// ProbeBackoff and ProbeBackoffMax tune the degraded-mode recovery
+	// prober: the first retry delay and the exponential-backoff cap.
+	// Zero selects DefaultProbeBackoff / DefaultProbeBackoffMax.
+	ProbeBackoff    time.Duration
+	ProbeBackoffMax time.Duration
+}
+
+// fs resolves the effective filesystem.
+func (o Options) fs() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OS
 }
 
 // Record is one unit of an append batch: events to add under a label.
@@ -232,20 +250,33 @@ func (st *Store) Current() *Snapshot {
 // SyncPolicy=always, fsynced — before the snapshot is published: an
 // error means nothing was applied and nothing was acknowledged. Errors
 // are impossible on in-memory stores.
+//
+// A WAL failure (ENOSPC, EIO, ...) flips the store into degraded mode:
+// this and every later Append return an error wrapping ErrDegraded (and,
+// via it, the root cause) without touching the disk again, reads keep
+// serving the last published snapshot, and a background prober retries
+// recovery with exponential backoff until the disk heals (degraded.go).
 func (st *Store) Append(records []Record, upsert bool) (*Snapshot, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.dur != nil {
+		if d := st.dur.degraded; d != nil {
+			// Fast rejection: no I/O, the prober owns retrying.
+			return nil, degradedError(d)
+		}
 		if err := st.dur.logBatch(records, upsert); err != nil {
-			return nil, err
+			st.enterDegradedLocked(err)
+			return nil, degradedError(err)
 		}
 	}
 	snap := st.applyLocked(records, upsert)
 	if st.dur != nil && st.dur.checkpointBytes >= 0 && st.dur.wal.Size() >= st.dur.checkpointBytes {
 		// Compact the WAL into a fresh checkpoint. Best-effort: the append
 		// itself is durable already, so a checkpoint failure (reported via
-		// Durability) must not fail the append.
-		_ = st.checkpointLocked()
+		// Durability, retried by the prober) must not fail the append.
+		if err := st.checkpointLocked(); err != nil {
+			st.startProberLocked()
+		}
 	}
 	return snap, nil
 }

@@ -1,0 +1,313 @@
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"strings"
+	"sync"
+)
+
+// Op identifies one kind of filesystem operation a Fault can target. The
+// zero value OpAny matches every operation, so a Fault that only sets At
+// fires at the Nth I/O operation of any kind — the mode the single-fault
+// sweep uses to enumerate injection points.
+type Op int
+
+const (
+	// OpAny matches every operation (the zero value).
+	OpAny Op = iota
+	OpOpenFile
+	OpOpen
+	OpCreateTemp
+	OpReadFile
+	OpRename
+	OpRemove
+	OpMkdirAll
+	OpReadDir
+	OpSyncDir
+	OpWrite
+	OpReadAt
+	OpSeek
+	OpTruncate
+	OpSync
+	OpClose
+	OpStat
+)
+
+var opNames = map[Op]string{
+	OpAny: "any", OpOpenFile: "openfile", OpOpen: "open",
+	OpCreateTemp: "createtemp", OpReadFile: "readfile", OpRename: "rename",
+	OpRemove: "remove", OpMkdirAll: "mkdirall", OpReadDir: "readdir",
+	OpSyncDir: "syncdir", OpWrite: "write", OpReadAt: "readat",
+	OpSeek: "seek", OpTruncate: "truncate", OpSync: "sync",
+	OpClose: "close", OpStat: "stat",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op?"
+}
+
+// Fault is one injection rule. A rule matches an operation when the Op
+// kind matches (OpAny matches all), the Path substring appears in the
+// operation's path (empty matches all), and the fault's remaining trigger
+// count is reached: At is the 0-based index among MATCHING operations at
+// which to fire, or -1 to fire on every match.
+//
+// When a rule fires it either fails the operation with Err, or — for
+// writes with ShortWrite > 0 — truncates the write to the first ShortWrite
+// bytes and then returns Err (a short write with a nil Err reports the
+// truncated byte count with no error only if Err is nil, mirroring a
+// kernel that accepted part of the buffer before running out of space).
+type Fault struct {
+	Op         Op     // operation kind to match; OpAny matches all
+	Path       string // substring of the path; "" matches all
+	At         int    // 0-based index among matching ops; -1 = every match
+	Err        error  // error to inject (wrapped in *fs.PathError)
+	ShortWrite int    // for OpWrite: accept only this many bytes
+	seen       int    // matching ops observed so far
+	fired      bool   // has this rule injected at least once
+}
+
+// FaultFS wraps an inner FS (usually OS) and injects configured faults.
+// It also counts every operation, so a fault-free pass over a workload
+// yields the total op count T; sweeping At over [0,T) then covers every
+// injectable point exactly once.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	ops    int
+	faults []*Fault
+	trace  []string
+}
+
+// NewFaultFS wraps inner with an empty rule set.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner}
+}
+
+// AddFault arms a rule. The returned pointer can be queried with Fired
+// after the workload runs.
+func (f *FaultFS) AddFault(rule Fault) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := rule
+	f.faults = append(f.faults, &r)
+	return &r
+}
+
+// ClearFaults disarms every rule but keeps the op counter running.
+func (f *FaultFS) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+// Ops reports how many operations have gone through this FS so far.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired reports whether the rule has injected at least once.
+func (f *FaultFS) Fired(rule *Fault) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return rule.fired
+}
+
+// Trace returns the operation log: one "op path" line per operation in
+// order. Useful to label which operation a sweep index corresponds to.
+func (f *FaultFS) Trace() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.trace))
+	copy(out, f.trace)
+	return out
+}
+
+// check records one operation and returns the fault to inject, if any.
+// The short-write byte count is returned separately so Write can truncate.
+func (f *FaultFS) check(op Op, path string) (err error, short int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	f.trace = append(f.trace, op.String()+" "+path)
+	for _, r := range f.faults {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		idx := r.seen
+		r.seen++
+		if r.At >= 0 && idx != r.At {
+			continue
+		}
+		r.fired = true
+		injected := r.Err
+		if injected != nil {
+			injected = &fs.PathError{Op: op.String(), Path: path, Err: injected}
+		}
+		return injected, r.ShortWrite
+	}
+	return nil, 0
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err, _ := f.check(OpOpenFile, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: inner}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if err, _ := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: inner}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := f.check(OpCreateTemp, dir); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: inner}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err, _ := f.check(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err, _ := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err, _ := f.check(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err, _ := f.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err, _ := f.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes every file operation back through the owning FaultFS
+// rule check, tagged with the file's path, so path-matched and Nth-op
+// faults apply to file I/O as well as path operations.
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, short := ff.fs.check(OpWrite, ff.f.Name())
+	if err == nil && short == 0 {
+		return ff.f.Write(p)
+	}
+	if short > 0 && short < len(p) {
+		// Emulate a kernel that accepted a prefix: persist it, then fail.
+		n, werr := ff.f.Write(p[:short])
+		if werr != nil {
+			return n, werr
+		}
+		if err == nil {
+			// A bare short write with no explicit error: io.Writer
+			// contracts require an error when n < len(p).
+			err = &fs.PathError{Op: "write", Path: ff.f.Name(), Err: io.ErrShortWrite}
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err, _ := ff.fs.check(OpReadAt, ff.f.Name()); err != nil {
+		return 0, err
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if err, _ := ff.fs.check(OpSeek, ff.f.Name()); err != nil {
+		return 0, err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err, _ := ff.fs.check(OpTruncate, ff.f.Name()); err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.fs.check(OpSync, ff.f.Name()); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err, _ := ff.fs.check(OpClose, ff.f.Name()); err != nil {
+		// Still close the real descriptor so sweeps don't leak fds.
+		ff.f.Close()
+		return err
+	}
+	return ff.f.Close()
+}
+
+func (ff *faultFile) Stat() (fs.FileInfo, error) {
+	if err, _ := ff.fs.check(OpStat, ff.f.Name()); err != nil {
+		return nil, err
+	}
+	return ff.f.Stat()
+}
+
+func (ff *faultFile) Name() string { return ff.f.Name() }

@@ -34,6 +34,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/vfs"
 )
 
 // SyncPolicy selects when appends are made durable with fsync.
@@ -92,6 +94,20 @@ type Options struct {
 	// Interval is the background fsync cadence under SyncInterval;
 	// 0 selects DefaultSyncInterval.
 	Interval time.Duration
+	// FS overrides the filesystem the log performs its I/O through. Nil
+	// selects the real OS filesystem; fault-injection tests install a
+	// vfs.FaultFS here. The file handle is held in the Log struct, so
+	// the append hot path pays one virtual call per I/O and no
+	// allocation.
+	FS vfs.FS
+}
+
+// fs resolves the effective filesystem.
+func (o Options) fs() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OS
 }
 
 // frameHeaderSize is the fixed per-record overhead: 4-byte length +
@@ -119,9 +135,14 @@ func frameCRC(lenField [4]byte, payload []byte) uint32 {
 // use; appends are serialized internally.
 type Log struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    vfs.File
 	path string
 	opt  Options
+	// hdr is the reused frame-header buffer (guarded by mu). A per-call
+	// stack buffer would escape to the heap on every Append: it is
+	// written through the vfs.File interface, and escape analysis cannot
+	// see that no implementation retains the slice.
+	hdr  [frameHeaderSize]byte
 	size int64 // valid bytes (file size after torn-tail truncation)
 	recs int   // records in the log (replayed + appended)
 
@@ -138,7 +159,7 @@ type Log struct {
 // records already in the log is available via Records, and callers replay
 // them with Scan before appending.
 func Open(path string, opt Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := opt.fs().OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
@@ -219,6 +240,62 @@ func (l *Log) Records() int {
 	return l.recs
 }
 
+// Err returns the sticky error that poisoned the log, or nil while the
+// log is healthy. The store surfaces it in durability reports so ENOSPC
+// is distinguishable from EIO without string matching.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// TruncateTo discards every record after the first n, leaving exactly n
+// records, and fsyncs the truncation. The store uses it while healing a
+// degraded log: a failed fsync can leave a fully written but never
+// acknowledged frame on disk, and replaying that frame after recovery
+// would advance the snapshot one generation past what the segment/WAL
+// chain accounts for.
+func (l *Log) TruncateTo(n int) error {
+	if n < 0 {
+		return fmt.Errorf("wal: truncate to negative record count %d", n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if n >= l.recs {
+		return nil
+	}
+	// Walk the first n frame headers to find the byte offset where
+	// record n starts; everything from there on is dropped.
+	var off int64
+	for i := 0; i < n; i++ {
+		if _, err := l.f.ReadAt(l.hdr[:], off); err != nil {
+			return fmt.Errorf("wal: reread frame header: %w", err)
+		}
+		off += frameHeaderSize + int64(binary.LittleEndian.Uint32(l.hdr[0:4]))
+	}
+	if err := l.f.Truncate(off); err != nil {
+		l.err = fmt.Errorf("wal: truncate: %w", err)
+		return l.err
+	}
+	l.dirty = true
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		l.err = fmt.Errorf("wal: seek: %w", err)
+		return l.err
+	}
+	l.size = off
+	l.recs = n
+	return nil
+}
+
 // Append writes one record. Under SyncAlways the record is fsynced
 // before Append returns: when Append returns nil, the record survives
 // any crash. A write or sync failure poisons the log — every subsequent
@@ -240,10 +317,9 @@ func (l *Log) Append(payload []byte) error {
 	if l.f == nil {
 		return errors.New("wal: log is closed")
 	}
-	var hdr [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC([4]byte(hdr[0:4]), payload))
-	if _, err := l.f.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint32(l.hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.hdr[4:8], frameCRC([4]byte(l.hdr[0:4]), payload))
+	if _, err := l.f.Write(l.hdr[:]); err != nil {
 		l.err = fmt.Errorf("wal: write: %w", err)
 		return l.err
 	}
@@ -321,7 +397,13 @@ func (l *Log) Close() error {
 // follows it (torn tails are normal after a crash and are not an error).
 // fn returning an error aborts the scan with that error.
 func Scan(path string, fn func(payload []byte) error) (records int, valid int64, torn bool, err error) {
-	f, err := os.Open(path)
+	return ScanFS(vfs.OS, path, fn)
+}
+
+// ScanFS is Scan through an explicit filesystem, for callers that thread
+// a fault-injecting vfs.FS through recovery.
+func ScanFS(fsys vfs.FS, path string, fn func(payload []byte) error) (records int, valid int64, torn bool, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, false, fmt.Errorf("wal: open %s: %w", path, err)
 	}

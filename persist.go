@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/seq"
 	"repro/internal/store"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -76,6 +77,16 @@ type OpenOptions struct {
 	// 4 MiB default; negative disables automatic checkpoints, leaving
 	// compaction to explicit Compact calls.
 	CheckpointWALBytes int64
+	// ProbeBackoff and ProbeBackoffMax tune the degraded-mode recovery
+	// prober: the first retry delay and the exponential-backoff cap.
+	// Zero selects the defaults (100ms and 30s).
+	ProbeBackoff    time.Duration
+	ProbeBackoffMax time.Duration
+	// FS overrides the filesystem the database performs its I/O through.
+	// It is a module-internal fault-injection hook (the type lives in an
+	// internal package): external callers leave it nil, which selects
+	// the real OS filesystem.
+	FS vfs.FS
 }
 
 func (o OpenOptions) internal() store.Options {
@@ -83,6 +94,9 @@ func (o OpenOptions) internal() store.Options {
 		SyncPolicy:         o.Sync.internal(),
 		SyncInterval:       o.SyncInterval,
 		CheckpointWALBytes: o.CheckpointWALBytes,
+		ProbeBackoff:       o.ProbeBackoff,
+		ProbeBackoffMax:    o.ProbeBackoffMax,
+		FS:                 o.FS,
 	}
 }
 
@@ -182,6 +196,16 @@ type Persistence struct {
 	// when healthy). Appends remain durable through the WAL while this is
 	// set; the WAL just is not being compacted.
 	CheckpointError string
+	// WALError reports the write-ahead log's sticky error ("" while
+	// healthy), with the root errno preserved in the text. Set, it means
+	// appends cannot become durable until the log heals.
+	WALError string
+	// Degraded reports read-only degraded mode: appends are rejected
+	// with ErrDegraded while mining continues on the last snapshot, and
+	// a background prober retries recovery until the disk heals.
+	// DegradedError is the root cause.
+	Degraded      bool
+	DegradedError string
 }
 
 // Persistence returns the database's durability state.
@@ -195,6 +219,9 @@ func (d *Database) Persistence() Persistence {
 		WALBytes:          info.WALBytes,
 		WALRecords:        info.WALRecords,
 		CheckpointError:   info.CheckpointError,
+		WALError:          info.WALError,
+		Degraded:          info.Degraded,
+		DegradedError:     info.DegradedError,
 	}
 	if info.Durable {
 		switch info.SyncPolicy {

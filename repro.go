@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -169,6 +170,11 @@ func (d *Database) Append(records []Record) (*Snapshot, error) {
 	}
 	snap, err := d.st.Append(batch, true)
 	if err != nil {
+		if errors.Is(err, store.ErrDegraded) {
+			// Re-sentinel into the public taxonomy; the root cause
+			// (ENOSPC, EIO, ...) stays reachable through the chain.
+			return nil, fmt.Errorf("repro: %w: %w", ErrDegraded, err)
+		}
 		return nil, err
 	}
 	return &Snapshot{s: snap}, nil
