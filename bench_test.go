@@ -11,6 +11,7 @@ package repro
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/baseline"
@@ -519,6 +520,66 @@ func BenchmarkDurableAppend(b *testing.B) {
 			b.ReportMetric(float64(8*b.N), "records")
 		})
 	}
+}
+
+// BenchmarkDurableAppendConcurrent measures what group commit buys:
+// acked-records/s under fsync=always as the number of concurrent
+// appenders grows. Each op is ONE durably acknowledged single-record
+// append; `clients` goroutines race to claim ops from a shared counter,
+// so clients=1 is the single-appender latency (the adaptive window must
+// keep it within one commit window of the serialized path) and
+// clients=16 is the coalescing case — the committer packs concurrent
+// commits into one write + one fsync, reported directly as fsyncs/rec
+// (the acceptance floor is < 0.25 at clients=16). The nogroup variant
+// (CommitMaxBatch < 0) is the serialized before-number on identical
+// hardware, and fsync=interval bounds what any fsync=always scheme can
+// reach.
+func BenchmarkDurableAppendConcurrent(b *testing.B) {
+	rec := []Record{{Events: []string{"login", "view", "logout"}}}
+	run := func(b *testing.B, clients int, opt OpenOptions) {
+		db, err := Open(b.TempDir(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		if _, err := db.Append(rec); err != nil { // warm: WAL + first segment exist
+			b.Fatal(err)
+		}
+		syncsBefore := db.Persistence().Fsyncs
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		b.ReportAllocs()
+		b.ResetTimer()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(b.N) {
+					if _, err := db.Append(rec); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "records/s")
+		}
+		b.ReportMetric(float64(db.Persistence().Fsyncs-syncsBefore)/float64(b.N), "fsyncs/rec")
+	}
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("fsync=always/clients=%d", clients), func(b *testing.B) {
+			run(b, clients, OpenOptions{Sync: SyncAlways})
+		})
+	}
+	b.Run("fsync=always-nogroup/clients=16", func(b *testing.B) {
+		run(b, 16, OpenOptions{Sync: SyncAlways, CommitMaxBatch: -1})
+	})
+	b.Run("fsync=interval/clients=16", func(b *testing.B) {
+		run(b, 16, OpenOptions{Sync: SyncInterval})
+	})
 }
 
 // BenchmarkInMemoryAppend is the regression guard for the zero-config

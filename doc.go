@@ -140,6 +140,21 @@
 // Database.Persistence reports the recovery state (checkpointed
 // generation, WAL size, sync policy) for monitoring.
 //
+// Under SyncAlways, concurrent Appends are group-committed: records
+// arriving within one commit window are packed into a single
+// write-ahead-log write and flushed with a single fsync, so acknowledged
+// throughput scales with offered load instead of being capped at one
+// disk flush per record. The contract per record is unchanged — a nil
+// error from Append still means that exact record is on stable storage —
+// and a lone appender never waits out the window, so single-client
+// latency stays within one commit window of the unbatched path.
+// OpenOptions.CommitMaxBatch and CommitMaxWait tune the window (defaults
+// 64 records / 1ms; a negative CommitMaxBatch disables batching and
+// restores the serialized one-fsync-per-record path), and
+// Database.Persistence reports CommitBatches and CommitRecords — the
+// HTTP persistence block and /readyz additionally derive fsyncsSaved —
+// so the achieved coalescing is observable in production.
+//
 // # Degraded mode and self-healing
 //
 // A durable database survives its disk failing. When an append hits an

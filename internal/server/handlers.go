@@ -75,6 +75,8 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			DegradedError:   p.DegradedError,
 			WALError:        p.WALError,
 			CheckpointError: p.CheckpointError,
+			CommitBatches:   p.CommitBatches,
+			FsyncsSaved:     p.CommitRecords - p.CommitBatches,
 		}
 		if p.Degraded {
 			resp.Status = "degraded"

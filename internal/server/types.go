@@ -236,6 +236,13 @@ type persistenceJSON struct {
 	// retries recovery. DegradedError is the root cause.
 	Degraded      bool   `json:"degraded,omitempty"`
 	DegradedError string `json:"degradedError,omitempty"`
+	// Group-commit counters (fsync=always): batches coalesced, records
+	// they carried (records/batches = achieved coalescing factor), and
+	// fsyncs saved versus one-fsync-per-append. Dashboards use
+	// fsyncsSaved to see the -commit-batch/-commit-wait window working.
+	CommitBatches int64 `json:"commitBatches,omitempty"`
+	CommitRecords int64 `json:"commitRecords,omitempty"`
+	FsyncsSaved   int64 `json:"fsyncsSaved,omitempty"`
 }
 
 // appendRecord is one line of the NDJSON append stream.
@@ -308,6 +315,9 @@ func toDBInfo(e *dbEntry) dbInfo {
 			WALError:          p.WALError,
 			Degraded:          p.Degraded,
 			DegradedError:     p.DegradedError,
+			CommitBatches:     p.CommitBatches,
+			CommitRecords:     p.CommitRecords,
+			FsyncsSaved:       p.CommitRecords - p.CommitBatches,
 		}
 	}
 	return info
@@ -334,6 +344,11 @@ type readyDBJSON struct {
 	DegradedError   string `json:"degradedError,omitempty"`
 	WALError        string `json:"walError,omitempty"`
 	CheckpointError string `json:"checkpointError,omitempty"`
+	// CommitBatches and FsyncsSaved summarize group-commit coalescing
+	// (fsync=always): how many batched WAL writes happened and how many
+	// fsyncs they saved versus one-per-append.
+	CommitBatches int64 `json:"commitBatches,omitempty"`
+	FsyncsSaved   int64 `json:"fsyncsSaved,omitempty"`
 }
 
 // supportRequest is the JSON body of POST /v1/databases/{name}/support.

@@ -69,7 +69,9 @@ func (st *Store) enterDegradedLocked(cause error) {
 // is already running. Caller holds st.mu.
 func (st *Store) startProberLocked() {
 	d := st.dur
-	if d.proberStop != nil {
+	if d.proberStop != nil || d.closed {
+		// A closed store never heals (and must not leak a goroutine that
+		// outlives Close's shutdown handshake).
 		return
 	}
 	first := d.probeBackoff
@@ -125,6 +127,14 @@ func (st *Store) probeLoop(backoff, cap time.Duration, stop <-chan struct{}, don
 // fully healthy again: not degraded and no checkpoint pending retry.
 func (st *Store) probeLocked() bool {
 	d := st.dur
+	if d.inFlight > 0 || d.quiescing {
+		// Group commits are still flowing through the pipeline (committed
+		// records awaiting their in-order apply, or a checkpoint holding
+		// the quiesce). Healing truncates the WAL to the applied
+		// generation and a checkpoint rotates walBase — either would
+		// corrupt their accounting. Retry at the next backoff.
+		return false
+	}
 	if d.degraded != nil && !st.healLocked() {
 		return false
 	}
@@ -152,7 +162,8 @@ func (st *Store) healLocked() bool {
 	// but unacknowledged frames beyond what the published generation
 	// accounts for — see the package comment above.
 	path := d.wal.Path()
-	_ = d.wal.Close() // already poisoned; the sticky error is expected
+	d.absorbCommitStats() // the handle is being replaced; keep its totals
+	_ = d.wal.Close()     // already poisoned; the sticky error is expected
 	nw, err := wal.Open(path, d.walOpt)
 	if err != nil {
 		return false

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/seq"
@@ -89,13 +90,44 @@ type durableState struct {
 	// nil when no prober runs.
 	proberStop chan struct{}
 	proberDone chan struct{}
-	// encBuf is the reusable batch-encoding buffer.
+	// encBuf is the reusable batch-encoding buffer (serialized path only;
+	// the group path encodes outside mu through a pool).
 	encBuf []byte
+
+	// Group-commit state. groupCommit is set once before the store is
+	// shared and never mutated, so Append may read it without mu;
+	// everything else below is guarded by the store's mu. inFlight counts
+	// appends between WAL commit admission and spine apply; cond is
+	// broadcast whenever the spine generation advances, inFlight drops,
+	// or quiescing/closed flip, and is what commit waiters, checkpoint
+	// quiescing, and Close's drain block on. quiescing blocks new
+	// admissions while a checkpoint drains in-flight commits (a rotation
+	// changes walBase, which would invalidate their apply targets).
+	groupCommit bool
+	cond        *sync.Cond
+	inFlight    int
+	quiescing   bool
+	closed      bool
+	// Commit statistics carried across WAL rotations: the live WAL's
+	// counters reset on every checkpoint, so the totals a monitoring
+	// scrape sees are acc + live.
+	accCommit wal.CommitStats
 }
 
-// walOptions maps store Options to the WAL's.
+// walOptions maps store Options to the WAL's. Group commit defaults ON
+// under SyncPolicy=always (0 selects the WAL's defaults, negative
+// disables); under weaker policies appends never pay a per-record fsync,
+// so the committer is never enabled there.
 func (o Options) walOptions() wal.Options {
-	return wal.Options{Policy: o.SyncPolicy, Interval: o.SyncInterval, FS: o.FS}
+	w := wal.Options{Policy: o.SyncPolicy, Interval: o.SyncInterval, FS: o.FS}
+	if o.SyncPolicy == wal.SyncAlways && o.CommitMaxBatch >= 0 {
+		w.CommitMaxBatch = o.CommitMaxBatch
+		if w.CommitMaxBatch == 0 {
+			w.CommitMaxBatch = wal.DefaultCommitMaxBatch
+		}
+		w.CommitMaxWait = o.CommitMaxWait
+	}
+	return w
 }
 
 // effectiveCheckpointBytes resolves the auto-checkpoint threshold.
@@ -129,6 +161,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 	st.dur.wal = w
 	st.dur.walBase = liveBase
+	st.finishDurableSetup()
 	return st, nil
 }
 
@@ -192,6 +225,7 @@ func Create(dir string, db *seq.DB, opt Options) (*Store, error) {
 	st.dur.wal = w
 	st.dur.walBase = 1
 	st.dur.segGen = 1
+	st.finishDurableSetup()
 	return st, nil
 }
 
@@ -206,6 +240,15 @@ func newDurableState(dir string, opt Options) *durableState {
 		probeBackoff:    opt.ProbeBackoff,
 		probeBackoffMax: opt.ProbeBackoffMax,
 	}
+}
+
+// finishDurableSetup wires the group-commit machinery once the WAL
+// handle is installed. Runs before the store is shared, so the
+// groupCommit flag may be read without mu afterwards.
+func (st *Store) finishDurableSetup() {
+	d := st.dur
+	d.cond = sync.NewCond(&st.mu)
+	d.groupCommit = d.walOpt.Policy == wal.SyncAlways && d.walOpt.CommitMaxBatch > 0
 }
 
 // recoverDir rebuilds the in-memory store from dir's files and reports
@@ -312,6 +355,16 @@ func (d *durableState) logBatch(records []Record, upsert bool) error {
 	return d.wal.Append(d.encBuf)
 }
 
+// absorbCommitStats folds the live WAL's commit counters into the
+// running totals before the handle is replaced (checkpoint rotation,
+// degraded-mode heal). Called under mu.
+func (d *durableState) absorbCommitStats() {
+	s := d.wal.CommitStats()
+	d.accCommit.Batches += s.Batches
+	d.accCommit.Records += s.Records
+	d.accCommit.Syncs += s.Syncs
+}
+
 // Checkpoint compacts the WAL into a fresh segment: the current
 // generation is serialized as segment-<gen>.seg, new appends go to a WAL
 // based at <gen>, and superseded files are deleted. A no-op when the
@@ -322,12 +375,45 @@ func (st *Store) Checkpoint() error {
 	if st.dur == nil {
 		return nil
 	}
-	err := st.checkpointLocked()
-	if err != nil {
+	err := st.checkpointQuiesced()
+	if err != nil && !errors.Is(err, wal.ErrClosed) {
 		// The WAL still holds everything; have the prober retry the
 		// compaction in the background.
 		st.startProberLocked()
 	}
+	return err
+}
+
+// checkpointQuiesced runs a checkpoint with the group-commit pipeline
+// drained. The rotation inside checkpointLocked changes walBase, which
+// would invalidate the apply targets of commits already in flight — so
+// new admissions are blocked (quiescing), in-flight appends drain, and
+// only then does the checkpoint run. Caller holds st.mu; the wait
+// releases it. No-op extra cost on stores without group commit.
+func (st *Store) checkpointQuiesced() error {
+	d := st.dur
+	if !d.groupCommit {
+		return st.checkpointLocked()
+	}
+	for d.quiescing && !d.closed {
+		d.cond.Wait()
+	}
+	if d.closed {
+		return wal.ErrClosed
+	}
+	d.quiescing = true
+	for d.inFlight > 0 {
+		d.cond.Wait()
+	}
+	var err error
+	if d.closed {
+		// Close slipped in while we drained; it owns the WAL now.
+		err = wal.ErrClosed
+	} else {
+		err = st.checkpointLocked()
+	}
+	d.quiescing = false
+	d.cond.Broadcast()
 	return err
 }
 
@@ -358,6 +444,9 @@ func (st *Store) checkpointLocked() error {
 			d.checkpointErr = err
 			return err
 		}
+		// The rotated-away WAL's commit counters reset with the new file;
+		// fold them into the running totals monitoring reads.
+		d.absorbCommitStats()
 		if err := d.wal.Close(); err != nil {
 			// The old WAL's tail could not be made durable; keep appending
 			// to the new WAL regardless (its chain position is valid), but
@@ -432,6 +521,17 @@ func (st *Store) Close() error {
 		st.mu.Unlock()
 		return nil
 	}
+	if st.dur.groupCommit && !st.dur.closed {
+		// Stop admitting group commits, then drain the pipeline: appends
+		// whose records are already durable get to publish their
+		// snapshots before the WAL handle goes away.
+		st.dur.closed = true
+		st.dur.cond.Broadcast()
+		for st.dur.inFlight > 0 {
+			st.dur.cond.Wait()
+		}
+	}
+	st.dur.closed = true
 	if stop := st.dur.proberStop; stop != nil {
 		done := st.dur.proberDone
 		st.dur.proberStop, st.dur.proberDone = nil, nil
@@ -477,6 +577,15 @@ type DurabilityInfo struct {
 	// cause.
 	Degraded      bool
 	DegradedError string
+	// CommitBatches/CommitRecords count group-commit activity across the
+	// store's lifetime (accumulated over WAL rotations): how many
+	// coalesced batches were written and how many records they carried.
+	// Fsyncs counts every fsync the WALs issued; CommitRecords -
+	// CommitBatches is the number of fsyncs group commit saved versus
+	// one-fsync-per-append.
+	CommitBatches int64
+	CommitRecords int64
+	Fsyncs        int64
 }
 
 // Durability returns the persistence state of the store.
@@ -486,6 +595,7 @@ func (st *Store) Durability() DurabilityInfo {
 	if st.dur == nil {
 		return DurabilityInfo{}
 	}
+	live := st.dur.wal.CommitStats()
 	info := DurabilityInfo{
 		Durable:           true,
 		Dir:               st.dur.dir,
@@ -494,6 +604,9 @@ func (st *Store) Durability() DurabilityInfo {
 		SegmentGeneration: st.dur.segGen,
 		WALBytes:          st.dur.wal.Size(),
 		WALRecords:        st.dur.wal.Records(),
+		CommitBatches:     st.dur.accCommit.Batches + live.Batches,
+		CommitRecords:     st.dur.accCommit.Records + live.Records,
+		Fsyncs:            st.dur.accCommit.Syncs + live.Syncs,
 	}
 	if st.dur.checkpointErr != nil {
 		info.CheckpointError = st.dur.checkpointErr.Error()

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// Group-commit append path. The serialized path in Append holds st.mu
+// across the WAL write and fsync, so under SyncPolicy=always concurrent
+// appenders queue on the mutex and every record still pays a full flush:
+// throughput is capped at one fsync per append no matter the offered
+// load. This path moves the WAL commit OUT of st.mu — concurrent
+// appenders reach wal.Log.Commit together, the committer coalesces them
+// into one write + one fsync — and then re-serializes the in-memory
+// applies in WAL record order, preserving the invariant recovery depends
+// on: the spine is exactly the WAL's records applied in sequence (dict
+// interning and upsert resolution are order-sensitive).
+//
+// Phases, per append:
+//
+//  1. Admission (under mu): wait out a checkpoint quiesce, reject if
+//     degraded/closed, pin the WAL handle + base, inFlight++.
+//  2. Commit (outside mu): encode through a pooled buffer, hand the
+//     payload to the WAL committer, block until the batch is durable.
+//     Commit returns this record's 1-based number rec in the log.
+//  3. Apply (under mu): wait until the spine generation reaches
+//     base+rec-1 — i.e. every earlier record applied — then apply and
+//     publish base+rec. Successes form a strict prefix of the record
+//     sequence (a batch never partially succeeds and failure poisons the
+//     log), so every predecessor either applied or never committed, and
+//     the wait always terminates.
+//
+// Failure keeps the unbatched semantics: the store flips degraded ONCE
+// (enterDegradedLocked ignores re-entry), every failed waiter gets the
+// typed root error wrapped in ErrDegraded, and a close race surfaces
+// wal.ErrClosed without degrading.
+
+// encPool recycles batch-encoding buffers for the group path, which
+// encodes outside st.mu and therefore cannot share durableState.encBuf.
+var encPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// appendGrouped is Append over the group-commit pipeline.
+func (st *Store) appendGrouped(records []Record, upsert bool) (*Snapshot, error) {
+	st.mu.Lock()
+	d := st.dur
+	for d.quiescing && !d.closed {
+		d.cond.Wait()
+	}
+	if d.closed {
+		st.mu.Unlock()
+		return nil, wal.ErrClosed
+	}
+	if dg := d.degraded; dg != nil {
+		st.mu.Unlock()
+		return nil, degradedError(dg)
+	}
+	// Pin the WAL this commit goes to: quiescing guarantees no rotation
+	// happens while inFlight > 0, so base stays the handle's base.
+	w := d.wal
+	base := d.walBase
+	d.inFlight++
+	st.mu.Unlock()
+
+	buf := encPool.Get().(*[]byte)
+	*buf = encodeBatch((*buf)[:0], records, upsert)
+	rec, err := w.Commit(*buf)
+	encPool.Put(buf)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err != nil {
+		d.inFlight--
+		d.cond.Broadcast()
+		if errors.Is(err, wal.ErrClosed) {
+			// A Close racing the commit, not a sick disk: fail this
+			// append without degrading the store.
+			return nil, err
+		}
+		st.enterDegradedLocked(err)
+		return nil, degradedError(err)
+	}
+	// Apply in WAL order. Our record is number rec in a log based at
+	// base; it may apply only once the spine holds the rec-1 records
+	// before it.
+	target := base + uint64(rec) - 1
+	for st.cur.Load().gen != target {
+		d.cond.Wait()
+	}
+	snap := st.applyLocked(records, upsert)
+	d.inFlight--
+	d.cond.Broadcast()
+
+	if d.degraded == nil && !d.closed &&
+		d.checkpointBytes >= 0 && d.wal.Size() >= d.checkpointBytes {
+		st.autoCheckpointGrouped()
+	}
+	return snap, nil
+}
+
+// autoCheckpointGrouped compacts the WAL after a group-path append
+// crossed the size threshold. Multiple appenders can cross it together:
+// whoever wins the quiesce re-checks the size, so the losers find the
+// fresh WAL and skip. Best-effort, like the serialized path — the
+// records are already durable, a failure just leaves the WAL uncompacted
+// for the prober to retry. Caller holds st.mu.
+func (st *Store) autoCheckpointGrouped() {
+	d := st.dur
+	for d.quiescing && !d.closed {
+		d.cond.Wait()
+	}
+	if d.closed || d.degraded != nil ||
+		d.checkpointBytes < 0 || d.wal.Size() < d.checkpointBytes {
+		return
+	}
+	if err := st.checkpointQuiesced(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		st.startProberLocked()
+	}
+}

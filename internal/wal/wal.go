@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/vfs"
@@ -87,6 +88,19 @@ func ParsePolicy(s string) (SyncPolicy, error) {
 // when Options.Interval is zero.
 const DefaultSyncInterval = 100 * time.Millisecond
 
+// Group-commit defaults: the committer closes a batch at 64 records or
+// 1ms, whichever comes first. 64 records amortize one fsync down to
+// ~1/64th per record; 1ms bounds the latency a lone straggler can add.
+const (
+	DefaultCommitMaxBatch = 64
+	DefaultCommitMaxWait  = time.Millisecond
+)
+
+// ErrClosed is returned by operations on a closed log. Distinguishable
+// from I/O failures so callers (the store's degraded-mode machinery) can
+// tell an ordinary close race from a dying disk.
+var ErrClosed = errors.New("wal: log is closed")
+
 // Options configures a Log.
 type Options struct {
 	// Policy selects the fsync policy. The zero value is SyncAlways.
@@ -94,6 +108,22 @@ type Options struct {
 	// Interval is the background fsync cadence under SyncInterval;
 	// 0 selects DefaultSyncInterval.
 	Interval time.Duration
+	// CommitMaxBatch enables group commit under SyncAlways: Commit calls
+	// from concurrent goroutines are coalesced by a committer goroutine
+	// into a single buffered write and ONE fsync, up to CommitMaxBatch
+	// records per batch. 0 disables the committer (Commit then degrades
+	// to the serialized Append path). Ignored under other policies, where
+	// appends do not pay a per-record fsync in the first place.
+	CommitMaxBatch int
+	// CommitMaxWait bounds how long the committer holds a batch open
+	// waiting for more records once at least one submitter is en route;
+	// 0 selects DefaultCommitMaxWait, negative disables waiting (a batch
+	// is whatever is queued the instant the committer looks). A lone
+	// committer never waits at all: with nothing queued and no submitter
+	// between enqueue and handoff, the batch commits immediately, so
+	// single-client latency stays within one commit window of the
+	// unbatched path.
+	CommitMaxWait time.Duration
 	// FS overrides the filesystem the log performs its I/O through. Nil
 	// selects the real OS filesystem; fault-injection tests install a
 	// vfs.FaultFS here. The file handle is held in the Log struct, so
@@ -131,6 +161,46 @@ func frameCRC(lenField [4]byte, payload []byte) uint32 {
 	return crc32.Update(crc, castagnoli, payload)
 }
 
+// putFrameHeader fills hdr (len ≥ frameHeaderSize) with the frame header
+// for payload: the little-endian length followed by the CRC. The ONLY
+// place the on-disk header layout is produced — Append and the group
+// committer both encode through here, so the single-record and batched
+// formats cannot drift. The CRC is computed in place over hdr rather
+// than through frameCRC's by-value [4]byte: the hardware CRC32C kernel
+// is assembly, so escape analysis would heap-copy a stack array sliced
+// into it — one hidden allocation per record on the hot path. Callers
+// pass heap-backed scratch (the Log's hdr field, the committer's batch
+// buffer), keeping both write paths at zero allocations per record.
+func putFrameHeader(hdr []byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[0:4])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+}
+
+// appendFrame appends one complete frame (header + payload) to dst,
+// growing it as needed. The committer uses it to pack a whole batch into
+// one buffered write. The header is built inside dst's own storage so
+// the per-frame scratch never escapes.
+func appendFrame(dst []byte, payload []byte) []byte {
+	off := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = append(dst, payload...)
+	putFrameHeader(dst[off:off+frameHeaderSize], dst[off+frameHeaderSize:])
+	return dst
+}
+
+// checkPayload validates a record payload before any state changes.
+func checkPayload(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("wal: empty record")
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), maxPayload)
+	}
+	return nil
+}
+
 // Log is an open write-ahead log. All methods are safe for concurrent
 // use; appends are serialized internally.
 type Log struct {
@@ -142,15 +212,34 @@ type Log struct {
 	// stack buffer would escape to the heap on every Append: it is
 	// written through the vfs.File interface, and escape analysis cannot
 	// see that no implementation retains the slice.
-	hdr  [frameHeaderSize]byte
-	size int64 // valid bytes (file size after torn-tail truncation)
-	recs int   // records in the log (replayed + appended)
+	hdr [frameHeaderSize]byte
+	// size is the valid byte count (file size after torn-tail
+	// truncation). Atomic, NOT guarded by mu: Size() is called from the
+	// store's group-commit hot loop (the auto-checkpoint threshold check
+	// right after each apply), and taking mu there would serialize every
+	// appender's next submission behind the fsync in flight — each
+	// client's re-submit then lands just after the flush, every batch
+	// degenerates to one record, and coalescing never happens. Writers
+	// still update it under mu; only the read is lock-free.
+	size atomic.Int64
+	recs int // records in the log (replayed + appended)
 
 	dirty bool  // bytes written since the last fsync
 	err   error // sticky: first write/sync failure poisons the log
 
+	// Group-commit statistics (guarded by mu): batches and records that
+	// went through the committer, and every fsync the log issued on any
+	// path. syncs vs records is the coalescing ratio operators watch.
+	batches int64
+	records int64
+	syncs   int64
+
 	stop chan struct{} // closes the SyncInterval goroutine
 	done chan struct{}
+
+	// com is the group committer, non-nil iff Options enabled it. Set
+	// once in Open, never mutated after — Commit reads it without mu.
+	com *committer
 }
 
 // Open opens (creating if needed) the log at path, scans it to find the
@@ -191,7 +280,8 @@ func Open(path string, opt Options) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
 	}
-	l := &Log{f: f, path: path, opt: opt, size: valid, recs: recs}
+	l := &Log{f: f, path: path, opt: opt, recs: recs}
+	l.size.Store(valid)
 	if opt.Policy == SyncInterval {
 		interval := opt.Interval
 		if interval <= 0 {
@@ -200,6 +290,16 @@ func Open(path string, opt Options) (*Log, error) {
 		l.stop = make(chan struct{})
 		l.done = make(chan struct{})
 		go l.syncLoop(interval, l.stop, l.done)
+	}
+	if opt.Policy == SyncAlways && opt.CommitMaxBatch > 0 {
+		wait := opt.CommitMaxWait
+		if wait == 0 {
+			wait = DefaultCommitMaxWait
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		l.com = newCommitter(l, opt.CommitMaxBatch, wait)
 	}
 	return l, nil
 }
@@ -226,11 +326,11 @@ func (l *Log) syncLoop(interval time.Duration, stop <-chan struct{}, done chan<-
 // Path returns the file path of the log.
 func (l *Log) Path() string { return l.path }
 
-// Size returns the current byte size of the valid log.
+// Size returns the current byte size of the valid log. Lock-free, so
+// hot-path callers (the store's checkpoint-threshold check) never
+// serialize against an fsync in flight.
 func (l *Log) Size() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.size
+	return l.size.Load()
 }
 
 // Records returns the number of intact records in the log.
@@ -265,7 +365,7 @@ func (l *Log) TruncateTo(n int) error {
 		return l.err
 	}
 	if l.f == nil {
-		return errors.New("wal: log is closed")
+		return ErrClosed
 	}
 	if n >= l.recs {
 		return nil
@@ -291,7 +391,7 @@ func (l *Log) TruncateTo(n int) error {
 		l.err = fmt.Errorf("wal: seek: %w", err)
 		return l.err
 	}
-	l.size = off
+	l.size.Store(off)
 	l.recs = n
 	return nil
 }
@@ -303,22 +403,24 @@ func (l *Log) TruncateTo(n int) error {
 // and appending after it would be unrecoverable garbage (on restart,
 // Open truncates the partial frame away).
 func (l *Log) Append(payload []byte) error {
-	if len(payload) == 0 {
-		return errors.New("wal: empty record")
-	}
-	if len(payload) > maxPayload {
-		return fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), maxPayload)
+	if err := checkPayload(payload); err != nil {
+		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(payload)
+}
+
+// appendLocked is Append under l.mu; the committer-less Commit path
+// shares it.
+func (l *Log) appendLocked(payload []byte) error {
 	if l.err != nil {
 		return l.err
 	}
 	if l.f == nil {
-		return errors.New("wal: log is closed")
+		return ErrClosed
 	}
-	binary.LittleEndian.PutUint32(l.hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(l.hdr[4:8], frameCRC([4]byte(l.hdr[0:4]), payload))
+	putFrameHeader(l.hdr[:], payload)
 	if _, err := l.f.Write(l.hdr[:]); err != nil {
 		l.err = fmt.Errorf("wal: write: %w", err)
 		return l.err
@@ -327,13 +429,56 @@ func (l *Log) Append(payload []byte) error {
 		l.err = fmt.Errorf("wal: write: %w", err)
 		return l.err
 	}
-	l.size += int64(frameHeaderSize + len(payload))
+	l.size.Add(int64(frameHeaderSize + len(payload)))
 	l.recs++
 	l.dirty = true
 	if l.opt.Policy == SyncAlways {
 		return l.syncLocked()
 	}
 	return nil
+}
+
+// Commit writes one record through the group committer and returns its
+// 1-based record number within this log: rec records exist once this one
+// is durable, so a store basing the log at generation g knows this
+// record's apply produces generation g+rec. Concurrent Commits arriving
+// within the commit window are coalesced into a single write and ONE
+// fsync; the durability contract is Append's (under SyncAlways a nil
+// error means the record survives any crash), and an I/O failure fails
+// every record in the batch with the same root error and poisons the
+// log. Without a committer (Options.CommitMaxBatch 0, or a policy other
+// than SyncAlways), Commit is exactly Append plus the record number.
+func (l *Log) Commit(payload []byte) (rec int, err error) {
+	if err := checkPayload(payload); err != nil {
+		return 0, err
+	}
+	if c := l.com; c != nil {
+		return c.commit(payload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(payload); err != nil {
+		return 0, err
+	}
+	return l.recs, nil
+}
+
+// CommitStats reports group-commit activity: batches and records that
+// went through the committer, and the number of fsyncs the log issued on
+// any path. Records/Batches is the achieved coalescing factor;
+// Syncs/Records (for a commit-only workload) is the per-record fsync
+// cost concurrency amortizes away.
+type CommitStats struct {
+	Batches int64
+	Records int64
+	Syncs   int64
+}
+
+// CommitStats returns the log's group-commit counters.
+func (l *Log) CommitStats() CommitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return CommitStats{Batches: l.batches, Records: l.records, Syncs: l.syncs}
 }
 
 // Sync fsyncs any unsynced appends. A no-op when nothing is dirty.
@@ -344,7 +489,7 @@ func (l *Log) Sync() error {
 		return l.err
 	}
 	if l.f == nil {
-		return errors.New("wal: log is closed")
+		return ErrClosed
 	}
 	return l.syncLocked()
 }
@@ -354,6 +499,7 @@ func (l *Log) syncLocked() error {
 	if l.err != nil || !l.dirty {
 		return l.err
 	}
+	l.syncs++
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal: sync: %w", err)
 		return l.err
@@ -362,8 +508,14 @@ func (l *Log) syncLocked() error {
 	return nil
 }
 
-// Close flushes, fsyncs, and closes the log. Safe to call twice.
+// Close flushes, fsyncs, and closes the log. Queued group commits are
+// flushed as a final batch before the file closes; commits that never
+// reached the committer fail with ErrClosed. Safe to call twice.
 func (l *Log) Close() error {
+	if c := l.com; c != nil {
+		// Stop the committer before taking mu: its final flush needs mu.
+		c.shutdown()
+	}
 	l.mu.Lock()
 	if l.stop != nil {
 		close(l.stop)
