@@ -21,6 +21,13 @@
 //
 //	gsgrow serve -addr :8372
 //
+// With -replicate-from it serves as a read-only follower of another
+// instance, and `gsgrow promote <dir>` turns a stopped follower's
+// database directory into a writable primary (failover):
+//
+//	gsgrow serve -addr :8373 -data-dir /var/lib/replica -replicate-from http://primary:8372
+//	gsgrow promote /var/lib/replica/mydb
+//
 // The append subcommand streams new sequences into a database hosted by a
 // running service (labeled sequences upsert — re-sending a label appends
 // events to that sequence):
@@ -55,7 +62,7 @@ func main() {
 		}
 		return
 	}
-	if len(os.Args) > 1 && (os.Args[1] == "inspect" || os.Args[1] == "compact") {
+	if len(os.Args) > 1 && (os.Args[1] == "inspect" || os.Args[1] == "compact" || os.Args[1] == "promote") {
 		if err := runStorage(os.Args[1], os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "gsgrow %s: %v\n", os.Args[1], err)
 			os.Exit(1)
@@ -106,6 +113,9 @@ func runServe(args []string) error {
 	fs.DurationVar(&cfg.CommitWait, "commit-wait", 0, "max time a commit batch is held open for concurrent appenders (0 = default 1ms, negative disables waiting)")
 	fs.DurationVar(&cfg.MineTimeout, "mine-timeout", 0, "per-request mining deadline; runs exceeding it answer 503 (0 = unbounded)")
 	fs.IntVar(&cfg.MaxConcurrentMines, "max-concurrent-mines", 0, "cap on mining runs in flight; excess requests answer 429 (0 = unlimited)")
+	fs.StringVar(&cfg.ReplicateFrom, "replicate-from", "", "run as a read-only follower of the primary at this base URL (requires -data-dir; empty = primary)")
+	fs.Int64Var(&cfg.MaxLagBytes, "max-lag-bytes", 0, "follower readiness gate: answer 503 on /readyz when this many WAL bytes are unshipped (0 = disabled)")
+	fs.DurationVar(&cfg.MaxLag, "max-lag", 0, "follower readiness gate: answer 503 on /readyz after this long without contact from the primary (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,12 +129,15 @@ func runServe(args []string) error {
 }
 
 // runStorage handles the durable-storage subcommands: `gsgrow inspect
-// <dir>` summarizes a database directory's segments, WAL, and the state
-// recovery would reconstruct (with -json, as one JSON document per
-// directory), exiting nonzero on any corruption or torn tail so it slots
-// directly into monitoring; `gsgrow compact <dir>` checkpoints the WAL
-// into a fresh segment. Both take database directories (e.g.
-// <data-dir>/<name> of a reprod -data-dir deployment).
+// <dir>` summarizes a database directory's segments, WAL, replication
+// role, and the state recovery would reconstruct (with -json, as one
+// JSON document per directory), exiting nonzero on any corruption or
+// torn tail so it slots directly into monitoring; `gsgrow compact
+// <dir>` checkpoints the WAL into a fresh segment; `gsgrow promote
+// <dir>` converts a stopped follower's replica directory into a
+// writable primary (failover when the primary is gone). All take
+// database directories (e.g. <data-dir>/<name> of a reprod -data-dir
+// deployment).
 func runStorage(cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var asJSON bool
@@ -137,14 +150,17 @@ func runStorage(cmd string, args []string) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: gsgrow %s <dir> [<dir>...]", cmd)
 	}
-	// Inspect every directory before failing: one damaged database must
+	// Process every directory before failing: one damaged database must
 	// not hide the report (or the damage) of the next.
 	var firstErr error
 	for _, dir := range fs.Args() {
 		var err error
-		if cmd == "inspect" {
+		switch cmd {
+		case "inspect":
 			err = cli.Inspect(dir, asJSON, os.Stdout)
-		} else {
+		case "promote":
+			err = cli.Promote(dir, os.Stdout)
+		default:
 			err = cli.Compact(dir, os.Stdout)
 		}
 		if err != nil && firstErr == nil {

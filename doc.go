@@ -176,6 +176,31 @@
 // expose all of it for monitoring, and the HTTP service maps the same
 // state to /readyz and per-database persistence blocks.
 //
+// # Replication and failover
+//
+// A durable database can be replicated to read-only followers.
+// OpenReplica(upstream, name, dir, opts) bootstraps a local copy from the
+// primary's checkpoint segment, then tails the primary's write-ahead log
+// over HTTP, applying acknowledged records in order through the same
+// codecs recovery uses — so a follower's on-disk state is always a valid
+// database directory, crash-safe at every step. The returned
+// Replica.Database serves the full read and mining API from the
+// follower's own snapshots; writes fail with an error wrapping
+// ErrNotPrimary (the HTTP service maps it to 409 with the primary's
+// address). The tailer reconnects with jittered exponential backoff,
+// detects divergence — a primary that was re-uploaded, restored, or
+// replaced mints a new lineage epoch — and re-bootstraps itself; a plain
+// restart resumes from the local WAL position without re-downloading
+// anything. Replica.Status reports role, lag in records/bytes/time,
+// connection state, and bootstrap count; Replica.Promote (or `gsgrow
+// promote` on a stopped follower's directory, or the service's POST
+// /v1/replication/{db}/promote) ends replication and flips the same
+// handle writable for failover. Run a whole follower node with
+// `reprod -replicate-from http://primary:8372` — it mirrors every
+// database the primary hosts and gates its /readyz on configurable
+// staleness bounds. See the README's "Replication & failover" section
+// for the operational picture.
+//
 // # Performance
 //
 // The mining core is allocation-free in steady state: support sets,

@@ -34,4 +34,9 @@ var (
 	// retries recovery, and the root cause stays reachable through
 	// errors.Is/As. The serving layer maps it to 503 + Retry-After.
 	ErrDegraded = errors.New("database degraded (read-only)")
+	// ErrNotPrimary marks an append rejected because the database is a
+	// read-only replica tailing an upstream primary (see OpenReplica).
+	// Writes belong on the primary; the serving layer maps this to 409
+	// with the primary's address.
+	ErrNotPrimary = errors.New("not primary (read-only replica)")
 )

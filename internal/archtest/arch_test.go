@@ -28,6 +28,9 @@ import (
 //	                                        strategy-layer constraint)
 //	internal/store  anything below it      (storage engine; checked to
 //	                                        stay off core and server)
+//	internal/repl   storage stack only     (replication transport; must
+//	                                        not reach the mining layers
+//	                                        or the server above it)
 var archRules = []struct {
 	dir     string
 	allowed map[string]bool // non-stdlib import path -> permitted
@@ -47,6 +50,11 @@ var archRules = []struct {
 		"repro/internal/seq": true,
 		"repro/internal/vfs": true,
 		"repro/internal/wal": true,
+	}},
+	{dir: "../repl", allowed: map[string]bool{
+		"repro/internal/store": true,
+		"repro/internal/vfs":   true,
+		"repro/internal/wal":   true,
 	}},
 }
 

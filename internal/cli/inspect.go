@@ -4,10 +4,59 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro"
+	"repro/internal/repl"
+	"repro/internal/server"
 	"repro/internal/store"
 )
+
+// replicationReport is the replication block of an inspect report: the
+// role and lineage facts derivable from the directory alone. Lag and
+// connectedness are runtime properties; they live on the serving node's
+// /readyz, not here.
+type replicationReport struct {
+	// Role is "follower" for directories carrying a replica marker,
+	// "primary" for everything else.
+	Role string `json:"role"`
+	// Upstream and Database identify the primary a follower replicates
+	// from; both are empty on primaries.
+	Upstream string `json:"upstream,omitempty"`
+	Database string `json:"database,omitempty"`
+	// Epoch is the lineage the directory's contents belong to: the
+	// primary epoch a follower bootstrapped from, or the directory's own
+	// minted epoch on a primary (absent until a server first hosts it).
+	Epoch string `json:"epoch,omitempty"`
+}
+
+// inspectReport is the -json document: the storage report plus the
+// replication block.
+type inspectReport struct {
+	*store.DirReport
+	Replication *replicationReport `json:"replication,omitempty"`
+}
+
+// replicationInfo classifies dir by its marker files. Read-only, and
+// never fails: a directory without markers is simply a primary with no
+// recorded epoch.
+func replicationInfo(dir string) *replicationReport {
+	if m, err := repl.ReadMeta(nil, dir); err == nil {
+		return &replicationReport{
+			Role:     repro.RoleFollower,
+			Upstream: m.Upstream,
+			Database: m.Database,
+			Epoch:    m.Epoch,
+		}
+	}
+	rep := &replicationReport{Role: repro.RolePrimary}
+	if data, err := os.ReadFile(filepath.Join(dir, server.EpochMetaFile)); err == nil {
+		rep.Epoch = strings.TrimSpace(string(data))
+	}
+	return rep
+}
 
 // Inspect prints the storage state of a durable database directory: every
 // checkpoint segment and WAL file with its validity, and the state a
@@ -27,16 +76,23 @@ func Inspect(dir string, asJSON bool, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ri := replicationInfo(dir)
 	if asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		enc.SetEscapeHTML(false)
-		if err := enc.Encode(rep); err != nil {
+		if err := enc.Encode(inspectReport{DirReport: rep, Replication: ri}); err != nil {
 			return err
 		}
 		return inspectVerdict(rep)
 	}
 	fmt.Fprintf(out, "%s\n", rep.Dir)
+	if ri.Role == repro.RoleFollower {
+		fmt.Fprintf(out, "  replica of %s (database %q, epoch %s) — read-only; 'gsgrow promote' makes it a primary\n",
+			ri.Upstream, ri.Database, ri.Epoch)
+	} else if ri.Epoch != "" {
+		fmt.Fprintf(out, "  primary (epoch %s)\n", ri.Epoch)
+	}
 	if len(rep.Segments) == 0 && len(rep.WALs) == 0 {
 		fmt.Fprintln(out, "  no storage files (empty or not a database directory)")
 	}
@@ -103,4 +159,20 @@ func Compact(dir string, out io.Writer) error {
 	fmt.Fprintf(out, "%s: generation %d checkpointed (WAL %d B / %d records -> %d B)\n",
 		dir, after.SegmentGeneration, before.WALBytes, before.WALRecords, after.WALBytes)
 	return db.Close()
+}
+
+// Promote converts a follower's database directory into a primary in
+// place: seals any torn WAL tail, checkpoints, and removes the replica
+// marker, after which the directory accepts writes when a server next
+// hosts it. This is the offline path for when the primary (or the
+// follower process) is gone; against a running follower, use
+// POST /v1/replication/{db}/promote instead. Running it concurrently
+// with a live service on the same directory is not supported.
+func Promote(dir string, out io.Writer) error {
+	gen, err := repl.PromoteDir(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s: promoted to primary at generation %d\n", dir, gen)
+	return nil
 }

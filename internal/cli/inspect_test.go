@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/repl"
 )
 
 // buildDurableDB populates a durable database directory: 3 appends on
@@ -159,5 +160,74 @@ func TestCompactTruncatesWAL(t *testing.T) {
 	defer db.Close()
 	if db.NumSequences() != 2 || db.Snapshot().Support([]string{"A", "B"}) == 0 {
 		t.Fatalf("compacted database lost data: %d sequences", db.NumSequences())
+	}
+}
+
+// TestPromoteAndInspectReplication: inspect reports a replica directory's
+// role, upstream, and epoch (text and -json); promote strips the marker,
+// after which the directory is a writable primary and inspect agrees.
+func TestPromoteAndInspectReplication(t *testing.T) {
+	dir := buildDurableDB(t)
+	meta := repl.Meta{Upstream: "http://primary:8372", Database: "events", Epoch: "abc123"}
+	if err := repl.WriteMeta(nil, dir, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := Inspect(dir, false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `replica of http://primary:8372 (database "events", epoch abc123)`) {
+		t.Errorf("inspect of a replica dir missing the replication line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := Inspect(dir, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Replication *replicationReport `json:"replication"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replication == nil || rep.Replication.Role != repro.RoleFollower ||
+		rep.Replication.Upstream != meta.Upstream || rep.Replication.Database != meta.Database ||
+		rep.Replication.Epoch != meta.Epoch {
+		t.Errorf("inspect -json replication block: %+v", rep.Replication)
+	}
+
+	out.Reset()
+	if err := Promote(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "promoted to primary at generation 4") {
+		t.Errorf("promote output: %s", out.String())
+	}
+	// Promoting an ordinary primary is an error, not a silent no-op.
+	if err := Promote(dir, &strings.Builder{}); err == nil {
+		t.Fatal("promote of a non-replica directory must error")
+	}
+
+	out.Reset()
+	if err := Inspect(dir, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	rep.Replication = nil
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replication == nil || rep.Replication.Role != repro.RolePrimary {
+		t.Errorf("post-promote replication block: %+v", rep.Replication)
+	}
+
+	// The promoted directory accepts writes.
+	db, err := repro.Open(dir, repro.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Append([]repro.Record{{Label: "S3", Events: []string{"X"}}}); err != nil {
+		t.Fatalf("append to promoted directory: %v", err)
 	}
 }

@@ -60,6 +60,20 @@ type ServeConfig struct {
 	// MaxConcurrentMines caps mining runs in flight; excess requests are
 	// shed with 429 instead of queueing. 0 = unlimited.
 	MaxConcurrentMines int
+	// ReplicateFrom, when non-empty, runs the server as a read-only
+	// follower of the primary at this base URL (e.g.
+	// "http://primary:8372"): every database on the primary is
+	// bootstrapped into DataDir and kept current by tailing its WAL.
+	// Requires DataDir. Empty (the default) serves as a primary.
+	ReplicateFrom string
+	// MaxLagBytes fails a follower's readiness (503 on /readyz) when the
+	// primary reports this many unshipped WAL bytes. 0 disables the
+	// bytes-based gate.
+	MaxLagBytes int64
+	// MaxLag fails a follower's readiness when no frame (data or
+	// heartbeat) has arrived from the primary for this long. 0 disables
+	// the staleness gate.
+	MaxLag time.Duration
 }
 
 // DefaultDrainTimeout is the graceful-shutdown drain budget when
@@ -105,6 +119,14 @@ func Serve(ctx context.Context, cfg ServeConfig, out io.Writer) error {
 		CommitMaxWait:      cfg.CommitWait,
 		MineTimeout:        cfg.MineTimeout,
 		MaxConcurrentMines: cfg.MaxConcurrentMines,
+		ReplicateFrom:      cfg.ReplicateFrom,
+		MaxLagBytes:        cfg.MaxLagBytes,
+		MaxLag:             cfg.MaxLag,
+		// Replication progress (bootstraps, reconnects, reconciliation)
+		// goes to the same stream as the listen/shutdown lines.
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err

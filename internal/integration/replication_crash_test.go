@@ -1,0 +1,280 @@
+package integration
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Replication crash-recovery integration test: a real reprod primary and
+// a real reprod follower (-replicate-from), both fixtures uploaded and
+// appended to, the follower SIGKILLed while the WAL tail stream is live,
+// then restarted over the same data dir. The restart must RESUME from
+// the local WAL position (no re-bootstrap — asserted on the log lines),
+// catch back up, lose no acknowledged record, and mine byte-for-byte
+// identically to the primary across both fixtures × minsup {2, 6, 10}.
+
+// syncBuf is a concurrency-safe stderr accumulator: the scanner goroutine
+// writes while the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) writeLine(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.WriteString(line)
+	s.b.WriteByte('\n')
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startReprodLogged launches the binary like startReprod but keeps the
+// entire stderr stream, so tests can assert on replication progress lines
+// ("resuming", "bootstrapped") after the fact.
+func startReprodLogged(t *testing.T, bin string, args ...string) (*reprodProc, *syncBuf) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	logs := &syncBuf{}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logs.writeLine(line)
+			if i := strings.LastIndex(line, " listening on "); i >= 0 {
+				select {
+				case addrc <- strings.TrimSpace(line[i+len(" listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return &reprodProc{cmd: cmd, base: "http://" + addr}, logs
+	case <-time.After(15 * time.Second):
+		t.Fatalf("reprod did not report a listening address; stderr so far:\n%s", logs.String())
+		return nil, nil
+	}
+}
+
+// dbSnapshot is the slice of /stats both sides are compared on.
+type dbSnapshot struct {
+	SnapshotGeneration uint64 `json:"snapshotGeneration"`
+	Stats              struct {
+		NumSequences int `json:"numSequences"`
+		TotalLength  int `json:"totalLength"`
+	} `json:"stats"`
+}
+
+func getStats(t *testing.T, base, name string) (dbSnapshot, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/databases/" + name + "/stats")
+	if err != nil {
+		return dbSnapshot{}, 0
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var s dbSnapshot
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatalf("stats %s/%s: %v\n%s", base, name, err, data)
+		}
+	}
+	return s, resp.StatusCode
+}
+
+// waitCaughtUp polls until the follower serves name at exactly the
+// primary's current snapshot generation. Call it only while the primary
+// is quiesced (no concurrent appends), so "caught up" is well-defined.
+func waitCaughtUp(t *testing.T, primaryBase, followerBase, name string) dbSnapshot {
+	t.Helper()
+	want, code := getStats(t, primaryBase, name)
+	if code != http.StatusOK {
+		t.Fatalf("primary stats %s: HTTP %d", name, code)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		got, code := getStats(t, followerBase, name)
+		if code == http.StatusOK && got.SnapshotGeneration == want.SnapshotGeneration {
+			return want
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	got, code := getStats(t, followerBase, name)
+	t.Fatalf("follower never caught up on %s: primary gen %d, follower gen %d (HTTP %d)",
+		name, want.SnapshotGeneration, got.SnapshotGeneration, code)
+	return dbSnapshot{}
+}
+
+// minedPatterns returns the raw patterns array plus the envelope fields
+// that must agree between primary and follower. The full bodies differ
+// legitimately (elapsedMs, cache flags, server-wide upload counter), so
+// byte-parity is asserted on the patterns themselves.
+func minedPatterns(t *testing.T, base, name string, minsup int, closed bool) (string, uint64, int) {
+	t.Helper()
+	code, body := httpPost(t, base+"/v1/databases/"+name+"/mine", "application/json",
+		fmt.Sprintf(`{"minSupport":%d,"closed":%t}`, minsup, closed))
+	if code != http.StatusOK {
+		t.Fatalf("mine %s/%s minsup=%d: %d %s", base, name, minsup, code, body)
+	}
+	var resp struct {
+		SnapshotGeneration uint64          `json:"snapshotGeneration"`
+		NumPatterns        int             `json:"numPatterns"`
+		Patterns           json.RawMessage `json:"patterns"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return string(resp.Patterns), resp.SnapshotGeneration, resp.NumPatterns
+}
+
+func TestReplicationFollowerCrashResumesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the reprod binary; skipped in -short mode")
+	}
+	bin := buildReprod(t)
+	primaryDir, followerDir := t.TempDir(), t.TempDir()
+	primary := startReprod(t, bin, primaryDir, "-fsync", "always")
+
+	// Seed the primary: both fixtures plus a few acknowledged appends.
+	for _, f := range crashFixtures {
+		data, err := os.ReadFile(f.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body := httpPost(t, fmt.Sprintf("%s/v1/databases/%s?format=%s", primary.base, f.name, f.format), "text/plain", string(data))
+		if code != http.StatusCreated {
+			t.Fatalf("upload %s: %d %s", f.name, code, body)
+		}
+		for i := 0; i < 8; i++ {
+			code, body := httpPost(t, fmt.Sprintf("%s/v1/databases/%s/append", primary.base, f.name),
+				"application/x-ndjson", appendRecordLine(f.name, i)+"\n")
+			if code != http.StatusOK {
+				t.Fatalf("append %s #%d: %d %s", f.name, i, code, body)
+			}
+		}
+	}
+
+	follower, logs1 := startReprodLogged(t, bin,
+		"-addr", "127.0.0.1:0", "-data-dir", followerDir, "-fsync", "always",
+		"-replicate-from", primary.base)
+	for _, f := range crashFixtures {
+		waitCaughtUp(t, primary.base, follower.base, f.name)
+	}
+	if !strings.Contains(logs1.String(), "bootstrapped") {
+		t.Fatalf("first follower start must bootstrap; stderr:\n%s", logs1.String())
+	}
+
+	// Keep acknowledged appends flowing on the primary so the follower's
+	// tail stream is mid-transfer, then SIGKILL the follower. Appends
+	// continue for a moment after the kill: those land on the primary
+	// only and are exactly what the restarted follower must catch up on.
+	stop := make(chan struct{})
+	appenderDone := make(chan int)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				appenderDone <- n
+				return
+			default:
+			}
+			// Fresh labels only, no within-sequence repetition: repetitive
+			// gapped mining is exponential in per-sequence repeats, and
+			// upserting the same label hundreds of times would turn the
+			// parity mines below into a memory bomb (see appendRecordLine's
+			// caveat). Fresh 4-event sequences move supports linearly and
+			// keep minsup=2 mining fast.
+			f := crashFixtures[n%len(crashFixtures)]
+			line := fmt.Sprintf(`{"label":"W%d","events":["A","B","C","D"]}`, n)
+			if f.name == "traces" {
+				line = fmt.Sprintf(`{"label":"W%d","events":["open","auth","error","close"]}`, n)
+			}
+			code, body := httpPost(t, fmt.Sprintf("%s/v1/databases/%s/append", primary.base, f.name),
+				"application/x-ndjson", line+"\n")
+			if code != http.StatusOK {
+				t.Errorf("background append #%d: %d %s", n, code, body)
+				appenderDone <- n
+				return
+			}
+			n++
+		}
+	}()
+	time.Sleep(150 * time.Millisecond) // tail traffic in flight
+	follower.sigkill(t)
+	time.Sleep(100 * time.Millisecond) // acked appends the dead follower never saw
+	close(stop)
+	acked := <-appenderDone
+	if acked == 0 {
+		t.Fatal("background appender made no progress; the kill did not land mid-tail")
+	}
+	t.Logf("follower killed mid-tail; %d acknowledged appends during the window", acked)
+
+	// Restart over the same data dir: the local WAL position must be
+	// resumed — bootstrapping again would mean throwing away durable
+	// local state the primary already confirmed.
+	follower2, logs2 := startReprodLogged(t, bin,
+		"-addr", "127.0.0.1:0", "-data-dir", followerDir, "-fsync", "always",
+		"-replicate-from", primary.base)
+	for _, f := range crashFixtures {
+		want := waitCaughtUp(t, primary.base, follower2.base, f.name)
+
+		// Zero acknowledged-record loss: the follower's recovered+caught-up
+		// state matches the primary's exactly.
+		got, code := getStats(t, follower2.base, f.name)
+		if code != http.StatusOK || got.Stats != want.Stats {
+			t.Fatalf("%s: follower stats %+v (HTTP %d), primary %+v", f.name, got.Stats, code, want.Stats)
+		}
+
+		// Mining parity, byte-for-byte on the pattern arrays.
+		for _, minsup := range []int{2, 6, 10} {
+			for _, closed := range []bool{false, true} {
+				pPat, pGen, pN := minedPatterns(t, primary.base, f.name, minsup, closed)
+				fPat, fGen, fN := minedPatterns(t, follower2.base, f.name, minsup, closed)
+				if pGen != fGen || pN != fN || pPat != fPat {
+					t.Fatalf("%s minsup=%d closed=%t: follower mine differs (gen %d/%d, %d/%d patterns)",
+						f.name, minsup, closed, fGen, pGen, fN, pN)
+				}
+			}
+		}
+	}
+
+	restartLogs := logs2.String()
+	if !strings.Contains(restartLogs, "resuming") {
+		t.Fatalf("restarted follower did not resume from its local WAL position; stderr:\n%s", restartLogs)
+	}
+	for _, banned := range []string{"bootstrapped", "bootstrapping fresh", "re-bootstrapping"} {
+		if strings.Contains(restartLogs, banned) {
+			t.Fatalf("restarted follower re-bootstrapped (%q in logs) instead of resuming; stderr:\n%s", banned, restartLogs)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package repl implements streaming replication between a primary mining
+// service and read-only followers: a follower bootstraps from the
+// primary's newest checkpoint segment, then tails the primary's WAL chain
+// over a long-lived chunked HTTP stream and applies each batch to its own
+// durable store in order. The on-disk format is the store's own (segment
+// + WAL chain), so a follower directory is always a valid store directory
+// — it crash-recovers through the ordinary store.Open path and promotion
+// is nothing but "stop rejecting writes".
+//
+// Robustness properties:
+//
+//   - the tailer reconnects with jittered exponential backoff (the same
+//     idiom as the store's degraded-mode prober);
+//   - torn or corrupt frames are never applied: each stream frame carries
+//     its own CRC32C, and a frame that fails it drops the connection;
+//   - divergence — an epoch change on the primary (re-upload), a WAL
+//     chain position the primary no longer retains, or a generation gap —
+//     is detected and answered by re-bootstrapping from the newest
+//     segment rather than serving wrong data;
+//   - staleness is observable: heartbeat frames carry the primary's
+//     current generation and pending byte count even when no records
+//     flow, so a follower can bound its advertised lag.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Stream frame format (little-endian):
+//
+//	offset  size  field
+//	0       1     type: 'R' record, 'H' heartbeat, 'B' re-bootstrap
+//	1       8     gen ('R': generation this record produces;
+//	              'H': primary's current generation; 'B': unused)
+//	9       8     aux ('R': primary's current generation;
+//	              'H': pending chain bytes beyond the sent position)
+//	17      4     payload length n ('R' only; 0 otherwise)
+//	21      4     CRC32C over bytes [0,21) and the payload
+//	25      n     payload: one WAL batch encoding ('R' only)
+//
+// The CRC covers the header, so a bit flip in the type or generation is
+// caught, not just payload damage. A follower treats any mismatch as a
+// broken connection — it reconnects and resumes from its local position,
+// which is always safe because frames are idempotent by generation.
+
+const (
+	frameHeaderSize = 25
+
+	// FrameRecord carries one WAL batch payload producing generation gen.
+	FrameRecord = byte('R')
+	// FrameHeartbeat reports liveness and the primary's position while no
+	// records flow.
+	FrameHeartbeat = byte('H')
+	// FrameRebootstrap tells the follower its position has diverged from
+	// the primary (epoch change, swept chain, generation mismatch) and it
+	// must discard local state and bootstrap from the segment again.
+	FrameRebootstrap = byte('B')
+
+	// maxFramePayload bounds a single record frame; matches the WAL's own
+	// record bound so corruption cannot force huge allocations.
+	maxFramePayload = 1 << 30
+)
+
+var frameCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame reports a stream frame that failed structural validation or
+// its checksum. The receiver must drop the connection: nothing after a
+// bad frame can be trusted.
+var ErrBadFrame = errors.New("repl: bad stream frame")
+
+// appendFrame appends one complete frame to dst.
+func appendFrame(dst []byte, typ byte, gen, aux uint64, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint64(hdr[1:9], gen)
+	binary.LittleEndian.PutUint64(hdr[9:17], aux)
+	binary.LittleEndian.PutUint32(hdr[17:21], uint32(len(payload)))
+	crc := crc32.Update(0, frameCRCTable, hdr[0:21])
+	crc = crc32.Update(crc, frameCRCTable, payload)
+	binary.LittleEndian.PutUint32(hdr[21:25], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// frame is one decoded stream frame.
+type frame struct {
+	typ     byte
+	gen     uint64
+	aux     uint64
+	payload []byte
+}
+
+// readFrame reads and validates one frame. The payload slice is owned by
+// the caller-provided buffer when it is large enough; it is only valid
+// until the next call with the same buffer. An io.EOF on the first header
+// byte is returned as io.EOF (clean end of stream); anything else that
+// truncates the frame is io.ErrUnexpectedEOF, and validation failures are
+// ErrBadFrame.
+func readFrame(br *bufio.Reader, buf *[]byte) (frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return frame{}, err
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	f := frame{
+		typ: hdr[0],
+		gen: binary.LittleEndian.Uint64(hdr[1:9]),
+		aux: binary.LittleEndian.Uint64(hdr[9:17]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[17:21])
+	switch f.typ {
+	case FrameRecord:
+		if n == 0 || n > maxFramePayload {
+			return frame{}, fmt.Errorf("%w: record frame with payload length %d", ErrBadFrame, n)
+		}
+	case FrameHeartbeat, FrameRebootstrap:
+		if n != 0 {
+			return frame{}, fmt.Errorf("%w: %c frame with payload", ErrBadFrame, f.typ)
+		}
+	default:
+		return frame{}, fmt.Errorf("%w: unknown frame type %#x", ErrBadFrame, f.typ)
+	}
+	if n > 0 {
+		if cap(*buf) < int(n) {
+			*buf = make([]byte, n)
+		}
+		*buf = (*buf)[:n]
+		if _, err := io.ReadFull(br, *buf); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return frame{}, err
+		}
+		f.payload = *buf
+	}
+	crc := crc32.Update(0, frameCRCTable, hdr[0:21])
+	crc = crc32.Update(crc, frameCRCTable, f.payload)
+	if crc != binary.LittleEndian.Uint32(hdr[21:25]) {
+		return frame{}, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return f, nil
+}

@@ -25,6 +25,10 @@ var errorStatus = []struct {
 	// degraded sentinel and the storage root cause, and 503 ("retry
 	// later, the prober is on it") is the actionable answer.
 	{repro.ErrDegraded, http.StatusServiceUnavailable},
+	// A replica rejecting a write: the client should re-issue against the
+	// primary, so 409 (the request conflicts with this node's role), not
+	// 4xx-your-fault or 5xx-retry-here.
+	{repro.ErrNotPrimary, http.StatusConflict},
 	{repro.ErrStorage, http.StatusInternalServerError},
 }
 

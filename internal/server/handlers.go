@@ -59,9 +59,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReady reports readiness for load balancing: 200 while every
-// database accepts appends, 503 (with per-database causes) once any
-// durable database is degraded — mines still answer on such a node, so a
-// balancer should drain writes from it, not kill it.
+// database accepts appends (and, on a follower, is within the configured
+// replication lag), 503 with per-database causes otherwise — mines still
+// answer on such a node, so a balancer should drain it, not kill it.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	entries := s.list()
 	resp := readyResponse{Status: "ready", Databases: make([]readyDBJSON, 0, len(entries))}
@@ -70,6 +70,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		d := readyDBJSON{
 			Name:            e.name,
 			Ready:           !p.Degraded,
+			Role:            p.Role,
 			Durable:         p.Durable,
 			Degraded:        p.Degraded,
 			DegradedError:   p.DegradedError,
@@ -80,6 +81,19 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		}
 		if p.Degraded {
 			resp.Status = "degraded"
+		}
+		if e.replica != nil {
+			st := e.replica.Status()
+			d.Replication = toReplicationJSON(st)
+			if s.replicaLagging(st) {
+				// The read gate: a replica too far behind serves reads that
+				// are too stale to trust, so this node drains until it
+				// catches up (or is promoted).
+				d.Ready = false
+				if resp.Status == "ready" {
+					resp.Status = "lagging"
+				}
+			}
 		}
 		resp.Databases = append(resp.Databases, d)
 	}
@@ -100,10 +114,27 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"databases": out})
 }
 
+// rejectOnFollower answers write requests addressed to replicated
+// databases with 409 pointing at the primary. On a follower-mode server
+// every database is covered except ones promoted to local primaries.
+func (s *Server) rejectOnFollower(w http.ResponseWriter, name string) bool {
+	if s.replicateFrom == "" {
+		return false
+	}
+	if e, ok := s.get(name); ok && e.replica == nil {
+		return false // promoted: locally primary now
+	}
+	writeError(w, http.StatusConflict, "database %q is read-only on this replica; write to the primary at %s", name, s.replicateFrom)
+	return true
+}
+
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !dbNameRE.MatchString(name) {
 		writeError(w, http.StatusBadRequest, "invalid database name %q", name)
+		return
+	}
+	if s.rejectOnFollower(w, name) {
 		return
 	}
 	fname := r.URL.Query().Get("format")
@@ -127,6 +158,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "database %q is empty", name)
 		return
 	}
+	epoch := newEpoch()
 	if s.dataDir != "" {
 		// The upload was validated fully in memory above; only now replace
 		// the previous database's files. The contents are checkpointed to
@@ -154,13 +186,18 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "record format: %v", err)
 			return
 		}
+		// A new upload is a new lineage: followers of this name must
+		// re-bootstrap, which the fresh epoch tells them.
+		if written, err := writeEpochMeta(dir); err == nil {
+			epoch = written
+		}
 		db = durable
 	}
 	// Warm the index before publishing: not needed for safety (miners
 	// build lazily against immutable snapshots), but it keeps first-mine
 	// latency flat and lets appends extend the index incrementally.
 	db.Snapshot().Warm()
-	e := s.put(name, format.String(), db)
+	e := s.put(name, format.String(), epoch, db)
 	writeJSON(w, http.StatusCreated, toDBInfo(e))
 }
 
@@ -178,6 +215,9 @@ const appendChunkSize = 1024
 // chunks already applied stay applied; the error response reports how
 // many records made it in.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w, r.PathValue("name")) {
+		return
+	}
 	e, ok := s.get(r.PathValue("name"))
 	if !ok {
 		writeErrorFor(w, errUnknownDatabase(r.PathValue("name")))
@@ -199,6 +239,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 				if errors.Is(err, repro.ErrDegraded) {
 					status = http.StatusServiceUnavailable
 					setRetryHint(w, status)
+				} else if errors.Is(err, repro.ErrNotPrimary) {
+					// The database became a replica mid-stream (or the gate
+					// raced a reconfiguration): same answer as the up-front
+					// rejection.
+					status = http.StatusConflict
 				}
 				writeJSON(w, status, appendErrorResponse{
 					Error:            fmt.Sprintf("append not durable after record %d: %v", applied, err),
@@ -280,6 +325,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if s.rejectOnFollower(w, name) {
+		return
+	}
 	ok, err := s.delete(name)
 	if !ok {
 		writeErrorFor(w, errUnknownDatabase(name))

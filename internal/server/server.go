@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/repl"
 	"repro/internal/vfs"
 )
 
@@ -88,6 +89,31 @@ type Config struct {
 	// saturated CPU. 0 = unlimited. Cache hits are not counted — replay
 	// is O(result), not a mining run.
 	MaxConcurrentMines int
+	// ReplicateFrom, when non-empty, runs the server in follower mode: it
+	// replicates every database of the upstream primary at this base URL
+	// into DataDir (required), serves reads from the local copies, and
+	// answers write endpoints with 409 pointing at the primary. See the
+	// replication endpoints in replication.go.
+	ReplicateFrom string
+	// MaxLagBytes and MaxLag gate follower readiness: a replica more than
+	// MaxLagBytes behind the primary's WAL, or out of contact for longer
+	// than MaxLag, flips /readyz to 503 so balancers stop routing stale
+	// reads to it. 0 disables each bound.
+	MaxLagBytes int64
+	MaxLag      time.Duration
+	// ReplPoll and ReplHeartbeat tune the primary-side feed cadences;
+	// ReplBackoff/ReplBackoffMax the follower's reconnect schedule;
+	// ManagerPoll how often follower mode reconciles against the
+	// upstream's database list. Zero selects the defaults. Exposed mainly
+	// so tests can run replication at millisecond cadence.
+	ReplPoll       time.Duration
+	ReplHeartbeat  time.Duration
+	ReplBackoff    time.Duration
+	ReplBackoffMax time.Duration
+	ManagerPoll    time.Duration
+	// Logf, when set, receives operational log lines (replication
+	// progress, follower reconciliation). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Defaults for Config zero values.
@@ -123,6 +149,23 @@ type Server struct {
 	// in-memory hosting.
 	dataDir  string
 	openOpts repro.OpenOptions
+
+	// Replication state. replicateFrom != "" selects follower mode; the
+	// manager goroutine (runManager) reconciles the replica set until
+	// stopCh closes. The cadences are test-tunable via Config.
+	replicateFrom  string
+	maxLagBytes    int64
+	maxLag         time.Duration
+	replPoll       time.Duration
+	replHeartbeat  time.Duration
+	replBackoff    time.Duration
+	replBackoffMax time.Duration
+	managerPoll    time.Duration
+	managerClient  *http.Client
+	stopCh         chan struct{}
+	managerDone    chan struct{}
+	closeOnce      sync.Once
+	logFn          func(format string, args ...any)
 	// dirMu serializes the operations that mutate a database's directory
 	// (durable upload-replace, delete), per name. Two writers in one
 	// directory — e.g. a replaced-but-still-open store's auto-checkpoint
@@ -151,6 +194,14 @@ type dbEntry struct {
 	formatName string
 	generation uint64 // server-wide upload generation
 	created    time.Time
+	// epoch identifies the database lineage for replication: minted on
+	// every durable upload and every promotion, served to followers so
+	// they detect wholesale replacement. "" for replicas (their epoch is
+	// the upstream's, read live from replica status).
+	epoch string
+	// replica is non-nil while this database is a follower tailing the
+	// upstream; promotion swaps in an entry without it.
+	replica *repro.Replica
 }
 
 // New returns a Server. With Config.DataDir set, every database found
@@ -184,9 +235,34 @@ func New(cfg Config) (*Server, error) {
 			CommitMaxWait:      cfg.CommitMaxWait,
 			FS:                 cfg.FS,
 		},
+		replicateFrom:  strings.TrimRight(cfg.ReplicateFrom, "/"),
+		maxLagBytes:    cfg.MaxLagBytes,
+		maxLag:         cfg.MaxLag,
+		replPoll:       cfg.ReplPoll,
+		replHeartbeat:  cfg.ReplHeartbeat,
+		replBackoff:    cfg.ReplBackoff,
+		replBackoffMax: cfg.ReplBackoffMax,
+		managerPoll:    cfg.ManagerPoll,
+		logFn:          cfg.Logf,
+	}
+	if s.managerPoll <= 0 {
+		s.managerPoll = DefaultManagerPoll
 	}
 	if cfg.MaxConcurrentMines > 0 {
 		s.mineSem = make(chan struct{}, cfg.MaxConcurrentMines)
+	}
+	if s.replicateFrom != "" {
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("server: follower mode (-replicate-from) requires a data dir")
+		}
+		s.managerClient = &http.Client{Timeout: 10 * time.Second}
+		if err := s.recoverFollower(); err != nil {
+			return nil, err
+		}
+		s.stopCh = make(chan struct{})
+		s.managerDone = make(chan struct{})
+		go s.runManager()
+		return s, nil
 	}
 	if cfg.DataDir != "" {
 		if err := s.recoverAll(); err != nil {
@@ -194,6 +270,22 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// logf emits one operational log line through Config.Logf, if set.
+func (s *Server) logf(format string, args ...any) {
+	if s.logFn != nil {
+		s.logFn(format, args...)
+	}
+}
+
+// fsys is the filesystem durable state is read through (the injected
+// fault-injection FS, or the OS).
+func (s *Server) fsys() vfs.FS {
+	if s.openOpts.FS != nil {
+		return s.openOpts.FS
+	}
+	return vfs.OS
 }
 
 // recoverAll opens every database directory under dataDir. Names are
@@ -227,6 +319,13 @@ func (s *Server) recoverAll() error {
 		if _, err := os.Stat(filepath.Join(dir, formatMetaFile)); err != nil {
 			continue
 		}
+		if repl.HasMeta(s.fsys(), dir) {
+			// A replica directory from a follower-mode run. Serving it as a
+			// primary would fork the lineage silently; the operator decides —
+			// restart with -replicate-from, or promote the directory.
+			s.logf("server: %q is a replica directory; skipped (promote it or restart with -replicate-from)", name)
+			continue
+		}
 		db, err := repro.Open(dir, s.openOpts)
 		if err != nil {
 			return fmt.Errorf("server: recover database %q: %w", name, err)
@@ -237,7 +336,7 @@ func (s *Server) recoverAll() error {
 			db.Close()
 			continue
 		}
-		s.put(name, readFormatMeta(dir), db)
+		s.put(name, readFormatMeta(dir), readOrCreateEpoch(dir), db)
 	}
 	return nil
 }
@@ -275,11 +374,19 @@ func readFormatMeta(dir string) string {
 // servers have nothing to flush; Close is then a no-op. The first error
 // is reported but every database is closed regardless.
 func (s *Server) Close() error {
+	// Stop the follower-mode manager first so it cannot open new replicas
+	// while entries are being closed.
+	s.closeOnce.Do(func() {
+		if s.stopCh != nil {
+			close(s.stopCh)
+			<-s.managerDone
+		}
+	})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
 	for _, e := range s.dbs {
-		if err := e.db.Close(); err != nil && first == nil {
+		if err := closeEntry(e); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -298,6 +405,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/databases/{name}/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/databases/{name}/mine", s.handleMine)
 	mux.HandleFunc("POST /v1/databases/{name}/support", s.handleSupport)
+	mux.HandleFunc("GET /v1/replication/{name}/segment", s.handleReplSegment)
+	mux.HandleFunc("GET /v1/replication/{name}/wal", s.handleReplWAL)
+	mux.HandleFunc("POST /v1/replication/{name}/promote", s.handlePromote)
 	return mux
 }
 
@@ -305,7 +415,7 @@ func (s *Server) Handler() http.Handler {
 // entry. A replaced durable database is closed: its directory now
 // belongs to the new one, and its in-memory snapshots stay valid for
 // in-flight miners.
-func (s *Server) put(name, formatName string, db *repro.Database) *dbEntry {
+func (s *Server) put(name, formatName, epoch string, db *repro.Database) *dbEntry {
 	s.mu.Lock()
 	old := s.dbs[name]
 	s.gen++
@@ -315,11 +425,12 @@ func (s *Server) put(name, formatName string, db *repro.Database) *dbEntry {
 		formatName: formatName,
 		generation: s.gen,
 		created:    time.Now(),
+		epoch:      epoch,
 	}
 	s.dbs[name] = e
 	s.mu.Unlock()
 	if old != nil {
-		_ = old.db.Close()
+		_ = closeEntry(old)
 	}
 	return e
 }
@@ -347,7 +458,7 @@ func (s *Server) delete(name string) (bool, error) {
 	// A later re-upload under this name restarts at generation 1, so
 	// cached results for the old contents must not survive.
 	s.cache.purgePrefix(name + "@")
-	_ = e.db.Close()
+	_ = closeEntry(e)
 	if s.dataDir != "" {
 		// Deleting a durable database removes its files: DELETE means the
 		// data is gone, not "gone until the next restart resurrects it".

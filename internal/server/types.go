@@ -217,12 +217,48 @@ type dbInfo struct {
 	// Persistence is present only on durable hosts (-data-dir): the
 	// database's sync policy and recovery state.
 	Persistence *persistenceJSON `json:"persistence,omitempty"`
+	// Replication is present for replicated databases: on a follower, the
+	// tail position and lag against the upstream primary; on a primary
+	// serving a replication feed, its role and lineage epoch.
+	Replication *replicationJSON `json:"replication,omitempty"`
+}
+
+// replicationJSON reports one database's replication state.
+type replicationJSON struct {
+	// Role is "follower" while tailing, "primary" after promotion (or for
+	// a primary serving a feed).
+	Role string `json:"role"`
+	// Upstream is the primary this replica tails.
+	Upstream string `json:"upstream,omitempty"`
+	// Epoch is the lineage the local state belongs to.
+	Epoch string `json:"epoch,omitempty"`
+	// Connected reports whether the WAL tail stream is currently up.
+	Connected bool `json:"connected"`
+	// Generation is the last generation applied locally;
+	// PrimaryGeneration the primary's as of the last frame received.
+	// LagRecords and LagBytes measure the distance between them.
+	Generation        uint64 `json:"generation,omitempty"`
+	PrimaryGeneration uint64 `json:"primaryGeneration,omitempty"`
+	LagRecords        uint64 `json:"lagRecords,omitempty"`
+	LagBytes          uint64 `json:"lagBytes,omitempty"`
+	// LastContact is when the last frame arrived (RFC 3339); LagSeconds
+	// is the age of that contact — it bounds how stale the lag numbers
+	// themselves are.
+	LastContact string  `json:"lastContact,omitempty"`
+	LagSeconds  float64 `json:"lagSeconds,omitempty"`
+	// Bootstraps counts full segment bootstraps (1 for a fresh replica;
+	// more mean divergence was detected and healed).
+	Bootstraps int `json:"bootstraps,omitempty"`
+	// LastError is the most recent tail failure ("" while healthy).
+	LastError string `json:"lastError,omitempty"`
 }
 
 // persistenceJSON reports a durable database's storage state: which
 // generation is checkpointed, how much WAL tail a recovery would replay,
 // and under which fsync policy appends are acknowledged.
 type persistenceJSON struct {
+	// Role is "primary" or "follower" (a replica tailing an upstream).
+	Role              string `json:"role,omitempty"`
 	SyncPolicy        string `json:"syncPolicy"`
 	SegmentGeneration uint64 `json:"segmentGeneration"`
 	WALBytes          int64  `json:"walBytes"`
@@ -305,8 +341,14 @@ func toDBInfo(e *dbEntry) dbInfo {
 		Created:            e.created,
 		Stats:              toStatsJSON(snap.Stats()),
 	}
+	if e.replica != nil {
+		info.Replication = toReplicationJSON(e.replica.Status())
+	} else if e.epoch != "" {
+		info.Replication = &replicationJSON{Role: repro.RolePrimary, Epoch: e.epoch}
+	}
 	if p := e.db.Persistence(); p.Durable {
 		info.Persistence = &persistenceJSON{
+			Role:              p.Role,
 			SyncPolicy:        p.Sync.String(),
 			SegmentGeneration: p.SegmentGeneration,
 			WALBytes:          p.WALBytes,
@@ -337,13 +379,18 @@ type readyResponse struct {
 // (or when durability is limping — a failing checkpoint keeps Ready true
 // but is worth an operator's attention).
 type readyDBJSON struct {
-	Name            string `json:"name"`
-	Ready           bool   `json:"ready"`
-	Durable         bool   `json:"durable"`
-	Degraded        bool   `json:"degraded,omitempty"`
-	DegradedError   string `json:"degradedError,omitempty"`
-	WALError        string `json:"walError,omitempty"`
-	CheckpointError string `json:"checkpointError,omitempty"`
+	Name  string `json:"name"`
+	Ready bool   `json:"ready"`
+	// Role is "primary" or "follower"; a follower's Ready also reflects
+	// the replication lag gate (-max-lag-bytes / -max-lag-seconds).
+	Role    string `json:"role,omitempty"`
+	Durable bool   `json:"durable"`
+	// Replication carries a follower's tail position and lag.
+	Replication     *replicationJSON `json:"replication,omitempty"`
+	Degraded        bool             `json:"degraded,omitempty"`
+	DegradedError   string           `json:"degradedError,omitempty"`
+	WALError        string           `json:"walError,omitempty"`
+	CheckpointError string           `json:"checkpointError,omitempty"`
 	// CommitBatches and FsyncsSaved summarize group-commit coalescing
 	// (fsync=always): how many batched WAL writes happened and how many
 	// fsyncs they saved versus one-per-append.

@@ -547,9 +547,11 @@ func (st *Store) Close() error {
 
 // DurabilityInfo reports the persistence state of the store.
 type DurabilityInfo struct {
-	// Durable is false for in-memory stores; every other field is then
-	// zero.
+	// Durable is false for in-memory stores; every other field except
+	// Role is then zero.
 	Durable bool
+	// Role is the store's replication role: RolePrimary or RoleFollower.
+	Role string
 	// Dir is the storage directory.
 	Dir string
 	// SyncPolicy is the configured WAL fsync policy.
@@ -593,11 +595,12 @@ func (st *Store) Durability() DurabilityInfo {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.dur == nil {
-		return DurabilityInfo{}
+		return DurabilityInfo{Role: st.roleLocked()}
 	}
 	live := st.dur.wal.CommitStats()
 	info := DurabilityInfo{
 		Durable:           true,
+		Role:              st.roleLocked(),
 		Dir:               st.dur.dir,
 		SyncPolicy:        st.dur.walOpt.Policy,
 		Generation:        st.cur.Load().gen,

@@ -52,6 +52,10 @@ func (st *Store) appendGrouped(records []Record, upsert bool) (*Snapshot, error)
 		st.mu.Unlock()
 		return nil, wal.ErrClosed
 	}
+	if st.follower {
+		st.mu.Unlock()
+		return nil, ErrNotPrimary
+	}
 	if dg := d.degraded; dg != nil {
 		st.mu.Unlock()
 		return nil, degradedError(dg)

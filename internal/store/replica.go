@@ -1,0 +1,260 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// Replica support: a follower store holds the same durable format as a
+// primary (segment + WAL chain) but its batches arrive over the
+// replication feed instead of from local Append calls. The store stays
+// the single owner of the on-disk format — the repl package moves bytes
+// and positions, and everything that touches segments, WAL framing, or
+// the spine goes through the entry points here.
+//
+// A follower applies each shipped batch exactly like recovery replays a
+// WAL record: log the payload to its own WAL first, then apply it to the
+// spine. The follower's directory is therefore always a valid store
+// directory — a crash at any byte recovers through the ordinary
+// Open path, and promotion is nothing but "stop rejecting writes".
+
+// Store roles, reported via DurabilityInfo.Role.
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
+)
+
+// ErrNotPrimary marks a write rejected because the store is a replication
+// follower: its state is owned by the upstream primary, and a local write
+// would fork the lineage.
+var ErrNotPrimary = errors.New("store: not primary (read-only replica)")
+
+// ErrReplicaGap marks a replicated batch that does not continue the
+// follower's generation sequence — the feed and the local state have
+// diverged, and the only safe continuation is a re-bootstrap.
+var ErrReplicaGap = errors.New("store: replicated batch out of sequence")
+
+// SetFollower flips the store into follower mode: Append rejects with
+// ErrNotPrimary and batches are accepted only through ApplyReplicated.
+func (st *Store) SetFollower() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.follower = true
+}
+
+// Role reports the store's replication role.
+func (st *Store) Role() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.roleLocked()
+}
+
+func (st *Store) roleLocked() string {
+	if st.follower {
+		return RoleFollower
+	}
+	return RolePrimary
+}
+
+// Promote atomically switches a follower store to the primary role: the
+// WAL tail is sealed (fsynced) so everything applied so far is durable,
+// and writes are accepted from here on. A no-op on a store that is
+// already primary. The caller is responsible for having stopped the
+// replication tailer first — a feed still applying batches after
+// promotion would race local writes.
+func (st *Store) Promote() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.follower {
+		return nil
+	}
+	if st.dur != nil && !st.dur.closed {
+		if err := st.dur.wal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			return fmt.Errorf("store: promote: seal WAL tail: %w", err)
+		}
+	}
+	st.follower = false
+	return nil
+}
+
+// ApplyReplicated applies one replicated WAL batch payload that produces
+// generation target. The payload is validated and logged to the
+// follower's own WAL before the spine applies it — identical ordering to
+// a primary append, so the follower's directory always recovers through
+// the ordinary Open path. target must be exactly the current generation
+// plus one; anything else means the feed position and the local state
+// have diverged and the error wraps ErrReplicaGap.
+func (st *Store) ApplyReplicated(target uint64, payload []byte) (*Snapshot, error) {
+	// Validate before any state changes: a corrupt payload must not reach
+	// the WAL (replay would fail on it forever).
+	records, upsert, err := decodeBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.follower {
+		return nil, errors.New("store: ApplyReplicated on a non-follower store")
+	}
+	if st.dur == nil {
+		return nil, errors.New("store: ApplyReplicated on an in-memory store")
+	}
+	d := st.dur
+	if d.closed {
+		return nil, wal.ErrClosed
+	}
+	if dg := d.degraded; dg != nil {
+		return nil, degradedError(dg)
+	}
+	cur := st.cur.Load().gen
+	if target != cur+1 {
+		return nil, fmt.Errorf("%w: batch targets generation %d, follower is at %d", ErrReplicaGap, target, cur)
+	}
+	if err := d.wal.Append(payload); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return nil, err
+		}
+		st.enterDegradedLocked(err)
+		return nil, degradedError(err)
+	}
+	snap := st.applyLocked(records, upsert)
+	if d.checkpointBytes >= 0 && d.wal.Size() >= d.checkpointBytes {
+		// Followers run no group commits, so inFlight is always zero and
+		// the checkpoint needs no quiesce. Best-effort, like the primary's
+		// auto-checkpoint: the batch is already durable in the WAL.
+		if err := st.checkpointLocked(); err != nil {
+			st.startProberLocked()
+		}
+	}
+	return snap, nil
+}
+
+// WALFileName returns the on-disk file name of the WAL based at base.
+// Exported for the replication feed, which resolves chain files by name.
+func WALFileName(base uint64) string { return walFileName(base) }
+
+// ParseWALFileName extracts the base generation from a WAL file name.
+func ParseWALFileName(name string) (base uint64, ok bool) { return parseWALName(name) }
+
+// NewestSegment reports the newest checkpoint segment in dir: its path
+// and generation. ok is false when the directory holds no segment.
+func NewestSegment(fsys vfs.FS, dir string) (path string, gen uint64, ok bool, err error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("store: read dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if g, isSeg := parseSegmentName(e.Name()); isSeg && g > gen {
+			gen, ok = g, true
+		}
+	}
+	if !ok {
+		return "", 0, false, nil
+	}
+	return filepath.Join(dir, segmentFileName(gen)), gen, true, nil
+}
+
+// ChainWALFile resolves which WAL file in dir holds the record that
+// produces generation next, and how many of its records precede it: the
+// chain file with the largest base below next. skip is the number of
+// records to consume before the wanted one (record skip+1 of that file
+// produces next). ok is false when no chain file can hold the position —
+// for a replication feed that means the requested position predates the
+// retained chain (checkpoint swept it) and the follower must re-bootstrap.
+func ChainWALFile(fsys vfs.FS, dir string, next uint64) (path string, base uint64, skip int, ok bool, err error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return "", 0, 0, false, fmt.Errorf("store: read dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if b, isWAL := parseWALName(e.Name()); isWAL && b < next && (!ok || b > base) {
+			base, ok = b, true
+		}
+	}
+	if !ok {
+		return "", 0, 0, false, nil
+	}
+	return filepath.Join(dir, walFileName(base)), base, int(next - base - 1), true, nil
+}
+
+// InstallSegmentBytes validates a serialized segment image and installs
+// it atomically into dir under its canonical name, returning the
+// generation it holds. The follower's bootstrap path: the image arrives
+// over the feed and must prove its CRC before it can become local state.
+func InstallSegmentBytes(fsys vfs.FS, dir string, data []byte) (gen uint64, err error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	gen, _, err = decodeSegment(data)
+	if err != nil {
+		return 0, err
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("store: install segment: %w", err)
+	}
+	tmp, err := fsys.CreateTemp(dir, segmentFileName(gen)+".tmp")
+	if err != nil {
+		return 0, fmt.Errorf("store: install segment: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		fsys.Remove(name)
+		return 0, fmt.Errorf("store: install segment: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		fsys.Remove(name)
+		return 0, fmt.Errorf("store: install segment: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		fsys.Remove(name)
+		return 0, fmt.Errorf("store: install segment: %w", err)
+	}
+	if _, err := installSegment(fsys, name, dir, gen); err != nil {
+		fsys.Remove(name)
+		return 0, err
+	}
+	return gen, nil
+}
+
+// RemoveStorageFiles deletes every segment, WAL, and segment temp file in
+// dir, leaving anything else (metadata files, sibling content) alone. The
+// follower's re-bootstrap path: local state proved divergent and is
+// discarded before a fresh segment installs. A missing directory is not
+// an error.
+func RemoveStorageFiles(fsys vfs.FS, dir string) error {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: read dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		_, isSeg := parseSegmentName(name)
+		_, isWAL := parseWALName(name)
+		if isSeg || isWAL || strings.Contains(name, segmentSuffix+".tmp") {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("store: remove %s: %w", name, err)
+			}
+		}
+	}
+	return syncDir(fsys, dir)
+}

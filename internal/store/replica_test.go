@@ -1,0 +1,231 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+// replicateDir copies the primary's state into a follower directory the
+// way the repl package does: install the newest segment, then re-apply
+// the WAL chain record by record through ApplyReplicated.
+func replicateDir(t *testing.T, primaryDir, followerDir string) *Store {
+	t.Helper()
+	segPath, segGen, ok, err := NewestSegment(vfs.OS, primaryDir)
+	if err != nil || !ok {
+		t.Fatalf("NewestSegment: ok=%v err=%v", ok, err)
+	}
+	data, err := vfs.OS.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := InstallSegmentBytes(vfs.OS, followerDir, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != segGen {
+		t.Fatalf("InstallSegmentBytes gen=%d, want %d", gen, segGen)
+	}
+	f, err := Open(followerDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFollower()
+
+	// Tail the primary's chain from the follower's position.
+	for {
+		next := f.Current().Generation() + 1
+		path, _, skip, ok, err := ChainWALFile(vfs.OS, primaryDir, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("no chain file for generation %d", next)
+		}
+		r, err := wal.OpenReader(vfs.OS, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Skip(skip); err != nil {
+			t.Fatal(err)
+		}
+		advanced := false
+		for {
+			p, ok, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if _, err := f.ApplyReplicated(f.Current().Generation()+1, p); err != nil {
+				t.Fatal(err)
+			}
+			advanced = true
+		}
+		r.Close()
+		if !advanced {
+			break
+		}
+	}
+	return f
+}
+
+func TestReplicaApplyMatchesPrimary(t *testing.T) {
+	primaryDir := filepath.Join(t.TempDir(), "primary")
+	followerDir := filepath.Join(t.TempDir(), "follower")
+	p, err := Open(primaryDir, Options{SyncPolicy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Append([]Record{
+			{Label: fmt.Sprintf("s%d", i), Events: []string{"a", "b", "c"}},
+			{Events: []string{"x", fmt.Sprintf("e%d", i)}},
+		}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Append([]Record{{Label: "s1", Events: []string{"tail"}}}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	f := replicateDir(t, primaryDir, followerDir)
+	defer f.Close()
+
+	ps, fs := p.Current(), f.Current()
+	if fs.Generation() != ps.Generation() {
+		t.Fatalf("follower at generation %d, primary at %d", fs.Generation(), ps.Generation())
+	}
+	if !reflect.DeepEqual(fs.DB().Seqs, ps.DB().Seqs) || !reflect.DeepEqual(fs.DB().Labels, ps.DB().Labels) {
+		t.Fatal("follower database differs from primary")
+	}
+	if got := f.Durability().Role; got != RoleFollower {
+		t.Fatalf("Role=%q, want follower", got)
+	}
+
+	// The follower's directory must itself recover as a valid store.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(followerDir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.Current().Generation() != ps.Generation() {
+		t.Fatalf("reopened follower at generation %d, want %d", f2.Current().Generation(), ps.Generation())
+	}
+}
+
+func TestFollowerRejectsWritesUntilPromoted(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SyncPolicy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetFollower()
+	if _, err := st.Append([]Record{{Events: []string{"a"}}}, false); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("follower Append err=%v, want ErrNotPrimary", err)
+	}
+	if st.Role() != RoleFollower {
+		t.Fatalf("Role=%q", st.Role())
+	}
+	if err := st.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role() != RolePrimary {
+		t.Fatalf("Role after Promote=%q", st.Role())
+	}
+	if _, err := st.Append([]Record{{Events: []string{"a"}}}, false); err != nil {
+		t.Fatalf("Append after Promote: %v", err)
+	}
+}
+
+func TestFollowerGroupCommitRejects(t *testing.T) {
+	dir := t.TempDir()
+	// SyncAlways + default CommitMaxBatch enables the group path.
+	st, err := Open(dir, Options{SyncPolicy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetFollower()
+	if _, err := st.Append([]Record{{Events: []string{"a"}}}, false); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("grouped follower Append err=%v, want ErrNotPrimary", err)
+	}
+}
+
+func TestApplyReplicatedGap(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SyncPolicy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetFollower()
+	payload := encodeBatch(nil, []Record{{Events: []string{"a"}}}, false)
+	cur := st.Current().Generation()
+	if _, err := st.ApplyReplicated(cur+2, payload); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("gap apply err=%v, want ErrReplicaGap", err)
+	}
+	if _, err := st.ApplyReplicated(cur, payload); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("stale apply err=%v, want ErrReplicaGap", err)
+	}
+	if _, err := st.ApplyReplicated(cur+1, payload); err != nil {
+		t.Fatalf("in-sequence apply: %v", err)
+	}
+	if _, err := st.ApplyReplicated(cur+2, []byte{0xFF}); err == nil {
+		t.Fatal("corrupt payload applied")
+	}
+	if st.Current().Generation() != cur+1 {
+		t.Fatalf("generation %d after corrupt apply, want %d", st.Current().Generation(), cur+1)
+	}
+}
+
+func TestChainWALFileResolution(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SyncPolicy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := st.Append([]Record{{Events: []string{"a"}}}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil { // chain now: wal-5 (empty), segment at 5
+		t.Fatal(err)
+	}
+	if _, err := st.Append([]Record{{Events: []string{"b"}}}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Generation 6 is record 1 of the WAL based at 5.
+	_, base, skip, ok, err := ChainWALFile(vfs.OS, dir, 6)
+	if err != nil || !ok {
+		t.Fatalf("ChainWALFile: ok=%v err=%v", ok, err)
+	}
+	if base != 5 || skip != 0 {
+		t.Fatalf("base=%d skip=%d, want 5, 0", base, skip)
+	}
+	// Generation 5 predates the retained chain (swept by the checkpoint).
+	if _, _, _, ok, err := ChainWALFile(vfs.OS, dir, 5); err != nil || ok {
+		t.Fatalf("swept position: ok=%v err=%v, want ok=false", ok, err)
+	}
+}

@@ -128,6 +128,11 @@ type Store struct {
 	// durable.go. Guarded by mu.
 	dur *durableState
 
+	// follower marks a replication follower (see replica.go): Append
+	// rejects with ErrNotPrimary, batches arrive via ApplyReplicated.
+	// Guarded by mu.
+	follower bool
+
 	cur atomic.Pointer[Snapshot]
 }
 
@@ -277,6 +282,9 @@ func (st *Store) Append(records []Record, upsert bool) (*Snapshot, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.follower {
+		return nil, ErrNotPrimary
+	}
 	if st.dur != nil {
 		if st.dur.closed {
 			return nil, wal.ErrClosed

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// Reader is a record-position cursor over a WAL file that another process
+// (or another goroutine) may still be appending to. Unlike Scan, which
+// consumes the whole valid prefix in one call, a Reader hands out records
+// one at a time and can be re-polled after reporting end-of-log: the file
+// size is re-stated on every Next, so frames appended after the Reader
+// was opened become visible without reopening. The replication feed tails
+// a primary's live WAL through this.
+//
+// A Reader never trusts a partially visible frame: a frame whose header,
+// body, or CRC does not fully check out against the CURRENT file size is
+// indistinguishable from a write in progress, so Next reports "no record
+// yet" rather than an error. The caller decides whether that means "poll
+// again" (live tail) or "torn tail" (file known to be sealed).
+//
+// A Reader is not safe for concurrent use.
+type Reader struct {
+	fsys vfs.FS
+	f    vfs.File
+	path string
+	off  int64 // byte offset of the next frame header
+	rec  int   // records returned so far
+	hdr  [frameHeaderSize]byte
+	buf  []byte
+}
+
+// OpenReader opens a cursor at the first record of the WAL file at path.
+func OpenReader(fsys vfs.FS, path string) (*Reader, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &Reader{fsys: fsys, f: f, path: path}, nil
+}
+
+// Next returns the next intact record. ok is false when no complete,
+// CRC-valid frame is available at the current position — either the live
+// tail (the writer has not finished the next frame yet; poll again later)
+// or a torn/corrupt tail (if the file is sealed, nothing more is coming).
+// The returned payload is only valid until the next call to Next or Skip.
+func (r *Reader) Next() (payload []byte, ok bool, err error) {
+	st, err := r.f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: stat %s: %w", r.path, err)
+	}
+	remaining := st.Size() - r.off
+	if remaining < frameHeaderSize {
+		return nil, false, nil
+	}
+	if _, err := r.f.ReadAt(r.hdr[:], r.off); err != nil {
+		return nil, false, fmt.Errorf("wal: read frame header %s: %w", r.path, err)
+	}
+	n := int64(binary.LittleEndian.Uint32(r.hdr[0:4]))
+	if n == 0 || n > maxPayload || n > remaining-frameHeaderSize {
+		return nil, false, nil
+	}
+	if int64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := r.f.ReadAt(r.buf, r.off+frameHeaderSize); err != nil {
+		return nil, false, fmt.Errorf("wal: read frame payload %s: %w", r.path, err)
+	}
+	if frameCRC([4]byte(r.hdr[0:4]), r.buf) != binary.LittleEndian.Uint32(r.hdr[4:8]) {
+		return nil, false, nil
+	}
+	r.off += frameHeaderSize + n
+	r.rec++
+	return r.buf, true, nil
+}
+
+// Skip advances past the next n records without returning their payloads.
+// It fails if fewer than n intact records are available — the caller
+// asked to resume past a position this file does not (yet) contain, which
+// for replication means the positions have diverged.
+func (r *Reader) Skip(n int) error {
+	for i := 0; i < n; i++ {
+		_, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("wal: skip %d records in %s: only %d available", n, r.path, i)
+		}
+	}
+	return nil
+}
+
+// Offset returns the byte offset of the next frame header — equivalently,
+// the byte length of the records consumed so far.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Records returns how many records the cursor has consumed.
+func (r *Reader) Records() int { return r.rec }
+
+// Path returns the file path the cursor reads.
+func (r *Reader) Path() string { return r.path }
+
+// Close releases the underlying file handle.
+func (r *Reader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}

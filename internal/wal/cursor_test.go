@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestReaderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	want := [][]byte{[]byte("one"), []byte("two two"), bytes.Repeat([]byte{0xCD}, 2048)}
+	appendAll(t, path, Options{Policy: SyncNever}, want...)
+
+	r, err := OpenReader(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, w := range want {
+		p, ok, err := r.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next #%d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(p, w) {
+			t.Fatalf("record %d = %q, want %q", i, p, w)
+		}
+		if r.Records() != i+1 {
+			t.Fatalf("Records=%d after record %d", r.Records(), i)
+		}
+	}
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("Next past end: ok=%v err=%v, want ok=false err=nil", ok, err)
+	}
+	st, _ := os.Stat(path)
+	if r.Offset() != st.Size() {
+		t.Fatalf("Offset=%d, file size=%d", r.Offset(), st.Size())
+	}
+}
+
+// TestReaderSeesLiveAppends is the property the replication feed depends
+// on: records appended after the Reader was opened (and after it already
+// reported end-of-log) become visible on the next poll.
+func TestReaderSeesLiveAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if p, ok, err := r.Next(); err != nil || !ok || string(p) != "first" {
+		t.Fatalf("Next = %q, %v, %v", p, ok, err)
+	}
+	if _, ok, _ := r.Next(); ok {
+		t.Fatal("Next reported a record at the live tail")
+	}
+	if err := l.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok, err := r.Next(); err != nil || !ok || string(p) != "second" {
+		t.Fatalf("Next after live append = %q, %v, %v", p, ok, err)
+	}
+}
+
+// TestReaderStopsAtTornTail mirrors Scan's torn-tail behavior: a frame
+// that is incomplete or fails its CRC is "no record", not an error and
+// never a payload.
+func TestReaderStopsAtTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	appendAll(t, path, Options{Policy: SyncNever}, []byte("intact"), []byte("to-be-torn"))
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, frameHeaderSize - 1, frameHeaderSize + 3} {
+		// Re-truncate inside the second frame at several byte offsets.
+		firstEnd := frameHeaderSize + len("intact")
+		if err := os.WriteFile(path, data[:firstEnd+cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenReader(vfs.OS, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, ok, err := r.Next(); err != nil || !ok || string(p) != "intact" {
+			t.Fatalf("cut=%d: first Next = %q, %v, %v", cut, p, ok, err)
+		}
+		if _, ok, err := r.Next(); ok || err != nil {
+			t.Fatalf("cut=%d: Next on torn frame: ok=%v err=%v", cut, ok, err)
+		}
+		r.Close()
+	}
+
+	// Corrupt the second frame's payload in place: CRC must reject it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok, err := r.Next(); !ok || err != nil {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("Next on corrupt frame: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReaderSkip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	appendAll(t, path, Options{Policy: SyncNever}, []byte("a"), []byte("b"), []byte("c"))
+
+	r, err := OpenReader(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Skip(2); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok, err := r.Next(); err != nil || !ok || string(p) != "c" {
+		t.Fatalf("Next after Skip(2) = %q, %v, %v", p, ok, err)
+	}
+
+	r2, err := OpenReader(vfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if err := r2.Skip(4); err == nil {
+		t.Fatal("Skip past end of log succeeded")
+	}
+}

@@ -130,7 +130,7 @@ func Open(dir string, opt OpenOptions) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: open %s: %w", dir, errors.Join(ErrStorage, err))
 	}
-	return &Database{st: st}, nil
+	return newDatabase(st), nil
 }
 
 // Create initializes a durable database in dir from r in the given
@@ -151,7 +151,7 @@ func Create(dir string, r io.Reader, format Format, opt OpenOptions) (*Database,
 	if err != nil {
 		return nil, fmt.Errorf("repro: create %s: %w", dir, errors.Join(ErrStorage, err))
 	}
-	return &Database{st: st}, nil
+	return newDatabase(st), nil
 }
 
 // Persist writes the database's current snapshot into dir as a durable
@@ -161,24 +161,24 @@ func Create(dir string, r io.Reader, format Format, opt OpenOptions) (*Database,
 // in-memory database; services use Persist to validate an upload fully
 // in memory before committing it over the previous generation's files.
 func (d *Database) Persist(dir string, opt OpenOptions) (*Database, error) {
-	st, err := store.Create(dir, d.st.Current().DB(), opt.internal())
+	st, err := store.Create(dir, d.store().Current().DB(), opt.internal())
 	if err != nil {
 		return nil, fmt.Errorf("repro: persist %s: %w", dir, errors.Join(ErrStorage, err))
 	}
-	return &Database{st: st}, nil
+	return newDatabase(st), nil
 }
 
 // Sync flushes unsynced WAL appends to stable storage: the explicit
 // durability barrier under SyncInterval/SyncNever (under SyncAlways
 // every append is already durable and Sync is a no-op). Nil for
 // in-memory databases.
-func (d *Database) Sync() error { return d.st.Sync() }
+func (d *Database) Sync() error { return d.store().Sync() }
 
 // Close flushes and fsyncs the write-ahead log and releases the
 // database's files. Snapshots already taken stay usable (they are
 // immutable in memory); subsequent Appends fail. A no-op for in-memory
 // databases; safe to call twice.
-func (d *Database) Close() error { return d.st.Close() }
+func (d *Database) Close() error { return d.store().Close() }
 
 // Compact checkpoints the current generation into a fresh segment and
 // truncates the write-ahead log, bounding recovery time. Appends trigger
@@ -186,13 +186,17 @@ func (d *Database) Close() error { return d.st.Close() }
 // OpenOptions.CheckpointWALBytes; Compact is the explicit form (e.g.
 // before copying the directory for a backup). A no-op for in-memory
 // databases.
-func (d *Database) Compact() error { return d.st.Checkpoint() }
+func (d *Database) Compact() error { return d.store().Checkpoint() }
 
 // Persistence describes how (and whether) a database is stored.
 type Persistence struct {
-	// Durable is false for in-memory databases; all other fields are
-	// then zero.
+	// Durable is false for in-memory databases; every other field except
+	// Role is then zero.
 	Durable bool
+	// Role is "primary" for ordinary databases and "follower" for a
+	// replica tailing an upstream primary (see OpenReplica). Followers
+	// reject Append with ErrNotPrimary until promoted.
+	Role string
 	// Dir is the storage directory.
 	Dir string
 	// Sync is the configured fsync policy.
@@ -233,9 +237,10 @@ type Persistence struct {
 
 // Persistence returns the database's durability state.
 func (d *Database) Persistence() Persistence {
-	info := d.st.Durability()
+	info := d.store().Durability()
 	p := Persistence{
 		Durable:           info.Durable,
+		Role:              info.Role,
 		Dir:               info.Dir,
 		Generation:        info.Generation,
 		SegmentGeneration: info.SegmentGeneration,

@@ -1,0 +1,213 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/store"
+)
+
+// replicaTestPrimary serves one durable database's replication feed the
+// way the real server does, for exercising the public OpenReplica API.
+type replicaTestPrimary struct {
+	db  *Database
+	srv *httptest.Server
+}
+
+type replicaTestSource struct{ db *Database }
+
+func (s replicaTestSource) Dir() string        { return s.db.Persistence().Dir }
+func (s replicaTestSource) Generation() uint64 { return s.db.Snapshot().Generation() }
+func (s replicaTestSource) Checkpoint() error  { return s.db.Compact() }
+func (s replicaTestSource) Epoch() string      { return "api-test-epoch" }
+
+func newReplicaTestPrimary(t testing.TB) *replicaTestPrimary {
+	t.Helper()
+	db, err := Open(filepath.Join(t.TempDir(), "primary"), OpenOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := &repl.Feed{Src: replicaTestSource{db}, Poll: time.Millisecond, Heartbeat: 20 * time.Millisecond}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/replication/events/segment", feed.ServeSegment)
+	mux.HandleFunc("/v1/replication/events/wal", feed.ServeWAL)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	return &replicaTestPrimary{db: db, srv: srv}
+}
+
+func waitReplicaConverged(t *testing.T, r *Replica, p *replicaTestPrimary) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		want := p.db.Snapshot()
+		got := r.Database().Snapshot()
+		if got.Generation() == want.Generation() &&
+			reflect.DeepEqual(got.s.DB().Seqs, want.s.DB().Seqs) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("replica never converged: replica gen %d, primary gen %d (status %+v)",
+		r.Database().Snapshot().Generation(), p.db.Snapshot().Generation(), r.Status())
+}
+
+func TestOpenReplicaTailsAndPromotes(t *testing.T) {
+	p := newReplicaTestPrimary(t)
+	if _, err := p.db.Append([]Record{{Label: "S1", Events: []string{"a", "b", "a", "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "replica")
+	r, err := OpenReplica(p.srv.URL, "events", dir, ReplicaOptions{
+		Open:    OpenOptions{Sync: SyncNever},
+		Backoff: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	waitReplicaConverged(t, r, p)
+
+	// Live appends stream through, and mining on the replica matches.
+	if _, err := p.db.Append([]Record{{Label: "S2", Events: []string{"a", "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaConverged(t, r, p)
+	want, err := p.db.Mine(Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Database().Mine(Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Patterns, want.Patterns) {
+		t.Fatalf("replica mine = %+v, primary mine = %+v", got.Patterns, want.Patterns)
+	}
+
+	// Writes are rejected with the public sentinel while following.
+	if _, err := r.Database().Append([]Record{{Events: []string{"x"}}}); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("replica Append err = %v, want ErrNotPrimary", err)
+	}
+	if p := r.Database().Persistence(); p.Role != store.RoleFollower {
+		t.Fatalf("replica role = %q, want follower", p.Role)
+	}
+	s := r.Status()
+	if s.Role != store.RoleFollower || s.Database != "events" || s.Bootstraps != 1 {
+		t.Fatalf("status %+v", s)
+	}
+
+	// Promotion flips the same handle writable.
+	if err := r.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Database().Append([]Record{{Events: []string{"x"}}}); err != nil {
+		t.Fatalf("Append after promote: %v", err)
+	}
+	if p := r.Database().Persistence(); p.Role != store.RolePrimary {
+		t.Fatalf("role after promote = %q", p.Role)
+	}
+}
+
+func TestOpenReplicaResumes(t *testing.T) {
+	p := newReplicaTestPrimary(t)
+	if _, err := p.db.Append([]Record{{Label: "S1", Events: []string{"a", "b"}}}); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "replica")
+	open := func() *Replica {
+		r, err := OpenReplica(p.srv.URL, "events", dir, ReplicaOptions{
+			Open:    OpenOptions{Sync: SyncNever},
+			Backoff: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := open()
+	waitReplicaConverged(t, r, p)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.db.Append([]Record{{Label: "S2", Events: []string{"b", "a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	r2 := open()
+	defer r2.Close()
+	waitReplicaConverged(t, r2, p)
+	if got := r2.Status().Bootstraps; got != 0 {
+		t.Fatalf("restart bootstrapped %d times, want 0 (resume)", got)
+	}
+}
+
+// BenchmarkReplicaCatchup measures the replication pipeline end to end
+// over a real HTTP stream, without fsync (both sides SyncNever) so the
+// numbers track code, not disk. Two shapes:
+//
+//   - bootstrap: one fresh OpenReplica against a seeded primary — segment
+//     download plus WAL replay through the store codecs.
+//   - tail=N: a connected follower catching up on N freshly appended
+//     records — frame shipping, decode, and in-order apply.
+//
+// Network benches are scheduler- and socket-dependent; bench_compare.sh
+// treats ReplicaCatchup as warn-only on both ns/op and allocs/op.
+func BenchmarkReplicaCatchup(b *testing.B) {
+	waitGen := func(r *Replica, want uint64) {
+		for r.Database().Snapshot().Generation() < want {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	openReplica := func(b *testing.B, p *replicaTestPrimary, dir string) *Replica {
+		r, err := OpenReplica(p.srv.URL, "events", dir, ReplicaOptions{
+			Open:    OpenOptions{Sync: SyncNever, CheckpointWALBytes: -1},
+			Backoff: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	appendBatch := func(b *testing.B, p *replicaTestPrimary, n int) {
+		for i := 0; i < n; i++ {
+			if _, err := p.db.Append([]Record{{Label: fmt.Sprintf("S%d", i%16), Events: []string{"a", "b", "c", "a"}}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("bootstrap", func(b *testing.B) {
+		p := newReplicaTestPrimary(b)
+		appendBatch(b, p, 256)
+		want := p.db.Snapshot().Generation()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := openReplica(b, p, filepath.Join(b.TempDir(), fmt.Sprintf("r%d", i)))
+			waitGen(r, want)
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tail=256", func(b *testing.B) {
+		p := newReplicaTestPrimary(b)
+		appendBatch(b, p, 1)
+		r := openReplica(b, p, filepath.Join(b.TempDir(), "replica"))
+		defer r.Close()
+		waitGen(r, p.db.Snapshot().Generation())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			appendBatch(b, p, 256)
+			waitGen(r, p.db.Snapshot().Generation())
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -71,12 +72,29 @@ func (f Format) internal() (seq.Format, error) {
 // index variant has been built, appends maintain it incrementally in
 // O(delta) instead of rebuilding it.
 type Database struct {
-	st *store.Store
+	// st is swapped atomically when a replica re-bootstraps onto a fresh
+	// lineage (see OpenReplica); for every other database it is set once.
+	// Handles taken from it (snapshots, in-flight mines) stay valid across
+	// a swap — they pin the old store's immutable state.
+	st atomic.Pointer[store.Store]
 }
+
+func newDatabase(st *store.Store) *Database {
+	d := &Database{}
+	d.st.Store(st)
+	return d
+}
+
+// store returns the database's current backing store.
+func (d *Database) store() *store.Store { return d.st.Load() }
+
+// swapStore replaces the backing store; only replica re-bootstraps do
+// this.
+func (d *Database) swapStore(st *store.Store) { d.st.Store(st) }
 
 // NewDatabase returns an empty database.
 func NewDatabase() *Database {
-	return &Database{st: store.New(store.Options{})}
+	return newDatabase(store.New(store.Options{}))
 }
 
 // Load reads a database from r in the given format. Errors are wrapped
@@ -116,7 +134,7 @@ func load(r io.Reader, format Format) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{st: store.FromDB(db, store.Options{})}, nil
+	return newDatabase(store.FromDB(db, store.Options{})), nil
 }
 
 // Add appends a new sequence of event names under the given label (empty
@@ -128,7 +146,7 @@ func load(r io.Reader, format Format) (*Database, error) {
 // Append, Sync, or Close returns it. Code that must observe durability
 // errors per batch should use Append.
 func (d *Database) Add(label string, events []string) {
-	_, _ = d.st.Append([]store.Record{{Label: label, Events: events}}, false)
+	_, _ = d.store().Append([]store.Record{{Label: label, Events: events}}, false)
 }
 
 // AddString appends a sequence where each byte of events is one
@@ -168,12 +186,17 @@ func (d *Database) Append(records []Record) (*Snapshot, error) {
 	for i, r := range records {
 		batch[i] = store.Record{Label: r.Label, Events: r.Events}
 	}
-	snap, err := d.st.Append(batch, true)
+	snap, err := d.store().Append(batch, true)
 	if err != nil {
 		if errors.Is(err, store.ErrDegraded) {
 			// Re-sentinel into the public taxonomy; the root cause
 			// (ENOSPC, EIO, ...) stays reachable through the chain.
 			return nil, fmt.Errorf("repro: %w: %w", ErrDegraded, err)
+		}
+		if errors.Is(err, store.ErrNotPrimary) {
+			// A replica: writes belong on the primary. The serving layer
+			// maps this to 409 with the upstream's address.
+			return nil, fmt.Errorf("repro: %w: %w", ErrNotPrimary, err)
 		}
 		return nil, err
 	}
@@ -187,7 +210,7 @@ func (d *Database) Append(records []Record) (*Snapshot, error) {
 // mining methods are shorthands for Snapshot().<Method>; grab a Snapshot
 // explicitly when a multi-step read must see one consistent generation.
 func (d *Database) Snapshot() *Snapshot {
-	return &Snapshot{s: d.st.Current()}
+	return &Snapshot{s: d.store().Current()}
 }
 
 // NumSequences returns the number of sequences added so far.

@@ -19,7 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_LOCAL.json}"
-SUITE='Fig2|Table1|TopKParallelScaling|DurableAppend|InMemoryAppend'
+SUITE='Fig2|Table1|TopKParallelScaling|DurableAppend|InMemoryAppend|ReplicaCatchup'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
