@@ -149,19 +149,21 @@ func BenchmarkFig2ParallelScaling(b *testing.B) {
 
 func BenchmarkTopKParallelScaling(b *testing.B) {
 	_, ix := questScaled(b)
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("Closed/k=100/workers=%d", workers), func(b *testing.B) {
-			b.ReportAllocs()
-			var patterns int
-			for i := 0; i < b.N; i++ {
-				res, err := core.MineTopKParallel(nil, ix, 100, true, 0, workers)
-				if err != nil {
-					b.Fatal(err)
+	for _, k := range []int{10, 100, 1000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("Closed/k=%d/workers=%d", k, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var patterns int
+				for i := 0; i < b.N; i++ {
+					res, err := core.MineTopKParallel(nil, ix, k, true, 0, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					patterns = res.NumPatterns
 				}
-				patterns = res.NumPatterns
-			}
-			b.ReportMetric(float64(patterns), "patterns")
-		})
+				b.ReportMetric(float64(patterns), "patterns")
+			})
+		}
 	}
 }
 

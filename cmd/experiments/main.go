@@ -22,9 +22,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, fig2, fig3, fig4, fig5, fig6, case, all")
-		scale = flag.String("scale", "bench", "bench (scaled-down) or full (paper-scale)")
-		seed  = flag.Int64("seed", 1, "generator seed")
+		exp     = flag.String("exp", "all", "experiment: table1, fig2, fig3, fig4, fig5, fig6, case, grid, all")
+		scale   = flag.String("scale", "bench", "bench (scaled-down) or full (paper-scale)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		gridIn  = flag.String("grid", "", "grid spec JSON for -exp grid (empty = built-in default grid)")
+		gridCSV = flag.String("csv", "", "per-run CSV output path for -exp grid (empty = no CSV)")
 	)
 	flag.Parse()
 	full := *scale == "full"
@@ -50,6 +52,54 @@ func main() {
 	run("fig5", runFig5)
 	run("fig6", runFig6)
 	run("case", runCase)
+	// The top-k scaling grid is hardware-dependent (it measures parallel
+	// speedup on the local cores), so it runs only when asked for
+	// explicitly, not under -exp all.
+	if *exp == "grid" {
+		fmt.Printf("=== grid ===\n")
+		if err := runGrid(*gridIn, *gridCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: grid: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runGrid executes the top-k scaling grid (scripts/bench_grid.sh drives
+// this): spec JSON in, per-run CSV out, median/speedup summary table on
+// stdout.
+func runGrid(specPath, csvPath string) error {
+	spec := harness.GridSpec{}
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return err
+		}
+		spec, err = harness.ParseGridSpec(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	rows, err := harness.RunGrid(spec)
+	if err != nil {
+		return err
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteGridCSV(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d runs to %s\n", len(rows), csvPath)
+	}
+	fmt.Print(harness.GridSummaryTable(rows))
+	return nil
 }
 
 func runTable1(bool, int64) error {

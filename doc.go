@@ -228,13 +228,23 @@
 // best-first top-k search the same way: sharded frontiers coordinated
 // through the current k-th best support, byte-identical results.
 //
+// Top-k memory is bounded by the peak live frontier, not by the number
+// of nodes ever explored: frontier entries are parent-pointer nodes in
+// a recycled block arena, a child's instance set is only materialized
+// when the child is popped, and children whose support upper bound
+// cannot beat the current k-th best are discarded before allocation.
+// Result.TopKFrontierPeak and TopKArenaBytes report the high-water
+// numbers per run.
+//
 // Workers helps when the mine is substantial (milliseconds and up) and
 // the machine has idle cores; it only adds scheduling overhead on tiny
-// databases, at very high support thresholds (a handful of shallow
-// patterns), or with worker counts far above GOMAXPROCS. The sequential
-// path (Workers <= 1) runs the same single-threaded miner; its only
-// scheduler cost is per-node candidate-frame bookkeeping, which
-// benchmarks faster than the pre-scheduler baseline.
+// databases or at very high support thresholds (a handful of shallow
+// patterns). Requested counts above the host's usable CPUs are clamped
+// rather than spawned — Result.WorkersRequested and WorkersEffective
+// report both sides of the clamp. The sequential path (Workers <= 1)
+// runs the same single-threaded miner; its only scheduler cost is
+// per-node candidate-frame bookkeeping, which benchmarks faster than
+// the pre-scheduler baseline.
 //
 // The same capabilities are exposed over HTTP by the mining service
 // (internal/server, started with `gsgrow serve` or cmd/reprod): named

@@ -153,6 +153,13 @@ func Mine(cfg MineConfig, in io.Reader, out io.Writer) error {
 		fmt.Fprint(out, " (truncated)")
 	}
 	fmt.Fprintln(out)
+	if cfg.TopK > 0 {
+		// Frontier observability for the arena-backed best-first search:
+		// high-water frontier size and the node-arena bytes behind it,
+		// plus the requested→effective worker clamp.
+		fmt.Fprintf(out, "# topk frontier: peak=%d nodes, arena=%d bytes, workers=%d/%d (effective/requested)\n",
+			res.Stats.FrontierPeak, res.Stats.ArenaBytes, res.Stats.WorkersEffective, res.Stats.WorkersRequested)
+	}
 
 	patterns := res.Patterns
 	if cfg.Density > 0 {

@@ -208,9 +208,12 @@ func TestMineTopKMode(t *testing.T) {
 	if !strings.Contains(text, "5\tAD") {
 		t.Errorf("top closed pattern AD/5 missing:\n%s", text)
 	}
+	if !strings.Contains(text, "# topk frontier: peak=") {
+		t.Errorf("missing frontier stats line:\n%s", text)
+	}
 	lines := strings.Split(strings.TrimSpace(text), "\n")
-	if len(lines) != 4 { // header + 3 patterns
-		t.Errorf("want 4 lines, got %d:\n%s", len(lines), text)
+	if len(lines) != 5 { // header + frontier stats + 3 patterns
+		t.Errorf("want 5 lines, got %d:\n%s", len(lines), text)
 	}
 }
 
@@ -242,9 +245,16 @@ func TestMineTopKWorkersMode(t *testing.T) {
 	if err := Mine(MineConfig{Format: "chars", TopK: 5, Closed: true, Workers: 4}, strings.NewReader(table3), &parOut); err != nil {
 		t.Fatal(err)
 	}
+	// Drop the "#" comment lines: the duration and the frontier/worker
+	// stats legitimately differ between sequential and sharded runs.
 	trim := func(s string) string {
-		lines := strings.Split(strings.TrimSpace(s), "\n")
-		return strings.Join(lines[1:], "\n")
+		var kept []string
+		for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+			if !strings.HasPrefix(line, "#") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
 	}
 	if trim(seqOut.String()) != trim(parOut.String()) {
 		t.Errorf("parallel top-k output differs:\n%s\nvs\n%s", seqOut.String(), parOut.String())

@@ -1,0 +1,198 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadgenConfig mirrors the flags of `gsgrow loadgen`: drive a running
+// mining service's mine endpoint at a fixed concurrency and report
+// throughput and latency percentiles.
+type LoadgenConfig struct {
+	Addr        string        // server address, e.g. "localhost:8372" (scheme optional)
+	DB          string        // target database name
+	Requests    int           // total mine requests to send (0 = 100)
+	Concurrency int           // concurrent client goroutines (0 = 8)
+	Duration    time.Duration // stop issuing after this long (0 = run all Requests)
+
+	// Mine request shape; exactly one of TopK/MinSup must be positive.
+	TopK    int
+	MinSup  int
+	Closed  bool
+	Workers int // per-request workers field (0 = server default)
+
+	Format string // upload format for the optional pre-load (tokens, chars, spmf)
+}
+
+// loadgenSummary is the slice of the server's mine summary the load
+// generator reads back per response.
+type loadgenSummary struct {
+	Cached      bool `json:"cached"`
+	NumPatterns int  `json:"numPatterns"`
+}
+
+// Loadgen drives POST /v1/databases/{db}/mine with cfg.Concurrency
+// clients until cfg.Requests have been issued (or cfg.Duration elapses),
+// then reports throughput, error counts, cache-hit counts, and latency
+// percentiles to out. When upload is non-nil its contents are first
+// uploaded as database cfg.DB, so one command can stand up a benchmark
+// target from a local file. Cache hits are reported separately because
+// identical requests after the first are answered from the server's
+// result cache — a run that is ~100% cached measures HTTP + cache-lookup
+// overhead, not mining.
+func Loadgen(ctx context.Context, cfg LoadgenConfig, upload io.Reader, out io.Writer) error {
+	if cfg.Addr == "" {
+		return fmt.Errorf("missing server address")
+	}
+	if cfg.DB == "" {
+		return fmt.Errorf("missing database name")
+	}
+	if (cfg.TopK > 0) == (cfg.MinSup > 0) {
+		return fmt.Errorf("exactly one of -topk and -minsup must be set")
+	}
+	base := cfg.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	requests := cfg.Requests
+	if requests <= 0 {
+		requests = 100
+	}
+	concurrency := cfg.Concurrency
+	if concurrency <= 0 {
+		concurrency = 8
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	client := &http.Client{}
+
+	if upload != nil {
+		format := cfg.Format
+		if format == "" {
+			format = "tokens"
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			fmt.Sprintf("%s/v1/databases/%s?format=%s", base, cfg.DB, format), upload)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("upload: %w", err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("upload: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		fmt.Fprintf(out, "uploaded %s as database %q\n", format, cfg.DB)
+	}
+
+	mineBody, err := json.Marshal(map[string]any{
+		"topK":       cfg.TopK,
+		"minSupport": cfg.MinSup,
+		"closed":     cfg.Closed,
+		"workers":    cfg.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	mineURL := fmt.Sprintf("%s/v1/databases/%s/mine", base, cfg.DB)
+
+	var (
+		issued, okCount, cachedCount, errCount atomic.Int64
+		mu                                     sync.Mutex
+		latencies                              []time.Duration
+		firstErr                               string
+	)
+	fail := func(msg string) {
+		errCount.Add(1)
+		mu.Lock()
+		if firstErr == "" {
+			firstErr = msg
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if issued.Add(1) > int64(requests) || ctx.Err() != nil {
+					return
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, mineURL, bytes.NewReader(mineBody))
+				if err != nil {
+					fail(err.Error())
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := time.Since(t0)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // deadline/cancel, not a server failure
+					}
+					fail(err.Error())
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Sprintf("status %d: %.200s", resp.StatusCode, strings.TrimSpace(string(body))))
+					continue
+				}
+				var sum loadgenSummary
+				if err := json.Unmarshal(body, &sum); err != nil {
+					fail(fmt.Sprintf("bad response body: %v", err))
+					continue
+				}
+				okCount.Add(1)
+				if sum.Cached {
+					cachedCount.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	ok := okCount.Load()
+	fmt.Fprintf(out, "loadgen: %d ok (%d cached), %d errors in %v (%d clients) -> %.1f req/s\n",
+		ok, cachedCount.Load(), errCount.Load(), wall.Round(time.Millisecond), concurrency,
+		float64(ok)/wall.Seconds())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i].Round(10 * time.Microsecond)
+		}
+		fmt.Fprintf(out, "latency: min=%v p50=%v p90=%v p99=%v max=%v\n",
+			pct(0), pct(0.50), pct(0.90), pct(0.99), pct(1))
+	}
+	if firstErr != "" {
+		fmt.Fprintf(out, "first error: %s\n", firstErr)
+	}
+	if n := errCount.Load(); n > 0 {
+		return fmt.Errorf("%d requests failed", n)
+	}
+	return nil
+}

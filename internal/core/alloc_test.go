@@ -65,6 +65,43 @@ func TestCandidatesSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestTopKSteadyStateAllocs: a warm repeat top-k search on a reused
+// miner+frontier pair allocates only its unavoidable outputs — the Result
+// and one pattern copy per emission. The node arena, free list, heap
+// slice, chain pools, and pattern scratch buffers absorb everything else;
+// this is the regression guard for the per-push pattern copy and
+// per-child instance-set allocations the arena-ized frontier replaced.
+func TestTopKSteadyStateAllocs(t *testing.T) {
+	const k = 10
+	for _, closed := range []bool{false, true} {
+		ix := seq.NewIndexWith(allocDB(), seq.IndexOptions{FastNext: true})
+		m := newMiner(ix, Options{MinSupport: 1, Closed: closed})
+		f := &topkFrontier{}
+		seeds := ix.FrequentEvents(1)
+		run := func() {
+			m.res = &Result{}
+			runTopKSearch(nil, m, f, seeds, k, closed, 0)
+		}
+		run() // warm the arena, pools and heap to steady state
+		want := m.res.NumPatterns
+		if want != k {
+			t.Fatalf("closed=%v: emitted %d patterns, want %d", closed, want, k)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			run()
+			if m.res.NumPatterns != want {
+				t.Fatalf("closed=%v: pattern count drifted: %d != %d", closed, m.res.NumPatterns, want)
+			}
+		})
+		// Per run: one Result, one Patterns backing array (amortized
+		// growth appends count as a few), and k pattern copies.
+		ceiling := float64(k + 6)
+		if allocs > ceiling {
+			t.Errorf("closed=%v: steady-state top-k allocates %.1f times per run, want <= %.0f", closed, allocs, ceiling)
+		}
+	}
+}
+
 // TestMineSteadyStateAllocs: a whole counting-only mining run on a warm
 // miner is allocation-free — the arena, candidate pool, memo table and
 // scratch buffers absorb every transient. This is the end-to-end

@@ -1,0 +1,13 @@
+package core
+
+// SetMaxProcsForTest overrides the GOMAXPROCS-based worker clamp for the
+// duration of a test, returning a restore func. The parallel paths are
+// deterministic at any worker count, so tests raise the cap to exercise
+// real multi-worker scheduling (stealing, sharded frontiers) even on
+// single-CPU CI machines, where the production clamp would otherwise
+// route every run through the sequential fallback.
+func SetMaxProcsForTest(n int) func() {
+	old := maxProcsFn
+	maxProcsFn = func() int { return n }
+	return func() { maxProcsFn = old }
+}

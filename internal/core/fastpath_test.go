@@ -121,8 +121,10 @@ func assertParallelStats(t *testing.T, label string, ref, got core.MineStats) {
 	norm.MemoHits = ref.MemoHits
 	norm.ClosureChainGrowths = ref.ClosureChainGrowths
 	norm.TasksDonated, norm.TasksStolen, norm.StealSetupGrowths = 0, 0, 0
+	norm.WorkersRequested, norm.WorkersEffective = 0, 0
 	normRef := ref
 	normRef.TasksDonated, normRef.TasksStolen, normRef.StealSetupGrowths = 0, 0, 0
+	normRef.WorkersRequested, normRef.WorkersEffective = 0, 0
 	if normRef != ignoreDuration(normRef, norm) {
 		t.Errorf("%s: steal-invariant counters diverged:\nsequential: %+v\nparallel:   %+v", label, ref, got)
 	}

@@ -238,6 +238,8 @@ func Mine(v IndexView, opt Options) (*Result, error) {
 	if opt.Semantics != nil {
 		res = opt.Semantics.Finalize(ix, opt, res)
 	}
+	res.Stats.WorkersRequested = 1
+	res.Stats.WorkersEffective = 1
 	res.Stats.Duration = time.Since(start)
 	return res, nil
 }

@@ -1,0 +1,21 @@
+package core_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestMain raises the worker clamp for the whole core test binary: the
+// parallel suites (parity sweeps, steal stress, sharded top-k) assert on
+// genuinely concurrent multi-worker behavior, which the production
+// GOMAXPROCS clamp would silently reduce to sequential fallbacks on the
+// single-CPU machines CI runs on. Clamp behavior itself is covered by the
+// white-box TestEffectiveWorkersClamp.
+func TestMain(m *testing.M) {
+	restore := core.SetMaxProcsForTest(16)
+	code := m.Run()
+	restore()
+	os.Exit(code)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,11 +40,18 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 		return nil, err
 	}
 	ix := v.MiningIndex()
-	if workers <= 1 {
-		return Mine(ix, opt)
+	requested := workers
+	if requested < 1 {
+		requested = 1
 	}
-	if workers > maxParallelWorkers {
-		workers = maxParallelWorkers
+	workers = effectiveWorkers(workers)
+	if workers <= 1 {
+		res, err := Mine(ix, opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.WorkersRequested = requested
+		return res, nil
 	}
 	start := time.Now()
 	// The strategy may rewrite the options the search runs under (e.g.
@@ -161,8 +169,32 @@ func MineParallel(v IndexView, opt Options, workers int) (*Result, error) {
 		// the same output — at every worker count.
 		merged = opt.Semantics.Finalize(ix, opt, merged)
 	}
+	merged.Stats.WorkersRequested = requested
+	merged.Stats.WorkersEffective = workers
 	merged.Stats.Duration = time.Since(start)
 	return merged, nil
+}
+
+// maxProcsFn reports the CPU parallelism available to the process; a
+// variable so tests on single-CPU machines can exercise real multi-worker
+// runs (see SetMaxProcsForTest).
+var maxProcsFn = func() int { return runtime.GOMAXPROCS(0) }
+
+// effectiveWorkers clamps a requested worker count to the scheduler cap
+// and to the available CPUs. Output is byte-identical at any worker count,
+// so clamping is purely a performance decision: workers beyond GOMAXPROCS
+// cannot run concurrently and only add scheduling and merge overhead
+// (BENCH_PR9 measured 2× slowdowns from oversubscription on 1-CPU
+// runners).
+func effectiveWorkers(requested int) int {
+	w := requested
+	if w > maxParallelWorkers {
+		w = maxParallelWorkers
+	}
+	if p := maxProcsFn(); w > p {
+		w = p
+	}
+	return w
 }
 
 func mergeStats(dst, src *MineStats) {
@@ -176,6 +208,12 @@ func mergeStats(dst, src *MineStats) {
 	dst.TasksDonated += src.TasksDonated
 	dst.TasksStolen += src.TasksStolen
 	dst.StealSetupGrowths += src.StealSetupGrowths
+	// Frontier stats sum the per-shard peaks/arenas: the shards exist
+	// concurrently, so the sum is the run's aggregate footprint.
+	// WorkersRequested/WorkersEffective are run-level, not per-worker, and
+	// are set by the caller after merging.
+	dst.FrontierPeak += src.FrontierPeak
+	dst.ArenaBytes += src.ArenaBytes
 	if src.MaxDepth > dst.MaxDepth {
 		dst.MaxDepth = src.MaxDepth
 	}

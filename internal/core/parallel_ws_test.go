@@ -46,7 +46,7 @@ func TestStealHeavyStress(t *testing.T) {
 			t.Fatal(err)
 		}
 		refList := patternList(db, ref)
-		donated := 0
+		donated, stolen := 0, 0
 		const runs = 5
 		for i := 0; i < runs; i++ {
 			res, err := core.MineParallel(ix, opt, 8)
@@ -59,9 +59,13 @@ func TestStealHeavyStress(t *testing.T) {
 			}
 			assertParallelStats(t, fmt.Sprintf("closed=%v run %d", closed, i), ref.Stats, res.Stats)
 			donated += res.Stats.TasksDonated
-			if res.Stats.TasksStolen == 0 {
-				t.Errorf("closed=%v run %d: 8 workers over 4 seeds but no task was stolen", closed, i)
-			}
+			stolen += res.Stats.TasksStolen
+		}
+		// Stealing requires a worker to observe an idle peer, so a single
+		// run on a loaded single-CPU host can legitimately see none; the
+		// machinery is proven if any of the runs stole.
+		if stolen == 0 {
+			t.Errorf("closed=%v: no task was stolen across %d steal-heavy runs (8 workers over 4 seeds)", closed, runs)
 		}
 		if donated == 0 {
 			t.Errorf("closed=%v: no branch was donated across %d steal-heavy runs", closed, runs)
@@ -166,23 +170,25 @@ func TestParallelBudgetCountingOnly(t *testing.T) {
 // on every fixture, both miners, any worker count.
 func TestParallelTopKByteIdentical(t *testing.T) {
 	for name, db := range parityDBs(t) {
-		ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: true})
-		for _, closed := range []bool{false, true} {
-			for _, maxLen := range []int{0, 3} {
-				for _, k := range []int{1, 10, 100} {
-					ref, err := core.MineTopK(ix, k, closed, maxLen)
-					if err != nil {
-						t.Fatal(err)
-					}
-					refList := patternList(db, ref)
-					for _, workers := range []int{1, 2, 4, 8} {
-						res, err := core.MineTopKParallel(nil, ix, k, closed, maxLen, workers)
+		for _, fastNext := range []bool{false, true} {
+			ix := seq.NewIndexWith(db, seq.IndexOptions{FastNext: fastNext})
+			for _, closed := range []bool{false, true} {
+				for _, maxLen := range []int{0, 3} {
+					for _, k := range []int{1, 10, 100} {
+						ref, err := core.MineTopK(ix, k, closed, maxLen)
 						if err != nil {
 							t.Fatal(err)
 						}
-						if got := patternList(db, res); got != refList {
-							t.Errorf("%s closed=%v maxLen=%d k=%d workers=%d: top-k diverged\nsequential:\n%s\nparallel:\n%s",
-								name, closed, maxLen, k, workers, refList, got)
+						refList := patternList(db, ref)
+						for _, workers := range []int{1, 2, 4, 8} {
+							res, err := core.MineTopKParallel(nil, ix, k, closed, maxLen, workers)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got := patternList(db, res); got != refList {
+								t.Errorf("%s fastNext=%v closed=%v maxLen=%d k=%d workers=%d: top-k diverged\nsequential:\n%s\nparallel:\n%s",
+									name, fastNext, closed, maxLen, k, workers, refList, got)
+							}
 						}
 					}
 				}

@@ -62,6 +62,18 @@ type MineStats struct {
 	// the work counters of a parallel run remain comparable to the
 	// sequential run's.
 	StealSetupGrowths int
+	// FrontierPeak is the high-water number of frontier nodes held by a
+	// best-first top-k search (summed across shards in parallel runs);
+	// 0 for threshold mining, which keeps no frontier.
+	FrontierPeak int
+	// ArenaBytes is the node-arena footprint backing that frontier, in
+	// bytes (summed across shards in parallel runs).
+	ArenaBytes int64
+	// WorkersRequested and WorkersEffective report the worker count the
+	// caller asked for and the count actually used after clamping to the
+	// scheduler cap and GOMAXPROCS. Sequential runs report 1/1.
+	WorkersRequested int
+	WorkersEffective int
 	// Truncated records that the run stopped early (MaxPatterns reached or
 	// OnPattern returned false), so the result set may be incomplete.
 	Truncated bool

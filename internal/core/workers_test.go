@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+func TestEffectiveWorkersClamp(t *testing.T) {
+	restore := SetMaxProcsForTest(4)
+	defer restore()
+	cases := []struct {
+		requested, want int
+	}{
+		{0, 0},   // non-positive passes through; callers fall back to sequential
+		{1, 1},   // sequential stays sequential
+		{2, 2},   // within the CPU budget
+		{4, 4},   // exactly the CPU budget
+		{8, 4},   // clamped to GOMAXPROCS
+		{512, 4}, // clamped by the scheduler cap, then by GOMAXPROCS
+	}
+	for _, c := range cases {
+		if got := effectiveWorkers(c.requested); got != c.want {
+			t.Errorf("effectiveWorkers(%d) = %d, want %d (GOMAXPROCS=4)", c.requested, got, c.want)
+		}
+	}
+	restore()
+	// Without the override the clamp must track the live GOMAXPROCS value.
+	if got := effectiveWorkers(1); got != 1 {
+		t.Errorf("effectiveWorkers(1) = %d, want 1", got)
+	}
+	if got := effectiveWorkers(maxParallelWorkers + 1); got > maxParallelWorkers {
+		t.Errorf("effectiveWorkers(%d) = %d, want <= %d", maxParallelWorkers+1, got, maxParallelWorkers)
+	}
+}

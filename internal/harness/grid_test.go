@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestParseGridSpec(t *testing.T) {
+	spec, err := ParseGridSpec(strings.NewReader(
+		`{"quest":{"d":1,"c":15,"n":1,"s":10,"seed":7},"modes":["closed"],"ks":[5],"workers":[1,2],"repeat":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Quest == nil || spec.Quest.C != 15 || spec.Quest.Seed != 7 {
+		t.Errorf("quest params not decoded: %+v", spec.Quest)
+	}
+	if len(spec.Ks) != 1 || spec.Ks[0] != 5 || spec.Repeat != 2 {
+		t.Errorf("spec fields not decoded: %+v", spec)
+	}
+	if _, err := ParseGridSpec(strings.NewReader(`{"kays":[5]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestRunGridShape(t *testing.T) {
+	spec := GridSpec{
+		Quest:   &datagen.QuestParams{D: 1, C: 15, N: 1, S: 10, Seed: 7},
+		Modes:   []string{"closed"},
+		Ks:      []int{5, 10},
+		Workers: []int{1, 2},
+		Repeat:  2,
+	}
+	rows, err := RunGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Dataset != "D1C15N1S10" || r.Mode != "closed" {
+			t.Errorf("row identity wrong: %+v", r)
+		}
+		if r.Patterns != r.K {
+			t.Errorf("k=%d run emitted %d patterns", r.K, r.Patterns)
+		}
+		if r.FrontierPeak <= 0 || r.ArenaBytes <= 0 || r.WorkersEffective < 1 {
+			t.Errorf("stats not populated: %+v", r)
+		}
+	}
+	// Repeats of a cell must agree on the result (byte-identical search).
+	if rows[0].Patterns != rows[1].Patterns || rows[0].FrontierPeak != rows[1].FrontierPeak {
+		t.Errorf("repeats disagree: %+v vs %+v", rows[0], rows[1])
+	}
+
+	var csv strings.Builder
+	if err := WriteGridCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(rows)+1 {
+		t.Errorf("csv has %d lines, want %d", len(lines), len(rows)+1)
+	}
+	if !strings.HasPrefix(lines[0], "dataset,mode,k,") {
+		t.Errorf("csv header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "D1C15N1S10,closed,5,1,") {
+		t.Errorf("csv first row wrong: %s", lines[1])
+	}
+
+	table := GridSummaryTable(rows)
+	if !strings.Contains(table, "speedup") || !strings.Contains(table, "1.00x") {
+		t.Errorf("summary table missing speedup baseline:\n%s", table)
+	}
+	// 4 cells + header.
+	if got := strings.Count(strings.TrimSpace(table), "\n") + 1; got != 5 {
+		t.Errorf("summary table has %d lines, want 5:\n%s", got, table)
+	}
+}
+
+func TestRunGridBadMode(t *testing.T) {
+	_, err := RunGrid(GridSpec{Modes: []string{"maximal"}})
+	if err == nil || !strings.Contains(err.Error(), "maximal") {
+		t.Errorf("bad mode not rejected: %v", err)
+	}
+}

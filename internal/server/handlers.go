@@ -551,8 +551,11 @@ func buildSummary(e *dbEntry, out *mineOutcome, cached bool) mineSummary {
 		Algorithm:          out.algorithm,
 		Semantics:          out.semantics,
 		Workers:            out.workers,
+		EffectiveWorkers:   out.result.WorkersEffective,
 		NumPatterns:        out.result.NumPatterns,
 		Truncated:          out.result.Truncated,
+		TopKFrontierPeak:   out.result.TopKFrontierPeak,
+		TopKArenaBytes:     out.result.TopKArenaBytes,
 		ElapsedMS:          float64(out.result.Elapsed) / float64(time.Millisecond),
 		Cached:             cached,
 	}

@@ -202,6 +202,13 @@ func TestMineParityWithLibrary(t *testing.T) {
 	if respK.Algorithm != "CloTopK" {
 		t.Fatalf("topk summary: %+v", respK.mineSummary)
 	}
+	// The arena-backed frontier surfaces its footprint in the summary.
+	if respK.TopKFrontierPeak <= 0 || respK.TopKArenaBytes <= 0 {
+		t.Errorf("topk summary missing frontier stats: %+v", respK.mineSummary)
+	}
+	if respK.EffectiveWorkers < 1 {
+		t.Errorf("topk summary missing effectiveWorkers: %+v", respK.mineSummary)
+	}
 	db, err := repro.Load(strings.NewReader(example11), repro.Chars)
 	if err != nil {
 		t.Fatal(err)

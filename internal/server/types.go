@@ -190,16 +190,26 @@ func toPatternJSON(p repro.Pattern) patternJSON {
 // hits report the original run's count (results are identical across
 // worker counts, which is also why workers does not fragment the cache).
 type mineSummary struct {
-	Database           string  `json:"database"`
-	Generation         uint64  `json:"generation"`
-	SnapshotGeneration uint64  `json:"snapshotGeneration"`
-	Algorithm          string  `json:"algorithm"`
-	Semantics          string  `json:"semantics"`
-	Workers            int     `json:"workers"`
-	NumPatterns        int     `json:"numPatterns"`
-	Truncated          bool    `json:"truncated"`
-	ElapsedMS          float64 `json:"elapsedMs"`
-	Cached             bool    `json:"cached"`
+	Database           string `json:"database"`
+	Generation         uint64 `json:"generation"`
+	SnapshotGeneration uint64 `json:"snapshotGeneration"`
+	Algorithm          string `json:"algorithm"`
+	Semantics          string `json:"semantics"`
+	Workers            int    `json:"workers"`
+	// EffectiveWorkers is the worker count the run actually used after
+	// clamping to the host's GOMAXPROCS (observability only — output is
+	// byte-identical at any worker count, so it is not a cache dimension).
+	EffectiveWorkers int  `json:"effectiveWorkers,omitempty"`
+	NumPatterns      int  `json:"numPatterns"`
+	Truncated        bool `json:"truncated"`
+	// TopKFrontierPeak/TopKArenaBytes describe the best-first frontier of
+	// top-k runs (peak node count and node-arena footprint, summed across
+	// worker shards); absent for threshold mining. Like the worker
+	// fields, they are excluded from cache keys by construction.
+	TopKFrontierPeak int     `json:"topkFrontierPeak,omitempty"`
+	TopKArenaBytes   int64   `json:"topkArenaBytes,omitempty"`
+	ElapsedMS        float64 `json:"elapsedMs"`
+	Cached           bool    `json:"cached"`
 }
 
 type mineResponse struct {

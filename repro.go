@@ -363,6 +363,18 @@ type Result struct {
 	Truncated bool
 	// Elapsed is the wall-clock mining time.
 	Elapsed time.Duration
+	// WorkersRequested and WorkersEffective report the worker count asked
+	// for and the count actually used after clamping to GOMAXPROCS
+	// (output is identical either way; the clamp avoids oversubscription
+	// overhead). Sequential runs report 1/1.
+	WorkersRequested int
+	WorkersEffective int
+	// TopKFrontierPeak and TopKArenaBytes describe the best-first top-k
+	// frontier: its high-water node count and the node-arena bytes
+	// backing it (summed across worker shards). Both are 0 for threshold
+	// mining, which keeps no frontier.
+	TopKFrontierPeak int
+	TopKArenaBytes   int64
 }
 
 // Mine returns every pattern with repetitive support at least
@@ -426,9 +438,11 @@ func (s *Snapshot) mine(opt Options, closed bool) (*Result, error) {
 		return nil, fmt.Errorf("repro: %w: %v", ErrInvalidOptions, err)
 	}
 	out := &Result{
-		NumPatterns: res.NumPatterns,
-		Truncated:   res.Stats.Truncated,
-		Elapsed:     res.Stats.Duration,
+		NumPatterns:      res.NumPatterns,
+		Truncated:        res.Stats.Truncated,
+		Elapsed:          res.Stats.Duration,
+		WorkersRequested: res.Stats.WorkersRequested,
+		WorkersEffective: res.Stats.WorkersEffective,
 	}
 	out.Patterns = make([]Pattern, len(res.Patterns))
 	for i, p := range res.Patterns {
@@ -461,9 +475,11 @@ func (s *Snapshot) mineGapped(opt Options) (*Result, error) {
 		return nil, fmt.Errorf("repro: %w: %v", ErrInvalidOptions, err)
 	}
 	out := &Result{
-		NumPatterns: len(res.Patterns),
-		Truncated:   res.Truncated,
-		Elapsed:     res.Duration,
+		NumPatterns:      len(res.Patterns),
+		Truncated:        res.Truncated,
+		Elapsed:          res.Duration,
+		WorkersRequested: 1,
+		WorkersEffective: 1,
 	}
 	if !opt.DiscardPatterns {
 		out.Patterns = make([]Pattern, len(res.Patterns))
@@ -574,9 +590,13 @@ func (s *Snapshot) MineTopKWith(k int, closed bool, opt TopKOptions) (*Result, e
 		return nil, fmt.Errorf("repro: %w: %v", ErrInvalidOptions, err)
 	}
 	out := &Result{
-		NumPatterns: res.NumPatterns,
-		Truncated:   res.Stats.Truncated,
-		Elapsed:     res.Stats.Duration,
+		NumPatterns:      res.NumPatterns,
+		Truncated:        res.Stats.Truncated,
+		Elapsed:          res.Stats.Duration,
+		WorkersRequested: res.Stats.WorkersRequested,
+		WorkersEffective: res.Stats.WorkersEffective,
+		TopKFrontierPeak: res.Stats.FrontierPeak,
+		TopKArenaBytes:   res.Stats.ArenaBytes,
 	}
 	out.Patterns = make([]Pattern, len(res.Patterns))
 	for i, p := range res.Patterns {

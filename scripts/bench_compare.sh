@@ -21,6 +21,9 @@
 #     ns/op and allocs/op: they push an HTTP stream between processes'
 #     worth of goroutines, so wall time and allocation counts are
 #     socket- and scheduler-dependent.
+#   - allocs/op improvements > 50%                -> exit 0 with a GitHub
+#     ::notice:: annotation ("alloc win"): large deliberate drops are
+#     surfaced in the PR instead of passing silently
 #   - a missing or unparseable input file                 -> exit 2 with
 #     an explanation (never a green empty comparison: that would silently
 #     disable the gate)
@@ -90,7 +93,7 @@ function name(line,    s) {
 }
 END {
 	printf "%-40s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op old -> new"
-	worst = 0; nfail_ns = 0; nfail_alloc = 0; nwarn = 0; ngone = 0; nnew = 0
+	worst = 0; nfail_ns = 0; nfail_alloc = 0; nwarn = 0; ngone = 0; nnew = 0; nwin = 0
 	for (i = 0; i < oc; i++) {
 		n = old_order[i]
 		if (!(n in new_ns)) { printf "%-40s %12s %12s %8s\n", n, old_ns[n], "-", "gone"; ngone++; continue }
@@ -123,6 +126,14 @@ END {
 				mark = "  << ALLOC REGRESSION"
 				alloc_fail[nfail_alloc++] = sprintf("%s: allocs/op %s -> %s", n, old_allocs[n], new_allocs[n])
 			}
+		} else if (old_allocs[n] != "null" && new_allocs[n] != "null" && old_allocs[n] + 0 > 0 \
+			&& (old_allocs[n] - new_allocs[n]) * 100.0 / old_allocs[n] > 50) {
+			# Large allocs/op DROPS are flagged too, as informational wins:
+			# a >50% improvement is a deliberate change worth surfacing in
+			# the PR (and it resets the bar the next baseline will hold).
+			wdelta = (old_allocs[n] - new_allocs[n]) * 100.0 / old_allocs[n]
+			mark = sprintf("  << alloc win (-%.1f%%)", wdelta)
+			wins[nwin++] = sprintf("%s: allocs/op %s -> %s (-%.1f%%)", n, old_allocs[n], new_allocs[n], wdelta)
 		}
 		if (delta > fail_pct && n ~ /fsync=always|ReplicaCatchup/) {
 			# Disk-commit latency (fsync=always) or socket+scheduler
@@ -150,11 +161,12 @@ END {
 		nnew++
 	}
 
+	for (i = 0; i < nwin; i++) printf "::notice::benchmark improvement: %s\n", wins[i]
 	for (i = 0; i < nwarn; i++) printf "::warning::benchmark regression: %s\n", warns[i]
 	failed = 0
 	for (i = 0; i < nfail_ns; i++) { printf "\nFAIL: %s\n", ns_fail[i]; failed = 1 }
 	for (i = 0; i < nfail_alloc; i++) { printf "\nFAIL: %s\n", alloc_fail[i]; failed = 1 }
 	if (failed) exit 1
-	printf "\nOK: worst ns/op delta %+.1f%% (warn >%s%%, fail >%s%% or any alloc increase); %d warning(s); skipped %d new / %d gone\n", worst, warn_pct, fail_pct, nwarn, nnew, ngone
+	printf "\nOK: worst ns/op delta %+.1f%% (warn >%s%%, fail >%s%% or any alloc increase); %d warning(s); %d alloc win(s); skipped %d new / %d gone\n", worst, warn_pct, fail_pct, nwarn, nwin, nnew, ngone
 }
 ' "$OLD" "$NEW"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Top-k scaling grid on the local hardware: runs the cross product of
+# mode × k × workers declared in a grid-spec JSON through the arena-backed
+# best-first miner, writes one CSV row per run, and prints the per-cell
+# median/speedup table (speedup is against the same cell at workers=1).
+# This is the "Measuring on your hardware" entry point the README points
+# at: the committed README numbers came from one machine; rerun this to
+# get yours.
+#
+# Usage: scripts/bench_grid.sh [grid.json] [out.csv]
+#
+# With no arguments a default spec (Quest D1C20N1S20, closed,
+# k ∈ {10,100,1000}, workers ∈ {1,2,4,8}, 3 repeats) is written to
+# bench_grid.json if absent and results land in bench_grid.csv.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC="${1:-bench_grid.json}"
+CSV="${2:-bench_grid.csv}"
+
+if [[ ! -f "$SPEC" ]]; then
+  cat > "$SPEC" <<'EOF'
+{
+  "quest": {"d": 1, "c": 20, "n": 1, "s": 20, "seed": 1},
+  "modes": ["closed"],
+  "ks": [10, 100, 1000],
+  "workers": [1, 2, 4, 8],
+  "repeat": 3
+}
+EOF
+  echo "wrote default grid spec to $SPEC"
+fi
+
+echo "grid spec: $SPEC  (effective workers are capped at the $(nproc) available CPUs)"
+go run ./cmd/experiments -exp grid -grid "$SPEC" -csv "$CSV"
